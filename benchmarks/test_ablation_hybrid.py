@@ -1,0 +1,64 @@
+"""Ablation (future work, §6.1): hybrid CPU/GPU dynamic decomposition.
+
+Quantifies the paper's suggestion that 'large empty regions could be
+quickly computed on the slowest hardware ... while the available GPU
+workhorses rapidly compute the complex, activity-filled regions': the
+hybrid scheme is compared against pure SIMCoV-GPU across sparse and
+saturated workloads.
+"""
+
+import pytest
+
+from repro.core.params import SimCovParams
+from repro.perf.activity import DiskActivityModel
+from repro.perf.hybrid import project_hybrid_runtime
+from repro.perf.machine import PAPER_SCALE_GROWTH_SPEED, PERLMUTTER
+from repro.perf.projector import project_gpu_runtime
+
+
+def models(foi):
+    p = SimCovParams.default_covid(dim=(20_000, 20_000), num_infections=foi)
+    return DiskActivityModel(
+        p, seed=1, speed=PAPER_SCALE_GROWTH_SPEED, supergrid=64, samples=24
+    )
+
+
+def test_hybrid_bench(benchmark):
+    model = models(64)
+    out = benchmark(
+        lambda: project_hybrid_runtime(PERLMUTTER, model, 16)
+    )
+    assert out.total_seconds > 0
+
+
+def test_hybrid_wins_on_sparse_workloads():
+    """Low activity: the GPU's full-sweep reduction is the bottleneck the
+    hybrid removes (hosts cover the quiescent bulk)."""
+    rows = []
+    for foi in (64, 1024):
+        model = models(foi)
+        pure = project_gpu_runtime(PERLMUTTER, model, 16).total_seconds
+        hyb = project_hybrid_runtime(PERLMUTTER, model, 16).total_seconds
+        rows.append((foi, pure, hyb, pure / hyb))
+    print("\nHybrid CPU/GPU ablation (20,000^2, 16 GPUs):")
+    print(f"{'FOI':>6}{'pure GPU s':>12}{'hybrid s':>12}{'gain':>8}")
+    for foi, pure, hyb, gain in rows:
+        print(f"{foi:>6}{pure:>12.0f}{hyb:>12.0f}{gain:>8.2f}")
+    sparse_gain = rows[0][3]
+    dense_gain = rows[1][3]
+    assert sparse_gain > 1.0          # hybrid pays off when sparse
+    assert sparse_gain > dense_gain   # and pays off *more* when sparser
+
+
+def test_hybrid_breakdown_consistent():
+    model = models(128)
+    r = project_hybrid_runtime(PERLMUTTER, model, 16)
+    assert r.host_seconds >= 0
+    assert r.handoff_seconds >= 0
+    assert r.total_seconds >= r.compute_seconds
+
+
+def test_hybrid_host_work_shrinks_with_activity():
+    sparse = project_hybrid_runtime(PERLMUTTER, models(64), 16)
+    dense = project_hybrid_runtime(PERLMUTTER, models(1024), 16)
+    assert dense.host_seconds < sparse.host_seconds

@@ -1,0 +1,86 @@
+"""Ablation: atomics vs shared-memory tree reduction (§3.3).
+
+'We find, perhaps counterintuitively, that it is considerably faster to
+perform a reduction over every single voxel in the simulated space than
+include atomics throughout a single simulation update.'
+
+This bench compares the two strategies' modeled cost across array sizes
+and block geometries, locating the regime boundaries.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.device import Device
+from repro.gpusim.reduction import atomic_reduce, tree_reduce_device
+from repro.perf.machine import PERLMUTTER
+
+_NS = 1e-9
+
+
+def modeled_atomic_seconds(n):
+    d = Device(0)
+    atomic_reduce(d, np.ones(n))
+    m = PERLMUTTER
+    return (
+        d.ledger.atomic_ops * m.gpu_atomic_ns
+        + d.ledger.atomic_conflicts * m.gpu_atomic_conflict_ns
+    ) * _NS
+
+
+def modeled_tree_seconds(n, block=256):
+    d = Device(0)
+    tree_reduce_device(d, np.ones(n), block_size=block)
+    m = PERLMUTTER
+    return (
+        d.ledger.reduce_tree_elems * m.gpu_reduce_elem_ns
+        + d.ledger.atomic_ops * m.gpu_atomic_ns
+        + d.ledger.atomic_conflicts * m.gpu_atomic_conflict_ns
+    ) * _NS
+
+
+def test_reduction_bench(benchmark):
+    d = Device(0)
+    vals = np.ones(262_144)
+    total = benchmark(lambda: tree_reduce_device(d, vals))
+    assert total == 262_144
+
+
+def test_tree_beats_atomics_at_scale():
+    print("\nReduction-strategy ablation (modeled seconds):")
+    print(f"{'N':>12}{'atomics':>14}{'tree':>14}{'ratio':>8}")
+    for n in (2**10, 2**14, 2**18, 2**22):
+        a = modeled_atomic_seconds(n)
+        t = modeled_tree_seconds(n)
+        print(f"{n:>12}{a:>14.6f}{t:>14.6f}{a / t:>8.1f}")
+        assert t < a  # tree wins at every simulation-relevant size
+
+
+def test_advantage_large_at_every_size():
+    """Both strategies are asymptotically linear in N, so the tree's
+    advantage is a large, roughly constant factor — which is why the
+    paper's full-space tree reduction wins at any simulation size."""
+    ratios = [
+        modeled_atomic_seconds(n) / modeled_tree_seconds(n)
+        for n in (2**10, 2**14, 2**18, 2**22)
+    ]
+    assert min(ratios) > 50
+    assert max(ratios) / min(ratios) < 1.5  # roughly constant
+
+
+def test_block_size_tradeoff():
+    """Larger blocks mean fewer global atomics: tree cost decreases
+    monotonically with block size (the paper notes the *atomics* path gets
+    worse with larger blocks/thread counts — the tree path does not)."""
+    n = 2**20
+    costs = [modeled_tree_seconds(n, b) for b in (64, 128, 256, 512, 1024)]
+    assert all(a >= b for a, b in zip(costs, costs[1:]))
+    # And the geometry choice moves cost far less than the strategy choice.
+    assert costs[0] / costs[-1] < 5
+    assert modeled_atomic_seconds(n) / costs[0] > 10
+
+
+def test_values_identical_across_strategies():
+    rng = np.random.default_rng(0)
+    vals = rng.integers(0, 1000, size=100_000).astype(np.float64)
+    assert atomic_reduce(Device(0), vals) == tree_reduce_device(Device(1), vals)

@@ -1,0 +1,74 @@
+"""Fig 6: strong scaling (§4.2).
+
+Regenerates the paper's strong-scaling series — fixed 10,000^2-voxel,
+16-FOI problem; {4..64 GPUs} vs {128..2048 CPU cores} — via the projector
+over the synthesized paper-scale workload, and prints the same rows
+(runtimes + speedup annotations) with the paper's speedups alongside.
+
+Shape assertions: GPU wins decisively at the base; CPU scales near-ideally;
+GPU saturates past ~16 devices; the speedup falls monotonically and drops
+below ~1 at {64,2048} (paper: 4.98 -> 0.85).
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.plotting import ascii_series
+from repro.experiments.scaling import format_scaling, run_strong_scaling
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_strong_scaling(samples=32)
+
+
+def test_fig6_generation(benchmark):
+    out = benchmark.pedantic(
+        lambda: run_strong_scaling(samples=12), rounds=1, iterations=1
+    )
+    assert len(out) == 5
+
+
+def test_fig6_rows(rows):
+    print("\n" + format_scaling(rows, "Fig 6 — Strong Scaling"))
+    xs = np.array([r.gpus for r in rows], float)
+    print(ascii_series(
+        {"CPU": (xs, np.array([r.cpu_seconds for r in rows])),
+         "GPU": (xs, np.array([r.gpu_seconds for r in rows]))},
+        logx=True, logy=True, title="Fig 6 [log-log]",
+    ))
+    assert [r.label for r in rows] == [
+        "{4,128}", "{8,256}", "{16,512}", "{32,1024}", "{64,2048}"
+    ]
+
+
+def test_fig6_base_speedup(rows):
+    assert 3.0 < rows[0].speedup < 7.0  # paper: 4.98
+
+
+def test_fig6_speedup_declines_monotonically(rows):
+    s = [r.speedup for r in rows]
+    assert all(a >= b for a, b in zip(s, s[1:]))
+
+
+def test_fig6_gpu_loses_at_max_resources(rows):
+    """The {64,2048} crossover: more GPUs than the problem can use."""
+    assert rows[-1].speedup < 1.2  # paper: 0.85
+
+
+def test_fig6_cpu_scales_near_ideally(rows):
+    ideal = rows[0].cpu_seconds / 16
+    assert rows[-1].cpu_seconds < 2 * ideal
+
+
+def test_fig6_gpu_deviates_from_ideal(rows):
+    """'it quickly saturates at this problem size' (§4.2)."""
+    ideal = rows[0].gpu_seconds / 16
+    assert rows[-1].gpu_seconds > 3 * ideal
+
+
+def test_fig6_speedups_within_2x_of_paper(rows):
+    for r in rows:
+        assert 0.5 < r.speedup / r.paper_speedup < 2.0, (
+            f"{r.label}: {r.speedup:.2f} vs paper {r.paper_speedup}"
+        )

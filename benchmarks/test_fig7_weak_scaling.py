@@ -1,0 +1,67 @@
+"""Fig 7: weak scaling (§4.3).
+
+Regenerates the weak-scaling series — problem size (10,000^2 ->
+40,000^2 voxels), FOI (16 -> 256) and resources ({4,128} -> {64,2048})
+double together — and prints runtimes + speedups with the paper's values.
+
+Shape assertions: GPU runtime rises from 4 to ~16 GPUs (the 'initial cost
+of parallelism', §4.3) then stays nearly constant; CPU degrades as the
+problem grows; the GPU advantage is sustained around four-fold
+(paper: 4.91, 4.38, 3.53, 3.48, 3.82).
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.plotting import ascii_series
+from repro.experiments.scaling import format_scaling, run_weak_scaling
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_weak_scaling(samples=32)
+
+
+def test_fig7_generation(benchmark):
+    out = benchmark.pedantic(
+        lambda: run_weak_scaling(samples=12), rounds=1, iterations=1
+    )
+    assert len(out) == 5
+
+
+def test_fig7_rows(rows):
+    print("\n" + format_scaling(rows, "Fig 7 — Weak Scaling"))
+    xs = np.array([r.gpus for r in rows], float)
+    print(ascii_series(
+        {"CPU": (xs, np.array([r.cpu_seconds for r in rows])),
+         "GPU": (xs, np.array([r.gpu_seconds for r in rows]))},
+        logx=True, logy=True, title="Fig 7 [log-log]",
+    ))
+    assert rows[0].dim == (10_000, 10_000)
+    assert rows[-1].dim == (40_000, 40_000)
+    assert rows[-1].foi == 256
+
+
+def test_fig7_gpu_nearly_flat(rows):
+    """After the initial parallelism cost, GPU runtime holds (§4.3)."""
+    g = [r.gpu_seconds for r in rows]
+    assert g[-1] < 2.0 * g[0]
+    # Later steps flatten: the 16->64 GPU growth is small.
+    assert g[-1] < 1.5 * g[2]
+
+
+def test_fig7_cpu_degrades(rows):
+    """'SIMCoV-CPU begins to suffer performance loss' (§4.3)."""
+    c = [r.cpu_seconds for r in rows]
+    assert c[-1] > 1.3 * c[0]
+
+
+def test_fig7_sustained_fourfold_advantage(rows):
+    """'SIMCoV-GPU achieves and maintains a four-fold advantage' (§6)."""
+    for r in rows:
+        assert 2.5 < r.speedup < 7.0
+
+
+def test_fig7_speedups_within_2x_of_paper(rows):
+    for r in rows:
+        assert 0.5 < r.speedup / r.paper_speedup < 2.0

@@ -1,0 +1,72 @@
+"""Fig 8: foci-of-infection scaling (§4.4).
+
+Regenerates the FOI series — 20,000^2 voxels on {16 GPUs, 512 cores}, FOI
+doubling 64 -> 1024 — including the 1024-FOI CPU point the authors could
+not afford to run (flagged as a projection).
+
+Shape assertions: CPU runtime grows steeply (near-linearly until
+saturation) with FOI while GPU grows sublinearly; the speedup climbs from
+~3.5x toward ~12x (paper: 3.53, 5.16, 7.68, 11.97), staying below the
+15.6x ideal throughput ratio quoted in §6.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.plotting import ascii_series
+from repro.experiments.scaling import format_scaling, run_foi_scaling
+from repro.perf.machine import IDEAL_NODE_SPEEDUP
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_foi_scaling(samples=32)
+
+
+def test_fig8_generation(benchmark):
+    out = benchmark.pedantic(
+        lambda: run_foi_scaling(samples=12), rounds=1, iterations=1
+    )
+    assert len(out) == 5
+
+
+def test_fig8_rows(rows):
+    print("\n" + format_scaling(rows, "Fig 8 — FOI Scaling"))
+    xs = np.array([r.foi for r in rows], float)
+    print(ascii_series(
+        {"CPU": (xs, np.array([r.cpu_seconds for r in rows])),
+         "GPU": (xs, np.array([r.gpu_seconds for r in rows]))},
+        logx=True, logy=True, title="Fig 8 [log-log]",
+    ))
+    assert [r.foi for r in rows] == [64, 128, 256, 512, 1024]
+
+
+def test_fig8_speedup_grows_with_foi(rows):
+    s = [r.speedup for r in rows]
+    assert all(a < b for a, b in zip(s, s[1:]))
+    assert s[0] < 6.0      # paper: 3.53 at 64 FOI
+    assert s[-2] > 7.0     # paper: 11.97 at 512 FOI
+
+
+def test_fig8_gpu_sublinear_in_foi(rows):
+    """'The GPU implementation maintains sublinear increase in runtime'."""
+    g = [r.gpu_seconds for r in rows]
+    for a, b in zip(g, g[1:]):
+        assert b < 1.9 * a  # FOI doubles; runtime must not
+
+
+def test_fig8_cpu_grows_much_faster_than_gpu(rows):
+    cpu_growth = rows[-1].cpu_seconds / rows[0].cpu_seconds
+    gpu_growth = rows[-1].gpu_seconds / rows[0].gpu_seconds
+    assert cpu_growth > 2.5 * gpu_growth
+
+
+def test_fig8_speedup_below_ideal(rows):
+    """§6: the 15.6x peak-throughput ratio bounds achievable speedup."""
+    assert rows[-1].speedup < IDEAL_NODE_SPEEDUP
+
+
+def test_fig8_speedups_within_2x_of_paper(rows):
+    for r in rows:
+        if r.paper_speedup:
+            assert 0.5 < r.speedup / r.paper_speedup < 2.0

@@ -1,0 +1,38 @@
+"""Robustness of the reproduced scaling shapes under model perturbation.
+
+Each machine-model constant is halved and doubled; the paper's
+qualitative findings must survive most perturbations — evidence that the
+shapes come from counted work, not from the calibration point.
+"""
+
+import pytest
+
+from repro.perf.machine import MachineModel
+from repro.perf.sensitivity import evaluate_shape, shape_robustness
+
+
+def test_sensitivity_bench(benchmark):
+    out = benchmark.pedantic(
+        lambda: evaluate_shape(MachineModel(), samples=8),
+        rounds=1, iterations=1,
+    )
+    assert out.all_hold()
+
+
+def test_baseline_model_satisfies_all_findings():
+    assert evaluate_shape(MachineModel(), samples=16).all_hold()
+
+
+def test_findings_survive_2x_perturbations():
+    robustness = shape_robustness(factors=(0.5, 2.0), samples=10)
+    print("\nShape robustness under 0.5x/2x per-constant perturbation "
+          f"({robustness['models']} models):")
+    for name, frac in robustness.items():
+        if name != "models":
+            print(f"  {name:<28} {frac:.0%}")
+    # Core findings are highly robust; the base-speedup margin is the
+    # most calibration-sensitive and may dip under extreme CPU cheapening.
+    assert robustness["foi_monotone_growth"] >= 0.9
+    assert robustness["strong_monotone_decline"] >= 0.75
+    assert robustness["weak_sustained_advantage"] >= 0.75
+    assert robustness["strong_gpu_wins_at_base"] >= 0.75

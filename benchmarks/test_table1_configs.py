@@ -1,0 +1,28 @@
+"""Table 1: regenerate the experiment configuration matrix."""
+
+from repro.experiments.configs import TABLE1, format_table1
+
+
+def test_table1_configuration_matrix(benchmark):
+    text = benchmark(format_table1)
+    print("\n" + text)
+    # The paper's exact configuration values.
+    assert TABLE1["strong"].max_units == (64, 2048)
+    assert TABLE1["weak"].max_dim == (40_000, 40_000, 1)
+    assert TABLE1["foi"].max_foi == 1024
+    assert TABLE1["correctness"].min_units == (4, 128)
+
+
+def test_table1_sequences_double(benchmark):
+    def sequences():
+        return {
+            name: (cfg.units_sequence(), cfg.foi_sequence())
+            for name, cfg in TABLE1.items()
+        }
+
+    seqs = benchmark(sequences)
+    for units, fois in seqs.values():
+        for (g0, c0), (g1, c1) in zip(units, units[1:]):
+            assert g1 == 2 * g0 and c1 == 2 * c0
+        for a, b in zip(fois, fois[1:]):
+            assert b == 2 * a

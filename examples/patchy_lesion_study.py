@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Patchy-lesion initialization: the CT-scan use case of the Discussion.
+
+§6 of the paper: 'CT scans of diseased patients do not contain point-like
+initial infection locations, but instead feature large patchy lesions ...
+Incorporating CT scans as initial conditions requires that many (hundreds,
+thousands, or more) SIMCoV voxels be initialized as FOI.'
+
+This example synthesizes CT-like patchy lesions (random disks of Poisson
+radii), runs them against an equal-virion point-FOI initialization, and
+shows (a) how the lesion run lights up far more of the domain — the
+workload property behind Fig 8's FOI-scaling experiment — and (b) the
+paper's [25] motivating result that spatially distributed infection grows
+faster.
+
+Run:  python examples/patchy_lesion_study.py
+"""
+
+import numpy as np
+
+from repro import SequentialSimCov, SimCovParams
+from repro.core.seeding import patchy_lesions, seed_infections
+from repro.rng.streams import VoxelRNG
+
+
+def run(params, seed_gids, label):
+    sim = SequentialSimCov(params, seed=7, seed_gids=seed_gids)
+    sim.run()
+    peak_step, peak = sim.series.peak("virions_total")
+    print(f"  {label:<28} seeds={len(seed_gids):>5}  "
+          f"peak virus={peak:>8.1f} at step {peak_step:>3}  "
+          f"final dead={sim.series[-1].dead:>6.0f}  "
+          f"active frac={sim.activity_fraction():.2f}")
+    return sim
+
+
+def main():
+    params = SimCovParams.fast_test(dim=(96, 96), num_infections=0,
+                                    num_steps=220)
+    rng = VoxelRNG(12345)
+
+    # CT-like: a handful of large patchy lesions.
+    lesions = patchy_lesions(params, rng, num_lesions=6, mean_radius=5.0)
+    # Controls: the same number of infected voxels, but as scattered points,
+    # and a single consolidated focus.
+    scattered = seed_infections(
+        params.with_(num_infections=len(lesions)), rng
+    )
+    single = seed_infections(params.with_(num_infections=1), rng)
+
+    print("Initialization study (96x96 tissue, fast dynamics, 220 steps):")
+    sim_lesion = run(params, lesions, "patchy lesions (CT-like)")
+    sim_scatter = run(params, scattered, "scattered point FOI")
+    sim_single = run(params, single, "single focus")
+
+    v_lesion = sim_lesion.series.field("virions_total")
+    v_single = sim_single.series.field("virions_total")
+    mid = len(v_lesion) // 2
+    print(f"\nAt mid-simulation, distributed infection carries "
+          f"{v_lesion[mid] / max(v_single[mid], 1e-9):.0f}x the viral load "
+          f"of a single focus of equal initial size class —")
+    print("the spatial-distribution effect SIMCoV was built to capture "
+          "(Moses et al. [25]), and the reason many-FOI workloads (Fig 8) "
+          "are the GPU implementation's strong suit.")
+
+
+if __name__ == "__main__":
+    main()

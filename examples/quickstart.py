@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Quickstart: run a small SIMCoV infection and print its dynamics.
+
+Simulates a 64x64-voxel slice of lung tissue seeded with 4 foci of
+infection using the time-compressed test parameterization, on the
+sequential reference implementation, then re-runs the identical
+simulation on the (simulated) 4-GPU implementation and verifies they
+agree — the reproduction's headline correctness property.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import SequentialSimCov, SimCovGPU, SimCovParams
+
+
+def main():
+    params = SimCovParams.fast_test(dim=(64, 64), num_infections=4,
+                                    num_steps=300)
+    print(f"Grid: {params.dim[0]}x{params.dim[1]} voxels, "
+          f"{params.num_infections} FOI, {params.num_steps} steps")
+
+    sim = SequentialSimCov(params, seed=42)
+    print("\nstep  virus    healthy  dead   T cells  (sequential)")
+    for step in range(params.num_steps):
+        stats = sim.step()
+        if step % 50 == 0 or step == params.num_steps - 1:
+            print(f"{step:>4}  {stats.virions_total:>7.1f}  "
+                  f"{stats.healthy:>7.0f}  {stats.dead:>5.0f}  "
+                  f"{stats.tcells_tissue:>7.0f}")
+
+    peak_step, peak_virus = sim.series.peak("virions_total")
+    print(f"\nViral load peaked at step {peak_step} "
+          f"({peak_virus:.1f} total concentration), "
+          f"then the T-cell response cleared it — the Fig 5 curve shape.")
+
+    # The same simulation on 4 simulated GPUs is bitwise identical.
+    gpu = SimCovGPU(params, num_devices=4, seed=42)
+    gpu.run()
+    same = np.array_equal(
+        gpu.gather_field("epi_state"),
+        sim.block.epi_state[sim.block.interior],
+    )
+    print(f"\n4-GPU run reproduces the sequential state bitwise: {same}")
+    work = gpu.step_work[-1]["ledger"]
+    print(f"GPU work last step: {work.total_launches()} kernel launches, "
+          f"{work.copies_intra + work.copies_inter} halo copies, "
+          f"active fraction {gpu.active_fraction():.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""repro: a reproduction of *SIMCoV-GPU: Accelerating an Agent-Based Model
+for Exascale* (HPDC '24).
+
+The package implements, from scratch and in pure numpy-accelerated Python:
+
+- the full SIMCoV biological model (epithelial state machine, motile T-cell
+  agents, diffusing virion and inflammatory-signal fields) — :mod:`repro.core`;
+- a UPC++-like PGAS runtime used by the CPU baseline — :mod:`repro.pgas`;
+- a CUDA-like multi-GPU device simulator used by the GPU port —
+  :mod:`repro.gpusim`;
+- the two parallel implementations the paper compares,
+  :mod:`repro.simcov_cpu` (active-list + RPC tiebreaks) and
+  :mod:`repro.simcov_gpu` (bid tiebreaks, memory tiling, fast reduction);
+- a calibrated machine/performance model that converts counted work into
+  modeled wall-clock seconds — :mod:`repro.perf`;
+- an experiment harness regenerating every table and figure of the paper's
+  evaluation — :mod:`repro.experiments`.
+
+Quickstart::
+
+    from repro import SimCovParams, SequentialSimCov
+
+    params = SimCovParams.fast_test(dim=(64, 64), num_infections=4)
+    sim = SequentialSimCov(params, seed=1)
+    for _ in range(100):
+        stats = sim.step()
+    print(stats)
+"""
+
+__version__ = "1.0.0"
+
+# Public names are imported lazily so that `import repro` stays cheap and the
+# substrate subpackages remain independently importable.
+_LAZY = {
+    "SimCovParams": ("repro.core.params", "SimCovParams"),
+    "SequentialSimCov": ("repro.core.model", "SequentialSimCov"),
+    "StepStats": ("repro.core.stats", "StepStats"),
+    "SimCovCPU": ("repro.simcov_cpu.simulation", "SimCovCPU"),
+    "SimCovGPU": ("repro.simcov_gpu.simulation", "SimCovGPU"),
+    "GpuVariant": ("repro.simcov_gpu.variants", "GpuVariant"),
+}
+
+__all__ = sorted(_LAZY) + ["__version__"]
+
+
+def __getattr__(name):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}") from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)
+
+
+def __dir__():
+    return __all__

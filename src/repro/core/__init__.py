@@ -1,0 +1,25 @@
+"""The SIMCoV biological model (paper §2.2).
+
+This package owns everything the three implementations share: the
+parameter set (:mod:`~repro.core.params`), the voxel state arrays
+(:mod:`~repro.core.state`), the vectorized update kernels
+(:mod:`~repro.core.kernels`), FOI seeding (:mod:`~repro.core.seeding`),
+statistics (:mod:`~repro.core.stats`) and the sequential reference
+implementation (:mod:`~repro.core.model`), which defines ground-truth
+semantics that SIMCoV-CPU and SIMCoV-GPU must (and, in this reproduction,
+bitwise do) match.
+"""
+
+from repro.core.params import SimCovParams
+from repro.core.state import EpiState, VoxelBlock
+from repro.core.stats import StepStats, TimeSeries
+from repro.core.model import SequentialSimCov
+
+__all__ = [
+    "SimCovParams",
+    "EpiState",
+    "VoxelBlock",
+    "StepStats",
+    "TimeSeries",
+    "SequentialSimCov",
+]

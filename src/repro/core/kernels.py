@@ -1,0 +1,524 @@
+"""Vectorized update kernels shared by all three implementations.
+
+Each kernel is a pure function over ghost-padded arrays and a region
+selector, so the same code runs as:
+
+- whole-domain updates (sequential reference);
+- per-rank updates between RPC waves (SIMCoV-CPU);
+- per-active-tile kernel launches between halo waves (SIMCoV-GPU).
+
+All randomness is keyed by global voxel id (or attempt index), so results
+are identical regardless of how the domain is decomposed — see
+:mod:`repro.rng`.
+
+Step phase order (the staged semantics of paper §4.1):
+
+1. T-cell aging (local);
+2. extravasation (new T cells enter from the vasculature);
+3. [parallel: boundary-state exchange]
+4. T-cell intents: bind/move target choice + bids (local);
+5. [parallel: the single tiebreak exchange of §3.1]
+6. resolution: apply winning moves and binds (local, deterministic);
+7. epithelial updates: infection, state-timer transitions, production;
+8. [parallel: concentration-halo exchange]
+9. diffusion + decay;
+10. statistics reduction.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.params import SimCovParams
+from repro.core.state import BINDABLE, CHEMOKINE_PRODUCERS, EpiState, VIRION_PRODUCERS, VoxelBlock
+from repro.diffusion.stencil import decay_field, diffuse_region, mirror_out_of_domain
+from repro.grid.spec import moore_offsets
+from repro.rng.streams import Stream, VoxelRNG
+
+
+def _shift(region: tuple[slice, ...], offset) -> tuple[slice, ...]:
+    """Shift a bounded slice tuple by an integer offset vector."""
+    return tuple(
+        slice(s.start + int(o), s.stop + int(o)) for s, o in zip(region, offset)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Phase 1-2: T-cell aging and extravasation
+# ---------------------------------------------------------------------------
+
+
+def tcell_age(block: VoxelBlock, region: tuple[slice, ...]) -> None:
+    """Decrement lifetimes; cells at end of tissue life die in place."""
+    present = block.tcell[region] != 0
+    tt = block.tcell_tissue_time[region]
+    bt = block.tcell_bound_time[region]
+    tt[present] -= 1
+    np.maximum(bt, 0, out=bt)
+    bt[present & (bt > 0)] -= 1
+    died = present & (tt <= 0)
+    block.tcell[region][died] = 0
+    tt[died] = 0
+    bt[died] = 0
+
+
+def extravasation_attempts(
+    params: SimCovParams, rng: VoxelRNG, step: int, pool: float
+) -> dict[str, np.ndarray]:
+    """The global, decomposition-independent attempt schedule for one step.
+
+    Every implementation computes the identical schedule and applies the
+    attempts that land in voxels it owns.  Returns arrays indexed by
+    attempt: target gid, acceptance roll, and tissue lifespan.
+    """
+    x = pool * params.extravasate_fraction
+    n = int(math.floor(x))
+    frac = x - n
+    if rng.uniform(Stream.POOL_ROUND, step, np.array([0]))[0] < frac:
+        n += 1
+    idx = np.arange(n, dtype=np.int64)
+    return {
+        "gid": rng.randint(Stream.EXTRAVASATE_SITE, step, idx, params.num_voxels),
+        "accept_u": rng.uniform(Stream.EXTRAVASATE_ACCEPT, step, idx),
+        "life": np.maximum(
+            1, rng.poisson(Stream.TCELL_TISSUE_LIFE, step, idx, params.tcell_tissue_period)
+        ),
+    }
+
+
+def apply_extravasation(
+    params: SimCovParams,
+    block: VoxelBlock,
+    attempts: dict[str, np.ndarray],
+) -> int:
+    """Apply the attempts landing in this block's owned region.
+
+    A T cell enters at the chosen voxel with probability equal to the local
+    inflammatory-signal concentration (paper §2.2), provided the voxel holds
+    no T cell yet.  Attempts are processed in attempt order so that two
+    attempts on one voxel resolve identically everywhere.  Returns the
+    number of successful entries (for the pool debit).
+    """
+    gids = attempts["gid"]
+    if gids.size == 0:
+        return 0
+    sl = block.interior
+    gid_interior = block.gid[sl]
+    shape = gid_interior.shape
+    # Map attempt gids to owned-local flat positions (interior is a slab of
+    # consecutive-per-row gids; a sorted lookup handles any block shape).
+    flat_gid = gid_interior.reshape(-1)  # copy is fine: reads only
+    order = np.argsort(flat_gid, kind="stable")
+    pos = np.searchsorted(flat_gid, gids, sorter=order)
+    pos = np.clip(pos, 0, flat_gid.size - 1)
+    local_flat = order[pos]
+    mine = flat_gid[local_flat] == gids
+    successes = 0
+    tcell = block.tcell[sl]
+    chem = block.chemokine[sl]
+    tt = block.tcell_tissue_time[sl]
+    bt = block.tcell_bound_time[sl]
+    for i in np.nonzero(mine)[0]:
+        c_idx = np.unravel_index(int(local_flat[i]), shape)
+        if tcell[c_idx] != 0:
+            continue
+        c = chem[c_idx]
+        if c < params.min_chemokine:
+            continue
+        if attempts["accept_u"][i] < c:
+            tcell[c_idx] = 1
+            tt[c_idx] = attempts["life"][i]
+            bt[c_idx] = 0
+            successes += 1
+    return successes
+
+
+# ---------------------------------------------------------------------------
+# Phase 4: T-cell intents (choose + bid; paper §3.1 / Fig 2)
+# ---------------------------------------------------------------------------
+
+
+class IntentArrays:
+    """Scratch arrays for one block's T-cell tiebreak round."""
+
+    def __init__(self, shape: tuple[int, ...]):
+        #: Chosen movement direction index into moore_offsets, -1 = none.
+        self.move_dir = np.full(shape, -1, dtype=np.int8)
+        #: Chosen binding stencil index (0 = own voxel, 1.. = moore), -1 = none.
+        self.bind_dir = np.full(shape, -1, dtype=np.int8)
+        #: The T cell's own bid (0 where no bid was placed).
+        self.bid_self = np.zeros(shape, dtype=np.uint64)
+        #: Max bid placed on this voxel as a *move* target.
+        self.move_bid = np.zeros(shape, dtype=np.uint64)
+        #: Max bid placed on this voxel's epithelial cell as a *bind* target.
+        self.bind_bid = np.zeros(shape, dtype=np.uint64)
+
+    def clear(self) -> None:
+        self.move_dir[...] = -1
+        self.bind_dir[...] = -1
+        self.bid_self[...] = 0
+        self.move_bid[...] = 0
+        self.bind_bid[...] = 0
+
+    #: Fields exchanged with REPLACE semantics (per-source-voxel data).
+    REPLACE_FIELDS = ("move_dir", "bind_dir", "bid_self")
+    #: Fields exchanged with MAX-merge semantics (per-target-voxel data).
+    MAX_FIELDS = ("move_bid", "bind_bid")
+
+
+def bind_stencil(ndim: int) -> np.ndarray:
+    """Binding candidates: own voxel first, then the Moore neighborhood."""
+    return np.concatenate(
+        [np.zeros((1, ndim), dtype=np.int64), moore_offsets(ndim)], axis=0
+    )
+
+
+def tcell_intents(
+    params: SimCovParams,
+    rng: VoxelRNG,
+    step: int,
+    block: VoxelBlock,
+    intents: IntentArrays,
+    region: tuple[slice, ...],
+) -> None:
+    """Compute bind/move choices and bids for unbound T cells in ``region``.
+
+    A T cell with a bindable (expressing) epithelial cell in its own voxel
+    or Moore neighborhood attempts to bind one of them (chosen uniformly);
+    otherwise it attempts to move to a uniformly random Moore neighbor,
+    unless that neighbor is outside the domain or already occupied at the
+    start of the phase — T cells "can and do run into each other" (§3.1).
+
+    Bids are written at the T cell's own voxel (``bid_self``) and
+    max-merged at the target (``move_bid``/``bind_bid``), the two stores of
+    the paper's single-communication tiebreak.
+    """
+    movers = (block.tcell[region] != 0) & (block.tcell_bound_time[region] == 0)
+    if not movers.any():
+        return
+    gid = block.gid[region]
+    bids = rng.bids(step, gid)
+    ndim = block.spec.ndim
+    bstencil = bind_stencil(ndim)
+    nb = len(bstencil)
+
+    # --- binding choice ----------------------------------------------------
+    bindable = np.zeros(movers.shape + (nb,), dtype=bool)
+    for k, off in enumerate(bstencil):
+        nb_state = block.epi_state[_shift(region, off)]
+        ok = np.zeros_like(movers)
+        for s in BINDABLE:
+            ok |= nb_state == s
+        bindable[..., k] = ok
+    n_candidates = bindable.sum(axis=-1)
+    binder = movers & (n_candidates > 0)
+    if binder.any():
+        j = rng.words(Stream.TCELL_BIND_SELECT, step, gid) % np.maximum(
+            n_candidates.astype(np.uint64), 1
+        )
+        # Index of the (j+1)-th True along the stencil axis.
+        cum = np.cumsum(bindable, axis=-1)
+        sel = np.argmax(cum == (j.astype(np.int64) + 1)[..., None], axis=-1)
+        intents.bind_dir[region][binder] = sel[binder].astype(np.int8)
+        intents.bid_self[region][binder] = bids[binder]
+        # Scatter-max onto targets, one direction at a time (within one
+        # direction all targets are distinct, so a masked max suffices).
+        for k, off in enumerate(bstencil):
+            mask = binder & (sel == k)
+            if not mask.any():
+                continue
+            view = intents.bind_bid[_shift(region, off)]
+            view[mask] = np.maximum(view[mask], bids[mask])
+
+    # --- movement choice -------------------------------------------------------
+    mover = movers & (n_candidates == 0)
+    if mover.any():
+        offsets = moore_offsets(ndim)
+        k_choice = rng.randint(
+            Stream.TCELL_DIRECTION, step, gid, len(offsets)
+        ).astype(np.int8)
+        blocked = np.zeros_like(mover)
+        for k, off in enumerate(offsets):
+            sel_k = mover & (k_choice == k)
+            if not sel_k.any():
+                continue
+            tgt_occupied = block.tcell[_shift(region, off)] != 0
+            tgt_outside = ~block.in_domain[_shift(region, off)]
+            blocked |= sel_k & (tgt_occupied | tgt_outside)
+        ok = mover & ~blocked
+        intents.move_dir[region][ok] = k_choice[ok]
+        intents.bid_self[region][ok] = bids[ok]
+        for k, off in enumerate(offsets):
+            mask = ok & (k_choice == k)
+            if not mask.any():
+                continue
+            view = intents.move_bid[_shift(region, off)]
+            view[mask] = np.maximum(view[mask], bids[mask])
+
+
+# ---------------------------------------------------------------------------
+# Phase 6: resolution (winner moves / binds; fully local & deterministic)
+# ---------------------------------------------------------------------------
+
+
+class MoveSet:
+    """One region's resolved moves: the 'set flips' of Fig 2 — who leaves,
+    who arrives, and the arriving payload — computed against pristine state
+    so that commits can happen in any order (Jacobi semantics, as one GPU
+    kernel launch over all tiles would behave)."""
+
+    __slots__ = ("region", "moved_out", "arriving", "new_life")
+
+    def __init__(self, region, moved_out, arriving, new_life):
+        self.region = region
+        self.moved_out = moved_out
+        self.arriving = arriving
+        self.new_life = new_life
+
+
+def compute_moves(
+    block: VoxelBlock,
+    intents: IntentArrays,
+    region: tuple[slice, ...],
+) -> MoveSet:
+    """Assign winners within ``region`` (owned voxels) — read-only.
+
+    A T cell moves iff its bid equals the merged maximum at its target —
+    the deterministic tiebreak every device computes identically (§3.1):
+    the winner's source device erases it, the target's owner instantiates
+    it, no duplication and no loss.
+    """
+    ndim = block.spec.ndim
+    offsets = moore_offsets(ndim)
+    md = intents.move_dir[region]
+    # Outgoing: my cells that won their bid at the target.
+    moved_out = np.zeros(md.shape, dtype=bool)
+    for k, off in enumerate(offsets):
+        cand = md == k
+        if not cand.any():
+            continue
+        tgt_max = intents.move_bid[_shift(region, off)]
+        won = cand & (intents.bid_self[region] == tgt_max) & (tgt_max > 0)
+        moved_out |= won
+    # Incoming: neighbor cells (possibly ghosts) that won a bid on my voxel.
+    arriving = np.zeros(md.shape, dtype=bool)
+    new_life = np.zeros(md.shape, dtype=np.int32)
+    my_max = intents.move_bid[region]
+    for k, off in enumerate(offsets):
+        src = _shift(region, [-o for o in off])
+        src_won = (
+            (intents.move_dir[src] == k)
+            & (intents.bid_self[src] == my_max)
+            & (my_max > 0)
+        )
+        fresh = src_won & ~arriving
+        arriving |= src_won
+        new_life[fresh] = block.tcell_tissue_time[src][fresh]
+    return MoveSet(region, moved_out, arriving, new_life)
+
+
+def commit_moves(block: VoxelBlock, moves: MoveSet) -> int:
+    """Execute one region's flips: erase movers-out, instantiate arrivals.
+    Must run only after *all* regions' :func:`compute_moves` finished (the
+    separate 'Move Agents' kernel of Fig 2).  Returns arrivals."""
+    region = moves.region
+    tc = block.tcell[region]
+    tt = block.tcell_tissue_time[region]
+    bt = block.tcell_bound_time[region]
+    tc[moves.moved_out] = 0
+    tt[moves.moved_out] = 0
+    bt[moves.moved_out] = 0
+    tc[moves.arriving] = 1
+    tt[moves.arriving] = moves.new_life[moves.arriving]
+    bt[moves.arriving] = 0
+    return int(moves.arriving.sum())
+
+
+def resolve_moves(
+    block: VoxelBlock,
+    intents: IntentArrays,
+    region: tuple[slice, ...],
+) -> int:
+    """Single-region convenience: compute + commit in one call.  Safe only
+    when ``region`` is the block's sole processed region (the sequential
+    and CPU implementations); multi-tile callers must stage compute_moves
+    for all regions before any commit_moves."""
+    return commit_moves(block, compute_moves(block, intents, region))
+
+
+def resolve_binds(
+    params: SimCovParams,
+    rng: VoxelRNG,
+    step: int,
+    block: VoxelBlock,
+    intents: IntentArrays,
+    region: tuple[slice, ...],
+) -> int:
+    """Apply winning binds: the bound epithelial cell turns apoptotic with a
+    fresh Poisson timer; the winning T cell is held for the binding period.
+    Returns the number of cells driven apoptotic in the region."""
+    bstencil = bind_stencil(block.spec.ndim)
+    # Epithelial side: any expressing cell with a positive merged bind bid
+    # was won by exactly one T cell.
+    sl_state = block.epi_state[region]
+    bound = np.zeros(sl_state.shape, dtype=bool)
+    for s in BINDABLE:
+        bound |= sl_state == s
+    bound &= intents.bind_bid[region] > 0
+    if bound.any():
+        block.epi_state[region][bound] = EpiState.APOPTOTIC
+        block.epi_timer[region][bound] = np.maximum(
+            1,
+            rng.poisson(
+                Stream.APOPTOSIS_PERIOD, step, block.gid[region][bound],
+                params.apoptosis_period,
+            ),
+        ).astype(np.int32)
+    # T-cell side: my cells that won their bind enter the bound state.
+    bd = intents.bind_dir[region]
+    for k, off in enumerate(bstencil):
+        cand = bd == k
+        if not cand.any():
+            continue
+        tgt_max = intents.bind_bid[_shift(region, off)]
+        won = cand & (intents.bid_self[region] == tgt_max) & (tgt_max > 0)
+        block.tcell_bound_time[region][won] = params.tcell_binding_period
+    return int(bound.sum())
+
+
+# ---------------------------------------------------------------------------
+# Phase 7: epithelial updates
+# ---------------------------------------------------------------------------
+
+
+def epithelial_update(
+    params: SimCovParams,
+    rng: VoxelRNG,
+    step: int,
+    block: VoxelBlock,
+    region: tuple[slice, ...],
+) -> None:
+    """Infection of healthy cells and state-timer transitions."""
+    state = block.epi_state[region]
+    timer = block.epi_timer[region]
+    gid = block.gid[region]
+    # Snapshot: a cell makes at most one transition per step.
+    state0 = state.copy()
+    # Infection: p = infectivity * local virion concentration.
+    healthy = state0 == EpiState.HEALTHY
+    if healthy.any():
+        p = params.infectivity * block.virions[region]
+        roll = rng.uniform(Stream.INFECTION, step, gid)
+        infected = healthy & (roll < p)
+        if infected.any():
+            state[infected] = EpiState.INCUBATING
+            timer[infected] = np.maximum(
+                1,
+                rng.poisson(
+                    Stream.INCUBATION_PERIOD, step, gid[infected],
+                    params.incubation_period,
+                ),
+            ).astype(np.int32)
+    # Timer transitions (decrement happens in the state held at step start).
+    for from_state, stream, period, to_state in (
+        (EpiState.INCUBATING, Stream.EXPRESSING_PERIOD,
+         params.expressing_period, EpiState.EXPRESSING),
+        (EpiState.EXPRESSING, None, None, EpiState.DEAD),
+        (EpiState.APOPTOTIC, None, None, EpiState.DEAD),
+    ):
+        in_state = state0 == from_state
+        if not in_state.any():
+            continue
+        timer[in_state] -= 1
+        expired = in_state & (timer <= 0)
+        if not expired.any():
+            continue
+        state[expired] = to_state
+        if stream is not None:
+            timer[expired] = np.maximum(
+                1, rng.poisson(stream, step, gid[expired], period)
+            ).astype(np.int32)
+        else:
+            timer[expired] = 0
+
+
+def production_update(
+    params: SimCovParams,
+    block: VoxelBlock,
+    region: tuple[slice, ...],
+    step: int = 0,
+) -> None:
+    """Infected cells emit virions; detectable cells emit the signal.
+    Concentrations are per-voxel fractions clamped to [0, 1].  Production
+    is antiviral-adjusted when an intervention is configured ([25])."""
+    state = block.epi_state[region]
+    producing = np.zeros(state.shape, dtype=bool)
+    for s in VIRION_PRODUCERS:
+        producing |= state == s
+    if producing.any():
+        v = block.virions[region]
+        v[producing] = np.minimum(
+            1.0, v[producing] + params.virion_production_at(step)
+        )
+    signaling = np.zeros(state.shape, dtype=bool)
+    for s in CHEMOKINE_PRODUCERS:
+        signaling |= state == s
+    if signaling.any():
+        c = block.chemokine[region]
+        c[signaling] = np.minimum(1.0, c[signaling] + params.chemokine_production)
+
+
+# ---------------------------------------------------------------------------
+# Phase 9: concentrations
+# ---------------------------------------------------------------------------
+
+
+def concentration_update(
+    params: SimCovParams,
+    block: VoxelBlock,
+    region: tuple[slice, ...],
+    scratch_virions: np.ndarray,
+    scratch_chemokine: np.ndarray,
+) -> None:
+    """Diffuse both fields over ``region`` into scratch buffers.
+
+    Ghosts must hold neighbor values (halo-exchanged, or mirrored at the
+    domain boundary) before calling.  Call :func:`concentration_commit`
+    after all regions are processed (Jacobi semantics).
+    """
+    diffuse_region(block.virions, scratch_virions, region, params.virion_diffusion)
+    diffuse_region(
+        block.chemokine, scratch_chemokine, region, params.chemokine_diffusion
+    )
+
+
+def concentration_commit(
+    params: SimCovParams,
+    block: VoxelBlock,
+    regions: list[tuple[slice, ...]],
+    scratch_virions: np.ndarray,
+    scratch_chemokine: np.ndarray,
+    step: int = 0,
+) -> None:
+    """Copy scratch results back and apply decay + the signal threshold.
+    Clearance is antibody-adjusted when an intervention is configured."""
+    for region in regions:
+        v = block.virions[region]
+        v[...] = scratch_virions[region]
+        decay_field(v, params.virion_clearance_at(step))
+        c = block.chemokine[region]
+        c[...] = scratch_chemokine[region]
+        decay_field(c, params.chemokine_decay)
+        c[c < params.min_chemokine] = 0.0
+
+
+def mirror_fields(block: VoxelBlock) -> None:
+    """No-flux boundary: mirror field ghosts that fall outside the domain."""
+    mirror_out_of_domain(
+        block.virions, block.owned, block.spec.domain, block.ghost
+    )
+    mirror_out_of_domain(
+        block.chemokine, block.owned, block.spec.domain, block.ghost
+    )

@@ -1,0 +1,200 @@
+"""SIMCoV parameters.
+
+Defaults follow the COVID-19 parameterization of Moses et al. [25] used by
+the paper's evaluation (§4.2: "The default COVID-19 parameters from Moses
+et al. were used"): one timestep is one simulated minute (33,120 steps ≈
+23 days), concentrations are per-voxel fractions clamped to [0, 1], and
+period parameters are Poisson means in steps.
+
+``fast_test`` provides a time-compressed parameterization whose infection
+dynamics complete in a few hundred steps on small grids — used by the test
+suite, the examples and the scaled-down benchmark harness (see DESIGN.md §2
+on resolution scaling).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+#: Simulated minutes per timestep (Moses et al.: 33,120 steps ≈ 23 days).
+MINUTES_PER_STEP = 1.0
+
+
+@dataclass(frozen=True)
+class SimCovParams:
+    """Full parameter set for one SIMCoV simulation."""
+
+    #: Grid extents in voxels: (x, y) for 2D, (x, y, z) for 3D.
+    dim: tuple[int, ...] = (100, 100)
+    #: Number of initial foci of infection (FOI), the Fig 8 variable.
+    num_infections: int = 1
+    #: Simulation length in timesteps.
+    num_steps: int = 33_120
+
+    # -- epithelial cells ---------------------------------------------------
+    #: Mean steps from infection to the expressing state (Poisson).
+    incubation_period: int = 480
+    #: Mean steps an expressing cell survives unbound (Poisson).
+    expressing_period: int = 900
+    #: Mean steps from T-cell-induced apoptosis to death (Poisson).
+    apoptosis_period: int = 180
+    #: Probability per step that a unit virion concentration infects.
+    infectivity: float = 0.001
+    #: Virion concentration added per step by an infected cell.
+    virion_production: float = 1.1
+    #: Fraction of virion concentration cleared per step.
+    virion_clearance: float = 0.004
+    #: Virion diffusion coefficient in [0, 1].
+    virion_diffusion: float = 0.15
+
+    # -- inflammatory signal ---------------------------------------------------
+    #: Concentration added per step by expressing/apoptotic cells.
+    chemokine_production: float = 1.0
+    #: Fraction of signal cleared per step.
+    chemokine_decay: float = 0.01
+    #: Signal diffusion coefficient in [0, 1].
+    chemokine_diffusion: float = 1.0
+    #: Concentrations below this threshold are zeroed (bounds activity).
+    min_chemokine: float = 1e-6
+
+    # -- T cells -----------------------------------------------------------------
+    #: New T cells entering the vasculature pool per step (already scaled
+    #: to the simulated tissue fraction).
+    tcell_generation_rate: float = 105_000.0
+    #: Steps before the adaptive response begins generating T cells.
+    tcell_initial_delay: int = 10_080
+    #: Mean steps a T cell survives in the vasculature (exponential decay).
+    tcell_vascular_period: int = 5_760
+    #: Mean steps a T cell survives in tissue (Poisson).
+    tcell_tissue_period: int = 1_440
+    #: Steps a T cell stays bound to the cell it is killing.
+    tcell_binding_period: int = 10
+    #: Per-step probability that a vascular T cell attempts extravasation.
+    extravasate_fraction: float = 0.05
+
+    # -- interventions (optional model features of Moses et al. [25]) -----
+    #: Step at which an antiviral treatment begins (None = never).  From
+    #: that step on, virion production is multiplied by
+    #: ``antiviral_factor`` — modeling replication inhibitors.
+    antiviral_start: int | None = None
+    antiviral_factor: float = 0.1
+    #: Step at which neutralizing antibodies appear (None = never).  From
+    #: that step on, virion clearance is multiplied by
+    #: ``antibody_factor`` (> 1 clears faster).
+    antibody_start: int | None = None
+    antibody_factor: float = 4.0
+
+    def __post_init__(self):
+        dim = tuple(int(d) for d in self.dim)
+        if len(dim) not in (2, 3):
+            raise ValueError(f"dim must be 2D or 3D, got {dim}")
+        if any(d <= 0 for d in dim):
+            raise ValueError(f"dim extents must be positive: {dim}")
+        object.__setattr__(self, "dim", dim)
+        if self.num_infections < 0:
+            raise ValueError("num_infections must be >= 0")
+        if self.num_infections > self.num_voxels:
+            raise ValueError(
+                f"{self.num_infections} FOI do not fit in {self.num_voxels} voxels"
+            )
+        for name in ("infectivity", "virion_clearance", "chemokine_decay",
+                     "extravasate_fraction"):
+            v = getattr(self, name)
+            if not 0.0 <= v <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {v}")
+        for name in ("virion_diffusion", "chemokine_diffusion"):
+            v = getattr(self, name)
+            if not 0.0 <= v <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {v}")
+        for name in ("incubation_period", "expressing_period", "apoptosis_period",
+                     "tcell_tissue_period", "tcell_binding_period"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be >= 1")
+        if self.tcell_vascular_period < 1:
+            raise ValueError("tcell_vascular_period must be >= 1")
+        if self.antiviral_factor < 0:
+            raise ValueError("antiviral_factor must be >= 0")
+        if self.antibody_factor < 0:
+            raise ValueError("antibody_factor must be >= 0")
+        if (
+            self.antibody_start is not None
+            and min(1.0, self.virion_clearance * self.antibody_factor) < 0
+        ):  # pragma: no cover - arithmetic guard
+            raise ValueError("invalid antibody configuration")
+
+    # -- intervention helpers -------------------------------------------------
+
+    def virion_production_at(self, step: int) -> float:
+        """Effective per-step virion production, antiviral-adjusted."""
+        if self.antiviral_start is not None and step >= self.antiviral_start:
+            return self.virion_production * self.antiviral_factor
+        return self.virion_production
+
+    def virion_clearance_at(self, step: int) -> float:
+        """Effective per-step virion clearance, antibody-adjusted
+        (clamped to [0, 1] — clearance is a fraction)."""
+        if self.antibody_start is not None and step >= self.antibody_start:
+            return min(1.0, self.virion_clearance * self.antibody_factor)
+        return self.virion_clearance
+
+    # -- derived -------------------------------------------------------------
+
+    @property
+    def ndim(self) -> int:
+        return len(self.dim)
+
+    @property
+    def num_voxels(self) -> int:
+        n = 1
+        for d in self.dim:
+            n *= d
+        return n
+
+    @property
+    def simulated_days(self) -> float:
+        return self.num_steps * MINUTES_PER_STEP / (24 * 60)
+
+    def with_(self, **kwargs) -> "SimCovParams":
+        """A copy with fields replaced (dataclasses.replace wrapper)."""
+        return replace(self, **kwargs)
+
+    # -- canned parameterizations ------------------------------------------------
+
+    @classmethod
+    def default_covid(
+        cls, dim=(10_000, 10_000), num_infections=16, num_steps=33_120
+    ) -> "SimCovParams":
+        """The paper's base experimental configuration (Table 1 rows)."""
+        return cls(dim=dim, num_infections=num_infections, num_steps=num_steps)
+
+    @classmethod
+    def fast_test(
+        cls, dim=(64, 64), num_infections=4, num_steps=400
+    ) -> "SimCovParams":
+        """Time-compressed dynamics (~60x) for small grids.
+
+        Produces the Fig 5 curve shape — viral growth, delayed T-cell
+        response, clearance — within a few hundred steps.
+        """
+        return cls(
+            dim=dim,
+            num_infections=num_infections,
+            num_steps=num_steps,
+            incubation_period=10,
+            expressing_period=40,
+            apoptosis_period=8,
+            infectivity=0.08,
+            virion_production=0.25,
+            virion_clearance=0.01,
+            virion_diffusion=0.2,
+            chemokine_production=1.0,
+            chemokine_decay=0.02,
+            chemokine_diffusion=0.8,
+            min_chemokine=1e-5,
+            tcell_generation_rate=25.0,
+            tcell_initial_delay=60,
+            tcell_vascular_period=200,
+            tcell_tissue_period=150,
+            tcell_binding_period=3,
+            extravasate_fraction=0.2,
+        )

@@ -1,0 +1,97 @@
+"""Initial-condition generators: foci of infection (FOI).
+
+The paper's experiments seed 16–1024 point FOI uniformly at random (Table
+1); the Discussion motivates *patchy lesion* initializations derived from
+patient CT scans, which we synthesize as random disks (DESIGN.md §2
+substitution: synthetic patchy lesions exercise the same many-FOI code
+path as CT-derived initializations).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.params import SimCovParams
+from repro.core.state import VoxelBlock
+from repro.grid.spec import GridSpec
+from repro.rng.streams import Stream, VoxelRNG
+
+
+def seed_infections(params: SimCovParams, rng: VoxelRNG) -> np.ndarray:
+    """``num_infections`` distinct uniformly random voxel gids.
+
+    Deterministic in (seed, params): collisions are resolved by redrawing
+    with an incremented round counter, identically on every rank/device.
+    """
+    n = params.num_infections
+    chosen: list[int] = []
+    seen: set[int] = set()
+    round_ = 0
+    while len(chosen) < n:
+        need = n - len(chosen)
+        draws = rng.randint(
+            Stream.SEEDING, round_, np.arange(need, dtype=np.int64),
+            params.num_voxels,
+        )
+        for g in draws:
+            g = int(g)
+            if g not in seen:
+                seen.add(g)
+                chosen.append(g)
+        round_ += 1
+        if round_ > 10_000:  # pragma: no cover - defensive
+            raise RuntimeError("seeding failed to find distinct voxels")
+    return np.array(chosen[:n], dtype=np.int64)
+
+
+def patchy_lesions(
+    params: SimCovParams,
+    rng: VoxelRNG,
+    num_lesions: int,
+    mean_radius: float,
+) -> np.ndarray:
+    """CT-like initialization: disk-shaped lesions of Poisson radii.
+
+    Returns the (distinct) gids of all voxels inside any lesion.  Lesion
+    centers are uniform; radii are ``max(1, Poisson(mean_radius))``.
+    """
+    spec = GridSpec(params.dim)
+    idx = np.arange(num_lesions, dtype=np.int64)
+    center_gids = rng.randint(Stream.LESION, 0, idx, params.num_voxels)
+    radii = np.maximum(1, rng.poisson(Stream.LESION, 1, idx, mean_radius))
+    centers = spec.unravel(center_gids)
+    out: set[int] = set()
+    for c, r in zip(centers, radii):
+        r = int(r)
+        axes = [
+            np.arange(max(0, c[d] - r), min(spec.shape[d], c[d] + r + 1))
+            for d in range(spec.ndim)
+        ]
+        mesh = np.stack(np.meshgrid(*axes, indexing="ij"), axis=-1).reshape(
+            -1, spec.ndim
+        )
+        dist2 = ((mesh - c) ** 2).sum(axis=1)
+        inside = mesh[dist2 <= r * r]
+        out.update(int(g) for g in spec.ravel(inside))
+    return np.array(sorted(out), dtype=np.int64)
+
+
+def apply_seeds(block: VoxelBlock, gids: np.ndarray) -> int:
+    """Deposit a unit virion concentration at each seeded voxel this block
+    owns; returns the number applied locally."""
+    if gids.size == 0:
+        return 0
+    sl = block.interior
+    gid_interior = block.gid[sl]
+    shape = gid_interior.shape
+    flat_gid = gid_interior.reshape(-1)
+    order = np.argsort(flat_gid, kind="stable")
+    pos = np.clip(np.searchsorted(flat_gid, gids, sorter=order), 0, flat_gid.size - 1)
+    local_flat = order[pos]
+    mine = flat_gid[local_flat] == gids
+    virions = block.virions[sl]
+    count = 0
+    for j in local_flat[mine]:
+        virions[np.unravel_index(int(j), shape)] = 1.0
+        count += 1
+    return count

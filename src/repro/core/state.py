@@ -1,0 +1,161 @@
+"""Voxel state arrays.
+
+Each voxel holds at most one epithelial cell and at most one T cell (paper
+§2.2), so agents are represented struct-of-arrays style as per-voxel
+fields — the GPU-friendly layout all three implementations share.  A
+:class:`VoxelBlock` is one ghost-padded block of the domain (the whole
+domain for the sequential model, a subdomain for the parallel ones).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.grid.box import Box
+from repro.grid.spec import GridSpec
+
+
+class EpiState(enum.IntEnum):
+    """Epithelial cell states (paper Fig 1A)."""
+
+    #: No epithelial cell (airway/structural voxel, or outside the domain).
+    EMPTY = 0
+    HEALTHY = 1
+    #: Infected, producing virus, not yet detectable by T cells.
+    INCUBATING = 2
+    #: Infected, producing virus, detectable (T cells can bind).
+    EXPRESSING = 3
+    #: Bound by a T cell; dying.
+    APOPTOTIC = 4
+    DEAD = 5
+
+
+#: States in which a cell produces virions (the paper's §2.2: incubating
+#: cells "produce virus while not being detectable").
+VIRION_PRODUCERS = (EpiState.INCUBATING, EpiState.EXPRESSING, EpiState.APOPTOTIC)
+#: States that secrete the inflammatory signal (detectable infection).
+CHEMOKINE_PRODUCERS = (EpiState.EXPRESSING, EpiState.APOPTOTIC)
+#: States a T cell can bind.
+BINDABLE = (EpiState.EXPRESSING,)
+
+#: Sentinel for "no move / no bind chosen" in intent arrays.
+NO_INTENT = np.int8(-1)
+
+
+@dataclass
+class VoxelBlock:
+    """One ghost-padded block of voxel state.
+
+    All arrays have shape ``owned.shape + 2*ghost`` per dimension.  The
+    interior (owned) region is ``self.interior``; ghost cells mirror
+    neighbor blocks (parallel impls) or are inert padding (sequential).
+    """
+
+    spec: GridSpec
+    owned: Box
+    ghost: int = 1
+
+    # Filled by __post_init__:
+    epi_state: np.ndarray = field(init=False)
+    epi_timer: np.ndarray = field(init=False)
+    virions: np.ndarray = field(init=False)
+    chemokine: np.ndarray = field(init=False)
+    tcell: np.ndarray = field(init=False)
+    tcell_tissue_time: np.ndarray = field(init=False)
+    tcell_bound_time: np.ndarray = field(init=False)
+    gid: np.ndarray = field(init=False)
+    in_domain: np.ndarray = field(init=False)
+
+    def __post_init__(self):
+        shape = tuple(s + 2 * self.ghost for s in self.owned.shape)
+        self.epi_state = np.zeros(shape, dtype=np.int8)
+        self.epi_timer = np.zeros(shape, dtype=np.int32)
+        self.virions = np.zeros(shape, dtype=np.float64)
+        self.chemokine = np.zeros(shape, dtype=np.float64)
+        self.tcell = np.zeros(shape, dtype=np.int8)
+        self.tcell_tissue_time = np.zeros(shape, dtype=np.int32)
+        self.tcell_bound_time = np.zeros(shape, dtype=np.int32)
+        # Global voxel ids over the padded block; -1 outside the domain.
+        ext = self.owned.expand(self.ghost)
+        coords = ext.coords().reshape(shape + (self.spec.ndim,))
+        inside = self.spec.in_bounds(coords)
+        gid = np.full(shape, -1, dtype=np.int64)
+        gid[inside] = self.spec.ravel(coords[inside])
+        self.gid = gid
+        self.in_domain = inside
+        # Tissue: every in-domain voxel starts with a healthy epithelial
+        # cell (the paper evaluates full 2D tissue slices).
+        self.epi_state[inside] = EpiState.HEALTHY
+
+    # -- geometry ------------------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.epi_state.shape
+
+    @property
+    def interior(self) -> tuple[slice, ...]:
+        """Slices selecting the owned region."""
+        g = self.ghost
+        return tuple(slice(g, s - g) for s in self.shape)
+
+    @property
+    def origin(self) -> tuple[int, ...]:
+        """Global coordinate of the padded array's [0, 0, ...] element."""
+        return tuple(l - self.ghost for l in self.owned.lo)
+
+    # -- field bundles (for halo exchange) ---------------------------------------
+
+    #: Fields exchanged in the per-step boundary-state wave.
+    STATE_FIELDS = (
+        "epi_state",
+        "virions",
+        "chemokine",
+        "tcell",
+        "tcell_tissue_time",
+        "tcell_bound_time",
+    )
+
+    def state_arrays(self) -> dict[str, np.ndarray]:
+        return {name: getattr(self, name) for name in self.STATE_FIELDS}
+
+    # -- activity -----------------------------------------------------------------
+
+    def activity_mask(self, min_chemokine: float) -> np.ndarray:
+        """Owned-region mask of voxels that can change next step.
+
+        A voxel is active if it carries virions or signal, hosts a T cell,
+        or holds an infected cell.  (Everything else is invariant: the
+        §3.2 tile sweep and the CPU active-list both key off this.)
+        """
+        return self._activity(self.interior, min_chemokine)
+
+    def activity_mask_padded(self, min_chemokine: float) -> np.ndarray:
+        """Activity over the whole padded block, ghosts included.
+
+        Parallel implementations derive their active sets from this after a
+        boundary exchange, so activity approaching from a neighbor block
+        activates the receiving boundary voxels in time (the role the
+        paper's RPC-time active-list updates / always-active ghost tiles
+        play).
+        """
+        return self._activity(
+            tuple(slice(None) for _ in self.shape), min_chemokine
+        )
+
+    def _activity(self, sl, min_chemokine: float) -> np.ndarray:
+        epi = self.epi_state[sl]
+        # Sub-threshold signal is zeroed at commit time, so the threshold
+        # test only matters transiently; it keeps the active set identical
+        # to the original's definition.
+        return (
+            (self.virions[sl] > 0.0)
+            | (self.chemokine[sl] >= min_chemokine)
+            | (self.tcell[sl] != 0)
+            | (epi == EpiState.INCUBATING)
+            | (epi == EpiState.EXPRESSING)
+            | (epi == EpiState.APOPTOTIC)
+        )

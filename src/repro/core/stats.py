@@ -1,0 +1,140 @@
+"""Per-step simulation statistics (paper §3.3, Fig 5).
+
+SIMCoV logs aggregate quantities every timestep — epithelial counts per
+state, tissue T cells, total virions — to enable time-series analysis of
+infection dynamics.  All implementations produce the same
+:class:`StepStats`; they differ only in *how* the numbers are reduced
+(numpy + PGAS allreduce vs GPU atomics vs GPU tree reduction), which is the
+Fig 4 ablation axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields as dc_fields
+
+import numpy as np
+
+from repro.core.state import EpiState, VoxelBlock
+
+#: Reduction vector layout shared by every implementation.
+REDUCED_FIELDS = (
+    "healthy",
+    "incubating",
+    "expressing",
+    "apoptotic",
+    "dead",
+    "tcells_tissue",
+    "virions_total",
+    "chemokine_total",
+)
+
+
+@dataclass(frozen=True)
+class StepStats:
+    """Aggregate state after one step."""
+
+    step: int
+    healthy: float
+    incubating: float
+    expressing: float
+    apoptotic: float
+    dead: float
+    tcells_tissue: float
+    virions_total: float
+    chemokine_total: float
+    #: Replicated scalar (not reduced): the vascular T-cell pool.
+    tcells_vasculature: float = 0.0
+    #: New tissue T cells this step.
+    extravasations: int = 0
+    #: Epithelial cells driven apoptotic this step.
+    binds: int = 0
+    #: T-cell moves executed this step.
+    moves: int = 0
+
+    @classmethod
+    def from_vector(
+        cls,
+        step: int,
+        vec: np.ndarray,
+        pool: float = 0.0,
+        extravasations: int = 0,
+        binds: int = 0,
+        moves: int = 0,
+    ) -> "StepStats":
+        if len(vec) != len(REDUCED_FIELDS):
+            raise ValueError(
+                f"stats vector length {len(vec)} != {len(REDUCED_FIELDS)}"
+            )
+        kwargs = dict(zip(REDUCED_FIELDS, (float(v) for v in vec)))
+        return cls(
+            step=step,
+            tcells_vasculature=pool,
+            extravasations=extravasations,
+            binds=binds,
+            moves=moves,
+            **kwargs,
+        )
+
+    @property
+    def infected(self) -> float:
+        """All cells carrying virus (incubating + expressing + apoptotic)."""
+        return self.incubating + self.expressing + self.apoptotic
+
+
+def stats_vector(block: VoxelBlock) -> np.ndarray:
+    """This block's local contribution to the reduction, REDUCED_FIELDS order.
+
+    Plain numpy sums over the owned interior — the reference reduction all
+    strategies must reproduce exactly (integer stats) / to fp tolerance.
+    """
+    sl = block.interior
+    state = block.epi_state[sl]
+    return np.array(
+        [
+            float((state == EpiState.HEALTHY).sum()),
+            float((state == EpiState.INCUBATING).sum()),
+            float((state == EpiState.EXPRESSING).sum()),
+            float((state == EpiState.APOPTOTIC).sum()),
+            float((state == EpiState.DEAD).sum()),
+            float((block.tcell[sl] != 0).sum()),
+            float(block.virions[sl].sum(dtype=np.float64)),
+            float(block.chemokine[sl].sum(dtype=np.float64)),
+        ],
+        dtype=np.float64,
+    )
+
+
+class TimeSeries:
+    """Accumulates StepStats and exposes numpy views per field."""
+
+    def __init__(self):
+        self._stats: list[StepStats] = []
+
+    def append(self, stats: StepStats) -> None:
+        self._stats.append(stats)
+
+    def __len__(self) -> int:
+        return len(self._stats)
+
+    def __getitem__(self, i: int) -> StepStats:
+        return self._stats[i]
+
+    def field(self, name: str) -> np.ndarray:
+        return np.array([getattr(s, name) for s in self._stats], dtype=np.float64)
+
+    def steps(self) -> np.ndarray:
+        return np.array([s.step for s in self._stats], dtype=np.int64)
+
+    def peak(self, name: str) -> tuple[int, float]:
+        """(step, value) of the field's maximum — the Table 2 statistics."""
+        vals = self.field(name)
+        if vals.size == 0:
+            raise ValueError("empty time series")
+        i = int(np.argmax(vals))
+        return int(self._stats[i].step), float(vals[i])
+
+    def to_rows(self) -> list[dict]:
+        """Plain dict rows (CSV/analysis helper)."""
+        return [
+            {f.name: getattr(s, f.name) for f in dc_fields(s)} for s in self._stats
+        ]

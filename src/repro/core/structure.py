@@ -1,0 +1,143 @@
+"""Tissue structure: branching airways as empty voxels (§2.2).
+
+'Structure is defined for the simulation, such as branching airways in
+the lung, by leaving some voxels empty without epithelial cells' — and §6:
+'once that scale of 3D space is achieved, other spatial topologies such as
+fractal branching airways can be easily tested by overlaying the topology
+on the voxels.'
+
+This module generates a fractal branching-airway mask (a recursive binary
+tree of corridors, the classic dichotomous lung geometry) and overlays it
+on any block: structural voxels hold no epithelial cell, are never
+infected, and produce nothing — but virions, signal and T cells still
+move through them.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.state import EpiState, VoxelBlock
+from repro.grid.spec import GridSpec
+
+
+def branching_airways_2d(
+    spec: GridSpec,
+    generations: int = 4,
+    trunk_width: int = 3,
+    branch_angle_deg: float = 35.0,
+    length_ratio: float = 0.72,
+) -> np.ndarray:
+    """Global ids of airway (EMPTY) voxels: a dichotomous branching tree.
+
+    The trunk enters at the middle of the low-x edge and bifurcates
+    ``generations`` times; each child segment shrinks in length and width
+    (Weibel-like geometry).  Deterministic — structure is part of the
+    experiment configuration, not the stochastic state.
+    """
+    if spec.ndim != 2:
+        raise ValueError("branching_airways_2d requires a 2D grid")
+    nx, ny = spec.shape
+    mask = np.zeros(spec.shape, dtype=bool)
+
+    def carve(x0, y0, angle, length, width, gen):
+        steps = max(2, int(length))
+        for i in range(steps):
+            x = x0 + math.cos(angle) * i
+            y = y0 + math.sin(angle) * i
+            half = max(0, int(round(width / 2)))
+            xi, yi = int(round(x)), int(round(y))
+            lo_x, hi_x = max(0, xi - half), min(nx, xi + half + 1)
+            lo_y, hi_y = max(0, yi - half), min(ny, yi + half + 1)
+            if lo_x < hi_x and lo_y < hi_y:
+                mask[lo_x:hi_x, lo_y:hi_y] = True
+        end_x = x0 + math.cos(angle) * steps
+        end_y = y0 + math.sin(angle) * steps
+        if gen < generations:
+            spread = math.radians(branch_angle_deg)
+            for sign in (-1.0, 1.0):
+                carve(
+                    end_x, end_y, angle + sign * spread,
+                    length * length_ratio, max(1, width - 1), gen + 1,
+                )
+
+    carve(0, ny // 2, 0.0, nx * 0.3, trunk_width, 0)
+    coords = np.argwhere(mask)
+    return spec.ravel(coords)
+
+
+def branching_airways_3d(
+    spec: GridSpec,
+    generations: int = 3,
+    trunk_radius: int = 2,
+    branch_angle_deg: float = 32.0,
+    length_ratio: float = 0.7,
+) -> np.ndarray:
+    """Global ids of airway voxels for a 3D grid: a dichotomous tree whose
+    children alternate their bifurcation plane each generation (the
+    classic in-vivo pattern), entering at the middle of the low-x face.
+
+    This is the §6 topology: 'once that scale of 3D space is achieved,
+    other spatial topologies such as fractal branching airways can be
+    easily tested by overlaying the topology on the voxels.'
+    """
+    if spec.ndim != 3:
+        raise ValueError("branching_airways_3d requires a 3D grid")
+    nx, ny, nz = spec.shape
+    mask = np.zeros(spec.shape, dtype=bool)
+
+    def carve(p0, direction, length, radius, gen, plane):
+        d = np.asarray(direction, dtype=float)
+        d /= np.linalg.norm(d)
+        steps = max(2, int(length))
+        for i in range(steps):
+            c = np.asarray(p0, dtype=float) + d * i
+            lo = np.maximum(0, np.round(c - radius).astype(int))
+            hi = np.minimum(
+                [nx, ny, nz], np.round(c + radius + 1).astype(int)
+            )
+            if (lo < hi).all():
+                mask[lo[0]:hi[0], lo[1]:hi[1], lo[2]:hi[2]] = True
+        end = np.asarray(p0, dtype=float) + d * steps
+        if gen < generations:
+            spread = math.radians(branch_angle_deg)
+            # Rotate the direction within the current bifurcation plane.
+            axes = [(1, 2), (0, 2), (0, 1)][plane]
+            for sign in (-1.0, 1.0):
+                nd = d.copy()
+                a, b = axes
+                cos_s, sin_s = math.cos(spread), math.sin(sign * spread)
+                nd[a], nd[b] = (
+                    d[a] * cos_s - d[b] * sin_s,
+                    d[a] * sin_s + d[b] * cos_s,
+                )
+                carve(end, nd, length * length_ratio,
+                      max(1, radius - 1), gen + 1, (plane + 1) % 3)
+
+    carve((0, ny // 2, nz // 2), (1.0, 0.0, 0.0), nx * 0.3,
+          trunk_radius, 0, 0)
+    coords = np.argwhere(mask)
+    return spec.ravel(coords)
+
+
+def apply_structure(block: VoxelBlock, structure_gids: np.ndarray) -> int:
+    """Empty the epithelium at structural voxels this block holds.
+
+    Applied over the whole padded extent (ghosts included) so neighbor
+    lookups — e.g. bind-candidate scans — see the structure immediately,
+    before any halo exchange.  Returns owned voxels emptied.
+    """
+    if structure_gids is None or len(structure_gids) == 0:
+        return 0
+    gids = np.sort(np.asarray(structure_gids, dtype=np.int64))
+    flat_gid = block.gid.reshape(-1)
+    member = np.isin(flat_gid, gids) & (flat_gid >= 0)
+    shape = block.gid.shape
+    sel = member.reshape(shape)
+    block.epi_state[sel] = EpiState.EMPTY
+    block.epi_timer[sel] = 0
+    interior_sel = np.zeros(shape, dtype=bool)
+    interior_sel[block.interior] = True
+    return int((sel & interior_sel).sum())

@@ -1,0 +1,30 @@
+"""Explicit stencil diffusion for SIMCoV's concentration fields.
+
+The virus and the inflammatory signal are continuous quantities that
+diffuse through the voxel grid (paper §2.2) with parameterized rates and
+decay.  The scheme is the flux-form explicit update
+
+    c'(v) = c(v) + (D / 2d) * sum_{n in VN(v)} (c(n) - c(v)),
+
+followed by exponential decay.  Pairwise fluxes are antisymmetric, so mass
+is conserved exactly (up to float rounding); domain boundaries are
+no-flux (mirror).  Stability requires 0 <= D <= 1.
+"""
+
+from repro.diffusion.stencil import (
+    diffuse_global,
+    diffuse_padded,
+    diffuse_region,
+    mirror_pad,
+    mirror_out_of_domain,
+    decay_field,
+)
+
+__all__ = [
+    "diffuse_global",
+    "diffuse_padded",
+    "diffuse_region",
+    "mirror_pad",
+    "mirror_out_of_domain",
+    "decay_field",
+]

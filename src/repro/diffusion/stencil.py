@@ -1,0 +1,100 @@
+"""Von Neumann stencil diffusion kernels (2D and 3D).
+
+Three entry points serve the three implementations:
+
+- :func:`diffuse_global` — whole-grid update for the sequential reference;
+- :func:`diffuse_padded` — interior update of a ghost-padded local array
+  (CPU ranks / GPU devices after a halo exchange);
+- :func:`diffuse_region` — update of one tile's sub-region of a padded
+  array (the memory-tiled GPU kernels, §3.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grid.box import Box
+
+
+def _shifted(sl: tuple[slice, ...], axis: int, delta: int) -> tuple[slice, ...]:
+    """Shift one axis of a slice tuple by ``delta`` (slices must be bounded)."""
+    out = list(sl)
+    s = sl[axis]
+    out[axis] = slice(s.start + delta, s.stop + delta)
+    return tuple(out)
+
+
+def diffuse_region(
+    src: np.ndarray,
+    dst: np.ndarray,
+    region: tuple[slice, ...],
+    rate: float,
+) -> None:
+    """Write the diffusion update of ``src`` over ``region`` into ``dst``.
+
+    ``region`` indexes the *padded* arrays and must not touch the outer
+    ghost ring (neighbors are read at distance 1).  ``src`` and ``dst``
+    must be distinct buffers (Jacobi update, as on the GPU).
+    """
+    if src is dst:
+        raise ValueError("diffuse_region requires distinct src/dst buffers")
+    ndim = src.ndim
+    core = src[region]
+    nb_sum = np.zeros_like(core, dtype=src.dtype)
+    for axis in range(ndim):
+        nb_sum += src[_shifted(region, axis, +1)]
+        nb_sum += src[_shifted(region, axis, -1)]
+    k = 2 * ndim
+    dst[region] = core + (rate / k) * (nb_sum - k * core)
+
+
+def diffuse_padded(padded: np.ndarray, rate: float) -> np.ndarray:
+    """Diffusion update of a ghost-padded array's interior; returns a new
+    interior array (ghosts must already hold correct neighbor values)."""
+    interior = tuple(slice(1, s - 1) for s in padded.shape)
+    out = np.empty_like(padded)
+    diffuse_region(padded, out, interior, rate)
+    return out[interior].copy()
+
+
+def mirror_pad(field: np.ndarray) -> np.ndarray:
+    """Pad by one cell with edge replication — the no-flux boundary."""
+    return np.pad(field, 1, mode="edge")
+
+
+def diffuse_global(field: np.ndarray, rate: float) -> np.ndarray:
+    """Whole-domain diffusion step with no-flux boundaries."""
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError(f"diffusion rate must be in [0, 1], got {rate}")
+    return diffuse_padded(mirror_pad(field), rate)
+
+
+def decay_field(field: np.ndarray, rate: float) -> None:
+    """In-place exponential decay: c *= (1 - rate)."""
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError(f"decay rate must be in [0, 1], got {rate}")
+    field *= 1.0 - rate
+
+
+def mirror_out_of_domain(
+    arr: np.ndarray, owned: Box, domain: Box, ghost: int = 1
+) -> None:
+    """Fill ghost cells that fall *outside the global domain* with the
+    nearest owned value (no-flux boundary for subdomain arrays).
+
+    Ghost cells inside the domain are the neighbor ranks' responsibility
+    (halo exchange) and are left untouched.
+    """
+    for axis in range(arr.ndim):
+        if owned.lo[axis] == domain.lo[axis]:
+            lo_edge = [slice(None)] * arr.ndim
+            lo_src = [slice(None)] * arr.ndim
+            lo_edge[axis] = slice(0, ghost)
+            lo_src[axis] = slice(ghost, ghost + 1)
+            arr[tuple(lo_edge)] = arr[tuple(lo_src)]
+        if owned.hi[axis] == domain.hi[axis]:
+            hi_edge = [slice(None)] * arr.ndim
+            hi_src = [slice(None)] * arr.ndim
+            hi_edge[axis] = slice(arr.shape[axis] - ghost, arr.shape[axis])
+            hi_src[axis] = slice(arr.shape[axis] - ghost - 1, arr.shape[axis] - ghost)
+            arr[tuple(hi_edge)] = arr[tuple(hi_src)]

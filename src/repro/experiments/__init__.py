@@ -1,0 +1,32 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+| Paper item | Runner | CLI |
+|---|---|---|
+| Table 1 (configurations)   | :mod:`repro.experiments.configs`     | ``simcov-repro table1`` |
+| Fig 4 (optimization profile) | :mod:`repro.experiments.profiling` | ``simcov-repro fig4`` |
+| Fig 5 (correctness series) | :mod:`repro.experiments.correctness` | ``simcov-repro fig5`` |
+| Table 2 (peak agreement)   | :mod:`repro.experiments.correctness` | ``simcov-repro table2`` |
+| Fig 6 (strong scaling)     | :mod:`repro.experiments.scaling`     | ``simcov-repro fig6`` |
+| Fig 7 (weak scaling)       | :mod:`repro.experiments.scaling`     | ``simcov-repro fig7`` |
+| Fig 8 (FOI scaling)        | :mod:`repro.experiments.scaling`     | ``simcov-repro fig8`` |
+
+Each runner executes real simulations (correctness, profiling) or
+projector evaluations over synthesized paper-scale workloads (scaling) and
+prints the same rows/series the paper reports, with the paper's numbers
+alongside for comparison.  Results are also written as CSV.
+"""
+
+from repro.experiments.configs import TABLE1, format_table1
+from repro.experiments.correctness import run_correctness
+from repro.experiments.profiling import run_profiling
+from repro.experiments.scaling import run_foi_scaling, run_strong_scaling, run_weak_scaling
+
+__all__ = [
+    "TABLE1",
+    "format_table1",
+    "run_correctness",
+    "run_profiling",
+    "run_strong_scaling",
+    "run_weak_scaling",
+    "run_foi_scaling",
+]

@@ -1,0 +1,186 @@
+"""Command-line entry point: ``simcov-repro <experiment>``.
+
+Regenerates any table/figure of the paper and writes CSV under
+``results/``.  ``simcov-repro all`` runs everything.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+import numpy as np
+
+from repro.experiments.configs import format_table1
+from repro.experiments.correctness import (
+    TRACKED_STATS,
+    format_table2,
+    run_correctness,
+)
+from repro.experiments.plotting import ascii_series, hbar_chart, write_csv
+from repro.experiments.profiling import format_fig4, run_profiling
+from repro.experiments.scaling import (
+    format_scaling,
+    run_foi_scaling,
+    run_strong_scaling,
+    run_weak_scaling,
+)
+
+
+def _cmd_table1(outdir: str) -> None:
+    print(format_table1())
+
+
+def _cmd_fig4(outdir: str) -> None:
+    rows = run_profiling()
+    print(format_fig4(rows))
+    print()
+    print(
+        hbar_chart(
+            [
+                (r.variant.label, {
+                    "update": r.update_seconds, "reduce": r.reduce_seconds,
+                })
+                for r in rows
+            ],
+            title="Fig 4 — runtime breakdown (stacked)",
+        )
+    )
+    write_csv(
+        f"{outdir}/fig4_optimization_breakdown.csv",
+        [
+            {
+                "variant": r.variant.value,
+                "update_seconds": r.update_seconds,
+                "reduce_seconds": r.reduce_seconds,
+                "total_seconds": r.total_seconds,
+            }
+            for r in rows
+        ],
+    )
+
+
+def _cmd_correctness(outdir: str, table_only: bool = False) -> None:
+    result = run_correctness()
+    if not table_only:
+        for stat, display in TRACKED_STATS:
+            cm, cmin, cmax, gm, gmin, gmax = result.fig5_bands(stat)
+            print(
+                ascii_series(
+                    {"CPU": (result.steps, cm), "GPU": (result.steps, gm)},
+                    title=f"Fig 5 — {display} (mean of 5 trials)",
+                )
+            )
+            print()
+            rows = [
+                {
+                    "step": int(s),
+                    "cpu_mean": cm[i], "cpu_min": cmin[i], "cpu_max": cmax[i],
+                    "gpu_mean": gm[i], "gpu_min": gmin[i], "gpu_max": gmax[i],
+                }
+                for i, s in enumerate(result.steps)
+            ]
+            write_csv(f"{outdir}/fig5_{stat}.csv", rows)
+    print(format_table2(result))
+    write_csv(
+        f"{outdir}/table2_peak_agreement.csv",
+        [
+            {"stat": name, **vals}
+            for name, vals in result.table2.items()
+        ],
+    )
+
+
+def _scaling(outdir: str, which: str) -> None:
+    runner = {
+        "fig6": run_strong_scaling,
+        "fig7": run_weak_scaling,
+        "fig8": run_foi_scaling,
+    }[which]
+    titles = {
+        "fig6": "Fig 6 — Strong Scaling (10,000^2, 16 FOI)",
+        "fig7": "Fig 7 — Weak Scaling (10,000^2..40,000^2, FOI 16..256)",
+        "fig8": "Fig 8 — FOI Scaling (20,000^2, {16 GPUs, 512 cores})",
+    }
+    rows = runner()
+    print(format_scaling(rows, titles[which]))
+    print()
+    xs = np.array(
+        [r.foi for r in rows] if which == "fig8" else [r.gpus for r in rows],
+        dtype=float,
+    )
+    print(
+        ascii_series(
+            {
+                "CPU": (xs, np.array([r.cpu_seconds for r in rows])),
+                "GPU": (xs, np.array([r.gpu_seconds for r in rows])),
+            },
+            logx=True,
+            logy=True,
+            title=titles[which] + "  [log-log]",
+        )
+    )
+    write_csv(
+        f"{outdir}/{which}_scaling.csv",
+        [
+            {
+                "label": r.label, "gpus": r.gpus, "cores": r.cores,
+                "dim_x": r.dim[0], "dim_y": r.dim[1], "foi": r.foi,
+                "cpu_seconds": r.cpu_seconds, "gpu_seconds": r.gpu_seconds,
+                "speedup": r.speedup, "paper_speedup": r.paper_speedup,
+            }
+            for r in rows
+        ],
+    )
+
+
+def _cmd_report(outdir: str) -> None:
+    from repro.experiments.report import write_report
+
+    path = write_report(os.path.join(outdir, "REPORT.md"))
+    print(f"report written to {path}")
+
+
+COMMANDS = {
+    "table1": _cmd_table1,
+    "fig4": _cmd_fig4,
+    "fig5": lambda outdir: _cmd_correctness(outdir, table_only=False),
+    "table2": lambda outdir: _cmd_correctness(outdir, table_only=True),
+    "fig6": lambda outdir: _scaling(outdir, "fig6"),
+    "fig7": lambda outdir: _scaling(outdir, "fig7"),
+    "fig8": lambda outdir: _scaling(outdir, "fig8"),
+    "report": _cmd_report,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="simcov-repro",
+        description="Regenerate the SIMCoV-GPU paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment", choices=sorted(COMMANDS) + ["all"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--outdir", default="results", help="CSV output directory"
+    )
+    args = parser.parse_args(argv)
+    try:
+        if args.experiment == "all":
+            for name in ("table1", "fig4", "fig5", "table2",
+                         "fig6", "fig7", "fig8"):
+                print(f"\n=== {name} ===")
+                COMMANDS[name](args.outdir)
+        else:
+            COMMANDS[args.experiment](args.outdir)
+    except BrokenPipeError:  # piped into head/less that closed early
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

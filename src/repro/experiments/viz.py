@@ -1,0 +1,86 @@
+"""World-state rendering (the Fig 1A view, in ASCII).
+
+Fig 1A visualizes a SIMCoV run: healthy tissue, the growing infection
+front with expressing (blue) and apoptotic (red) cells at its boundary,
+and T cells (green) hunting within.  ``render_world`` produces the same
+picture in characters; ``render_activity`` shows the active-region/tile
+structure that drives §3.2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.state import EpiState, VoxelBlock
+
+#: Character per voxel, in priority order (T cells drawn over epithelium).
+GLYPHS = {
+    "tcell": "T",
+    EpiState.EMPTY: " ",
+    EpiState.HEALTHY: ".",
+    EpiState.INCUBATING: "i",
+    EpiState.EXPRESSING: "E",
+    EpiState.APOPTOTIC: "a",
+    EpiState.DEAD: "x",
+}
+
+LEGEND = ". healthy   i incubating   E expressing   a apoptotic   x dead   T T cell   (space) airway"
+
+
+def render_world(block: VoxelBlock, max_width: int = 96) -> str:
+    """Render a block's owned region as ASCII art.
+
+    Grids wider than ``max_width`` are downsampled by striding; each
+    output character then represents the most 'interesting' state in its
+    neighborhood (T cell > apoptotic > expressing > incubating > dead >
+    healthy > empty), so small features stay visible.
+    """
+    if block.spec.ndim != 2:
+        raise ValueError("render_world draws 2D blocks (pass a z-slice)")
+    state = block.epi_state[block.interior]
+    tcell = block.tcell[block.interior]
+    nx, ny = state.shape
+    stride = max(1, int(np.ceil(max(nx, ny) / max_width)))
+    # Priority code per voxel: higher wins within a downsampling window.
+    priority = np.zeros_like(state, dtype=np.int8)
+    for code, s in enumerate(
+        (EpiState.EMPTY, EpiState.HEALTHY, EpiState.DEAD,
+         EpiState.INCUBATING, EpiState.EXPRESSING, EpiState.APOPTOTIC)
+    ):
+        priority[state == s] = code
+    priority[tcell != 0] = 6
+    code_to_glyph = [" ", ".", "x", "i", "E", "a", "T"]
+    lines = []
+    for x0 in range(0, nx, stride):
+        row = []
+        for y0 in range(0, ny, stride):
+            window = priority[x0:x0 + stride, y0:y0 + stride]
+            row.append(code_to_glyph[int(window.max())])
+        lines.append("".join(row))
+    lines.append(LEGEND)
+    return "\n".join(lines)
+
+
+def render_activity(mask: np.ndarray, tile_mask: np.ndarray | None = None,
+                    max_width: int = 96) -> str:
+    """Render an activity mask ('#' active, '.' quiet); if ``tile_mask``
+    is given, voxels inside active-but-quiet tiles show '+', visualizing
+    the §3.2 buffer overhead."""
+    nx, ny = mask.shape
+    stride = max(1, int(np.ceil(max(nx, ny) / max_width)))
+    lines = []
+    for x0 in range(0, nx, stride):
+        row = []
+        for y0 in range(0, ny, stride):
+            w = mask[x0:x0 + stride, y0:y0 + stride]
+            if w.any():
+                row.append("#")
+            elif tile_mask is not None and tile_mask[
+                x0:x0 + stride, y0:y0 + stride
+            ].any():
+                row.append("+")
+            else:
+                row.append(".")
+        lines.append("".join(row))
+    lines.append("# active voxels   + active-tile overhead   . inactive")
+    return "\n".join(lines)

@@ -1,0 +1,86 @@
+"""A cluster of simulated GPUs grouped into nodes.
+
+Perlmutter GPU nodes host 4 A100s (paper §4); halo copies between devices
+on the same node ride NVLink-class links, copies between nodes cross the
+network — the perf model charges them very differently, which is what
+makes strong scaling saturate once the job spans many nodes (Fig 6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpusim.device import A100_BYTES, Device
+from repro.gpusim.ledger import WorkLedger
+
+
+class GpuCluster:
+    """``num_devices`` GPUs packed ``gpus_per_node`` to a node.
+
+    All devices share one :class:`WorkLedger` by default (per-step deltas
+    are what the perf model consumes); pass ``shared_ledger=False`` for
+    per-device ledgers (used by load-balance diagnostics).
+    """
+
+    def __init__(
+        self,
+        num_devices: int,
+        gpus_per_node: int = 4,
+        capacity_bytes: int = A100_BYTES,
+        shared_ledger: bool = True,
+    ):
+        if num_devices <= 0:
+            raise ValueError(f"num_devices must be positive, got {num_devices}")
+        if gpus_per_node <= 0:
+            raise ValueError(f"gpus_per_node must be positive, got {gpus_per_node}")
+        self.gpus_per_node = int(gpus_per_node)
+        self.ledger = WorkLedger() if shared_ledger else None
+        self.devices = [
+            Device(
+                d,
+                node=d // gpus_per_node,
+                capacity_bytes=capacity_bytes,
+                ledger=self.ledger,
+            )
+            for d in range(num_devices)
+        ]
+
+    @property
+    def num_devices(self) -> int:
+        return len(self.devices)
+
+    @property
+    def num_nodes(self) -> int:
+        return -(-self.num_devices // self.gpus_per_node)
+
+    def internode(self, src: int, dst: int) -> bool:
+        return self.devices[src].node != self.devices[dst].node
+
+    # -- copy engine --------------------------------------------------------
+
+    def copy(self, src: int, dst: int, nbytes: int) -> None:
+        """Account one D2D copy (the halo exchanger moves the actual data)."""
+        ledger = self.devices[dst].ledger
+        ledger.record_copy(nbytes, internode=self.internode(src, dst))
+
+    def halo_message_hook(self):
+        """Adapter for :class:`repro.grid.halo.HaloExchanger`'s on_message."""
+
+        def hook(src_rank: int, dst_rank: int, nbytes: int) -> None:
+            self.copy(src_rank, dst_rank, nbytes)
+
+        return hook
+
+    # -- collectives ------------------------------------------------------------
+
+    def reduce_scalar(self, per_device_values) -> float:
+        """Cross-device reduction of one statistic: each device's partial is
+        combined on the host (UPC++ directive in the paper).  Deterministic
+        device order."""
+        vals = [float(v) for v in per_device_values]
+        if len(vals) != self.num_devices:
+            raise ValueError(
+                f"need {self.num_devices} values, got {len(vals)}"
+            )
+        self.devices[0].ledger.record_device_reduction()
+        return float(np.sum(np.asarray(vals, dtype=np.float64)))

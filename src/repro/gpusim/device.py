@@ -1,0 +1,106 @@
+"""A simulated GPU device: global memory + kernel-launch API."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.gpusim.ledger import KernelCategory, WorkLedger
+
+#: Default device memory capacity: an NVIDIA A100-40GB (paper §4 hardware).
+A100_BYTES = 40 * 1024**3
+
+
+class Device:
+    """One GPU.
+
+    Owns named arrays (its "global memory"), enforces a capacity limit, and
+    funnels all computation through :meth:`launch` so the ledger sees every
+    kernel the way a CUDA profiler would.
+
+    Parameters
+    ----------
+    device_id:
+        Global device index.
+    node:
+        Hosting node index (Perlmutter packs 4 A100s per node).
+    capacity_bytes:
+        Allocation budget; exceeding it raises ``MemoryError`` — SIMCoV's
+        strong-scaling base case was chosen as "approximately the number of
+        voxels that fit into the A100s' available memory" (§4.2), which the
+        perf model reproduces through this limit.
+    """
+
+    def __init__(
+        self,
+        device_id: int,
+        node: int = 0,
+        capacity_bytes: int = A100_BYTES,
+        ledger: WorkLedger | None = None,
+    ):
+        self.device_id = int(device_id)
+        self.node = int(node)
+        self.capacity_bytes = int(capacity_bytes)
+        self.ledger = ledger if ledger is not None else WorkLedger()
+        self.arrays: dict[str, np.ndarray] = {}
+
+    # -- memory ---------------------------------------------------------------
+
+    @property
+    def allocated_bytes(self) -> int:
+        return sum(a.nbytes for a in self.arrays.values())
+
+    def allocate(self, name: str, shape, dtype, fill=0) -> np.ndarray:
+        """cudaMalloc analog: named, capacity-checked allocation."""
+        if name in self.arrays:
+            raise ValueError(f"array {name!r} already allocated on device")
+        arr = np.full(shape, fill, dtype=dtype)
+        if self.allocated_bytes + arr.nbytes > self.capacity_bytes:
+            raise MemoryError(
+                f"device {self.device_id}: allocating {arr.nbytes} bytes for "
+                f"{name!r} exceeds capacity {self.capacity_bytes}"
+            )
+        self.arrays[name] = arr
+        return arr
+
+    def adopt(self, name: str, arr: np.ndarray) -> np.ndarray:
+        """Register an externally-created array against this device's
+        capacity (used when a host-side structure like a VoxelBlock owns
+        the buffers but they live in device memory conceptually)."""
+        if name in self.arrays:
+            raise ValueError(f"array {name!r} already allocated on device")
+        if self.allocated_bytes + arr.nbytes > self.capacity_bytes:
+            raise MemoryError(
+                f"device {self.device_id}: adopting {arr.nbytes} bytes for "
+                f"{name!r} exceeds capacity {self.capacity_bytes}"
+            )
+        self.arrays[name] = arr
+        return arr
+
+    def free(self, name: str) -> None:
+        del self.arrays[name]
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self.arrays[name]
+
+    # -- kernels -----------------------------------------------------------------
+
+    def launch(
+        self,
+        category: KernelCategory,
+        voxels: int,
+        fn: Callable[[], None] | None = None,
+        bytes_per_voxel: int = 0,
+    ):
+        """Launch one kernel.
+
+        ``voxels`` is the number of grid points the kernel covers (for tiled
+        kernels: the active-tile voxel count, which is the whole point of
+        §3.2).  ``fn`` performs the actual vectorized computation; its
+        return value is passed through.
+        """
+        self.ledger.record_launch(category, voxels, bytes_per_voxel)
+        if fn is not None:
+            return fn()
+        return None

@@ -1,0 +1,134 @@
+"""Work accounting for simulated GPU devices.
+
+The ledger records *what the real code would issue* — kernel launches,
+voxels processed per kernel category, atomic operations and their
+conflicts, reduction traffic, D2D copies — and nothing about host wall
+time.  The performance model (:mod:`repro.perf`) is the only consumer.
+
+Work categories follow the paper's Fig 4 breakdown: agent/field updates
+("Update Agents") vs statistics reduction ("Reduce Statistics").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class KernelCategory(enum.Enum):
+    """Where a kernel's time is attributed in the Fig 4 breakdown."""
+
+    UPDATE_AGENTS = "update_agents"
+    REDUCE_STATS = "reduce_stats"
+    TILE_SWEEP = "tile_sweep"
+
+
+@dataclass
+class WorkLedger:
+    """Counters for one device (or one device's share of a step)."""
+
+    #: Kernel launches by category value.
+    launches: dict = field(default_factory=dict)
+    #: Voxels processed by kernels, by category value.
+    voxels: dict = field(default_factory=dict)
+    #: Bytes read+written from global memory, by category value.
+    global_bytes: dict = field(default_factory=dict)
+    #: Atomic operations issued.
+    atomic_ops: int = 0
+    #: Atomic operations that contended (same address in one batch).
+    atomic_conflicts: int = 0
+    #: Elements fed through shared-memory tree reductions.
+    reduce_tree_elems: int = 0
+    #: Thread blocks participating in tree reductions (one atomic each).
+    reduce_tree_blocks: int = 0
+    #: D2D copy messages / bytes within a node (NVLink class).
+    copies_intra: int = 0
+    copy_bytes_intra: int = 0
+    #: D2D copy messages / bytes across nodes (network).
+    copies_inter: int = 0
+    copy_bytes_inter: int = 0
+    #: Cross-device reductions (host-coordinated, one per step).
+    device_reductions: int = 0
+
+    def record_launch(
+        self,
+        category: KernelCategory,
+        voxels: int,
+        bytes_per_voxel: int = 0,
+    ) -> None:
+        key = category.value
+        self.launches[key] = self.launches.get(key, 0) + 1
+        self.voxels[key] = self.voxels.get(key, 0) + int(voxels)
+        self.global_bytes[key] = (
+            self.global_bytes.get(key, 0) + int(voxels) * int(bytes_per_voxel)
+        )
+
+    def record_atomics(self, ops: int, conflicts: int) -> None:
+        self.atomic_ops += int(ops)
+        self.atomic_conflicts += int(conflicts)
+
+    def record_tree_reduction(self, elems: int, blocks: int) -> None:
+        self.reduce_tree_elems += int(elems)
+        self.reduce_tree_blocks += int(blocks)
+
+    def record_copy(self, nbytes: int, internode: bool) -> None:
+        if internode:
+            self.copies_inter += 1
+            self.copy_bytes_inter += int(nbytes)
+        else:
+            self.copies_intra += 1
+            self.copy_bytes_intra += int(nbytes)
+
+    def record_device_reduction(self) -> None:
+        self.device_reductions += 1
+
+    # -- arithmetic -----------------------------------------------------------
+
+    def snapshot(self) -> "WorkLedger":
+        """Deep copy for before/after deltas."""
+        return WorkLedger(
+            launches=dict(self.launches),
+            voxels=dict(self.voxels),
+            global_bytes=dict(self.global_bytes),
+            atomic_ops=self.atomic_ops,
+            atomic_conflicts=self.atomic_conflicts,
+            reduce_tree_elems=self.reduce_tree_elems,
+            reduce_tree_blocks=self.reduce_tree_blocks,
+            copies_intra=self.copies_intra,
+            copy_bytes_intra=self.copy_bytes_intra,
+            copies_inter=self.copies_inter,
+            copy_bytes_inter=self.copy_bytes_inter,
+            device_reductions=self.device_reductions,
+        )
+
+    def minus(self, other: "WorkLedger") -> "WorkLedger":
+        """Counter-wise difference (self - other)."""
+        return WorkLedger(
+            launches={
+                k: self.launches.get(k, 0) - other.launches.get(k, 0)
+                for k in set(self.launches) | set(other.launches)
+            },
+            voxels={
+                k: self.voxels.get(k, 0) - other.voxels.get(k, 0)
+                for k in set(self.voxels) | set(other.voxels)
+            },
+            global_bytes={
+                k: self.global_bytes.get(k, 0) - other.global_bytes.get(k, 0)
+                for k in set(self.global_bytes) | set(other.global_bytes)
+            },
+            atomic_ops=self.atomic_ops - other.atomic_ops,
+            atomic_conflicts=self.atomic_conflicts - other.atomic_conflicts,
+            reduce_tree_elems=self.reduce_tree_elems - other.reduce_tree_elems,
+            reduce_tree_blocks=self.reduce_tree_blocks - other.reduce_tree_blocks,
+            copies_intra=self.copies_intra - other.copies_intra,
+            copy_bytes_intra=self.copy_bytes_intra - other.copy_bytes_intra,
+            copies_inter=self.copies_inter - other.copies_inter,
+            copy_bytes_inter=self.copy_bytes_inter - other.copy_bytes_inter,
+            device_reductions=self.device_reductions - other.device_reductions,
+        )
+
+    def total_launches(self) -> int:
+        return sum(self.launches.values())
+
+    def total_voxels(self) -> int:
+        return sum(self.voxels.values())

@@ -1,0 +1,67 @@
+"""The two statistics-reduction strategies the paper profiles (§3.3).
+
+``atomic_reduce`` models the unoptimized scheme: every thread that updates a
+statistic issues an atomicAdd on a global counter.  All ops hit the *same*
+address, so the conflict count is maximal — this is what makes the
+Unoptimized bar of Fig 4 so tall.
+
+``tree_reduce_device`` models the optimized scheme of Harris [17]: each
+thread accumulates a strided subset of voxels in registers, each block
+combines its threads through shared memory in log2(block) steps, and one
+atomic per *block* lands on the global counter.  Counted work: ``elems``
+register accumulations + ``blocks`` global atomics (the shared-memory
+traffic is folded into the per-element cost by the perf model).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpusim.device import Device
+
+#: CUDA launch geometry used by SIMCoV-GPU's reduction kernels.
+DEFAULT_BLOCK_SIZE = 256
+
+
+def atomic_reduce(device: Device, values: np.ndarray) -> float:
+    """Reduce by per-element atomics on one global accumulator."""
+    flat = np.asarray(values).reshape(-1)
+    n = flat.size
+    # Every op contends on the single accumulator address.
+    device.ledger.record_atomics(ops=n, conflicts=max(0, n - 1))
+    return float(flat.sum(dtype=np.float64))
+
+
+def tree_reduce_device(
+    device: Device,
+    values: np.ndarray,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+) -> float:
+    """Shared-memory tree reduction: one atomic per thread block.
+
+    The arithmetic follows the real kernel's combination order (pairwise
+    within blocks) so float results are reproducible and match the paper's
+    kernel bit-for-bit on integer statistics.
+    """
+    if block_size <= 0 or block_size & (block_size - 1):
+        raise ValueError(f"block_size must be a power of two, got {block_size}")
+    flat = np.asarray(values).reshape(-1).astype(np.float64)
+    n = flat.size
+    if n == 0:
+        device.ledger.record_tree_reduction(0, 0)
+        return 0.0
+    blocks = -(-n // block_size)
+    padded = np.zeros(blocks * block_size, dtype=np.float64)
+    padded[:n] = flat
+    per_block = padded.reshape(blocks, block_size)
+    # Pairwise tree within each block: log2(block_size) strided halvings.
+    width = block_size
+    while width > 1:
+        half = width // 2
+        per_block[:, :half] += per_block[:, half:width]
+        width = half
+    block_sums = per_block[:, 0]
+    device.ledger.record_tree_reduction(elems=n, blocks=blocks)
+    # One atomicAdd per block on the global accumulator.
+    device.ledger.record_atomics(ops=blocks, conflicts=max(0, blocks - 1))
+    return float(block_sums.sum(dtype=np.float64))

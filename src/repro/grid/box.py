@@ -1,0 +1,99 @@
+"""Axis-aligned integer boxes (half-open intervals per dimension)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Box:
+    """A half-open axis-aligned box ``[lo, hi)`` in voxel coordinates.
+
+    Used for subdomains, halo strips and tile extents.  Immutable and
+    hashable so boxes can key dictionaries (e.g. message routing tables).
+    """
+
+    lo: tuple[int, ...]
+    hi: tuple[int, ...]
+
+    def __post_init__(self):
+        if len(self.lo) != len(self.hi):
+            raise ValueError(f"lo/hi rank mismatch: {self.lo} vs {self.hi}")
+        object.__setattr__(self, "lo", tuple(int(x) for x in self.lo))
+        object.__setattr__(self, "hi", tuple(int(x) for x in self.hi))
+
+    # -- geometry ----------------------------------------------------------
+
+    @property
+    def ndim(self) -> int:
+        return len(self.lo)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return tuple(max(0, h - l) for l, h in zip(self.lo, self.hi))
+
+    @property
+    def size(self) -> int:
+        n = 1
+        for s in self.shape:
+            n *= s
+        return n
+
+    @property
+    def is_empty(self) -> bool:
+        return any(h <= l for l, h in zip(self.lo, self.hi))
+
+    def contains(self, coords) -> np.ndarray:
+        """Elementwise membership test for ``coords`` of shape (..., ndim)."""
+        c = np.asarray(coords)
+        lo = np.array(self.lo)
+        hi = np.array(self.hi)
+        return np.all((c >= lo) & (c < hi), axis=-1)
+
+    def intersect(self, other: "Box") -> "Box":
+        """The (possibly empty) intersection box."""
+        lo = tuple(max(a, b) for a, b in zip(self.lo, other.lo))
+        hi = tuple(min(a, b) for a, b in zip(self.hi, other.hi))
+        return Box(lo, tuple(max(l, h) for l, h in zip(lo, hi)))
+
+    def expand(self, width: int) -> "Box":
+        """Grow (or shrink, for negative ``width``) by ``width`` on all sides."""
+        return Box(
+            tuple(l - width for l in self.lo),
+            tuple(h + width for h in self.hi),
+        )
+
+    def clip(self, other: "Box") -> "Box":
+        """Alias for :meth:`intersect` reading better at call sites that clip
+        to the global domain."""
+        return self.intersect(other)
+
+    def shift(self, offset) -> "Box":
+        """Translate by an integer offset vector."""
+        return Box(
+            tuple(l + int(o) for l, o in zip(self.lo, offset)),
+            tuple(h + int(o) for h, o in zip(self.hi, offset)),
+        )
+
+    # -- array plumbing ----------------------------------------------------
+
+    def slices_from(self, origin) -> tuple[slice, ...]:
+        """Slices selecting this box from an array whose [0,0,..] element sits
+        at global coordinate ``origin``."""
+        return tuple(
+            slice(l - int(o), h - int(o))
+            for l, h, o in zip(self.lo, self.hi, origin)
+        )
+
+    def coords(self) -> np.ndarray:
+        """All voxel coordinates in the box, shape (size, ndim), C order."""
+        if self.is_empty:
+            return np.empty((0, self.ndim), dtype=np.int64)
+        axes = [np.arange(l, h, dtype=np.int64) for l, h in zip(self.lo, self.hi)]
+        mesh = np.meshgrid(*axes, indexing="ij")
+        return np.stack([m.ravel() for m in mesh], axis=-1)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Box(lo={self.lo}, hi={self.hi})"

@@ -1,0 +1,76 @@
+"""Time-series persistence for :class:`~repro.core.stats.StepStats`."""
+
+from __future__ import annotations
+
+import csv
+import os
+from dataclasses import fields as dc_fields
+
+from repro.core.stats import StepStats, TimeSeries
+
+#: Column order: the StepStats fields.
+COLUMNS = tuple(f.name for f in dc_fields(StepStats))
+#: Integer-typed StepStats fields (everything else parses as float).
+_INT_FIELDS = frozenset(
+    f.name for f in dc_fields(StepStats) if f.type in (int, "int")
+)
+
+
+def save_timeseries(path: str, series: TimeSeries) -> None:
+    """Write a whole series as CSV (one row per step)."""
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=list(COLUMNS))
+        writer.writeheader()
+        for row in series.to_rows():
+            writer.writerow(row)
+
+
+def load_timeseries(path: str) -> TimeSeries:
+    """Read a CSV written by :func:`save_timeseries` (or a StatsLogger)."""
+    series = TimeSeries()
+    with open(path, newline="") as fh:
+        for row in csv.DictReader(fh):
+            kwargs = {
+                name: (int(row[name]) if name in _INT_FIELDS
+                       else float(row[name]))
+                for name in COLUMNS
+            }
+            series.append(StepStats(**kwargs))
+    return series
+
+
+class StatsLogger:
+    """Incremental per-step logger (the SIMCoV 'log the totals to a file
+    on disk' behaviour; §3.3).
+
+    Appends one CSV row per :meth:`log` call and flushes immediately, so a
+    crashed/interrupted run leaves a usable partial log.  Usable as a
+    context manager.
+    """
+
+    def __init__(self, path: str):
+        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+        self.path = path
+        self._fh = open(path, "w", newline="")
+        self._writer = csv.DictWriter(self._fh, fieldnames=list(COLUMNS))
+        self._writer.writeheader()
+        self._fh.flush()
+        self.rows_written = 0
+
+    def log(self, stats: StepStats) -> None:
+        self._writer.writerow(
+            {name: getattr(stats, name) for name in COLUMNS}
+        )
+        self._fh.flush()
+        self.rows_written += 1
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "StatsLogger":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,121 @@
+"""Paper-scale activity synthesis: the FOI disk-growth model.
+
+SIMCoV activity is structured: each focus of infection grows radially
+(virions diffuse and infect outward at a roughly constant voxel/step
+speed), disks merge, and the domain eventually saturates (the §4.4/Fig 8
+discussion).  We cannot execute 10,000^2-voxel, 33,120-step simulations in
+Python, so paper-scale projections synthesize the activity map from:
+
+- FOI positions drawn by the *same* seeding code at paper dimensions;
+- the radial growth speed calibrated from real scaled-down runs
+  (:meth:`repro.perf.workload.WorkloadTrace.growth_speed`);
+- equal-radius disk union = "distance to nearest focus < r(t)", evaluated
+  on a supergrid with partial-coverage smoothing.
+
+The model is validated against real traces at small scale (see
+tests/perf), and EXPERIMENTS.md documents it as the substitution for
+paper-scale workloads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.params import SimCovParams
+from repro.core.seeding import seed_infections
+from repro.grid.spec import GridSpec
+from repro.rng.streams import VoxelRNG
+
+
+class DiskActivityModel:
+    """Synthesized supercell activity for one experiment configuration.
+
+    Parameters
+    ----------
+    params:
+        Paper-scale parameters (dim, num_infections, num_steps).
+    seed:
+        Trial seed: FOI positions use the same generator as the
+        simulations, so load imbalance is the real seeding's.
+    speed:
+        Radial growth in voxels/step (from a calibration trace).
+    supergrid:
+        Cells per dimension of the synthesized activity map.
+    samples:
+        Number of time samples across the run.
+    """
+
+    def __init__(
+        self,
+        params: SimCovParams,
+        seed: int = 0,
+        speed: float = 0.5,
+        supergrid: int = 64,
+        samples: int = 64,
+    ):
+        if len(params.dim) != 2:
+            raise ValueError("the activity model is 2D, like the evaluation")
+        self.dim = params.dim
+        self.supergrid = int(supergrid)
+        self.num_steps = params.num_steps
+        self.num_infections = params.num_infections
+        self.speed = float(speed)
+        spec = GridSpec(params.dim)
+        gids = seed_infections(params, VoxelRNG(seed))
+        self._foci = spec.unravel(gids).astype(np.float64)
+        # Supercell geometry.
+        self._cell = (params.dim[0] / supergrid, params.dim[1] / supergrid)
+        self.supercell_voxels = self._cell[0] * self._cell[1]
+        cx = (np.arange(supergrid) + 0.5) * self._cell[0]
+        cy = (np.arange(supergrid) + 0.5) * self._cell[1]
+        centers = np.stack(np.meshgrid(cx, cy, indexing="ij"), axis=-1)
+        # Distance from each supercell center to the nearest focus.  An
+        # equal-radius disk union contains a point iff this distance < r.
+        if len(self._foci) == 0:
+            self._dist = np.full((supergrid, supergrid), np.inf)
+        else:
+            flat = centers.reshape(-1, 2)
+            d = np.full(flat.shape[0], np.inf)
+            for f in self._foci:
+                np.minimum(d, np.hypot(flat[:, 0] - f[0], flat[:, 1] - f[1]), out=d)
+            self._dist = d.reshape(supergrid, supergrid)
+        self._half_diag = 0.5 * float(np.hypot(*self._cell))
+        n = max(2, int(samples))
+        self.sample_steps = np.unique(
+            np.linspace(0, self.num_steps - 1, n).astype(np.int64)
+        )
+
+    @property
+    def num_samples(self) -> int:
+        return len(self.sample_steps)
+
+    def radius(self, step: int) -> float:
+        return self.speed * step
+
+    def counts_at(self, i: int) -> np.ndarray:
+        """Supercell active-voxel counts at sample ``i``.
+
+        Partial coverage is smoothed linearly over the supercell diagonal:
+        fully inside the union -> full count, fully outside -> zero.
+        """
+        r = self.radius(int(self.sample_steps[i]))
+        frac = np.clip(
+            (r - self._dist + self._half_diag) / (2 * self._half_diag), 0.0, 1.0
+        )
+        return frac * self.supercell_voxels
+
+    def sample_weight(self, i: int) -> int:
+        if i + 1 < self.num_samples:
+            return int(self.sample_steps[i + 1] - self.sample_steps[i])
+        return int(self.num_steps - self.sample_steps[i])
+
+    def active_fraction(self) -> np.ndarray:
+        total = self.dim[0] * self.dim[1]
+        return np.array(
+            [self.counts_at(i).sum() / total for i in range(self.num_samples)]
+        )
+
+    def mean_active_fraction(self) -> float:
+        """Step-weighted mean active fraction over the run."""
+        weights = np.array([self.sample_weight(i) for i in range(self.num_samples)])
+        return float(np.average(self.active_fraction(), weights=weights))

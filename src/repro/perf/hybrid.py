@@ -1,0 +1,160 @@
+"""Future work (§6.1): hybrid CPU/GPU dynamic decomposition.
+
+'SIMCoV-GPU could also potentially benefit from dynamic domain
+decomposition, which would leverage interactions between CPU cores and
+GPUs.  Large empty regions could then be quickly computed on the slowest
+hardware, using CPU processes for instance, while the available GPU
+workhorses rapidly compute the complex, activity-filled regions.'
+
+This module models that scheme on top of the calibrated machine model:
+each step, the quiescent portion of every device's subdomain is delegated
+to its node's host cores (which merely verify quiescence — a scan), while
+the GPU updates only the active tiles and reduces only its share.  The
+host and device work overlap; a per-rebalance transfer cost covers the
+region handoff.
+
+The ablation bench (benchmarks/test_ablation_hybrid.py) shows when the
+scheme pays: sparse runs (low FOI, early epidemics) benefit, saturated
+runs do not — quantifying the paper's suggestion.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.grid.decomposition import Decomposition
+from repro.grid.spec import GridSpec
+from repro.perf.machine import GPUS_PER_NODE, CORES_PER_NODE, MachineModel
+from repro.perf.projector import (
+    GPU_EXCHANGES_PER_STEP,
+    GPU_HALO_BYTES_PER_VOXEL,
+    GPU_LAUNCHES_PER_STEP,
+    GPU_REDUCTIONS_PER_STEP,
+    GPU_UPDATE_PASSES,
+    STAT_FIELDS,
+    _Apportioner,
+    _neighbor_stats,
+    ProjectedRuntime,
+)
+
+_NS = 1e-9
+_US = 1e-6
+_GB = 1e9
+
+
+@dataclass(frozen=True)
+class HybridRuntime(ProjectedRuntime):
+    """Hybrid projection: adds the host-side and handoff components."""
+
+    host_seconds: float = 0.0
+    handoff_seconds: float = 0.0
+
+
+def project_hybrid_runtime(
+    machine: MachineModel,
+    provider,
+    num_devices: int,
+    gpus_per_node: int = GPUS_PER_NODE,
+    host_cores_per_gpu: int = CORES_PER_NODE // GPUS_PER_NODE,
+    tile_side: int = 8,
+    tile_inflation: float = 1.75,
+    imbalance_alpha: float = 0.6,
+    rebalance_period: int = 64,
+    host_scan_ns_per_voxel: float = 4.0,
+) -> HybridRuntime:
+    """Modeled runtime of the hybrid CPU+GPU scheme over the provider's run.
+
+    Per step and device: the GPU updates active tiles and reduces
+    statistics over the *active* region only; the host cores sweep the
+    quiescent remainder (verifying nothing changed and accumulating its
+    constant statistics contribution).  GPU and host work overlap — the
+    step costs their maximum plus communication/coordination.  Every
+    ``rebalance_period`` steps the active/quiescent split is renegotiated,
+    paying a host<->device transfer of the boundary region.
+    """
+    spec = GridSpec(provider.dim)
+    decomp = Decomposition.blocks(spec, num_devices)
+    supergrid = provider.counts_at(0).shape[0]
+    app = _Apportioner(provider.dim, supergrid, decomp)
+    n_intra, n_inter, perim = _neighbor_stats(decomp, gpus_per_node)
+    owned = np.array([b.size for b in decomp.boxes], float)
+    owned_grid = owned.reshape(decomp.proc_grid)
+
+    launch_per_step = GPU_LAUNCHES_PER_STEP * machine.gpu_launch_us * _US
+    comm_per_step = (
+        GPU_EXCHANGES_PER_STEP
+        * (n_intra * machine.gpu_copy_lat_intra_us
+           + n_inter * machine.gpu_copy_lat_inter_us) * _US
+        + perim * GPU_HALO_BYTES_PER_VOXEL * (
+            (n_intra > 0) / (machine.gpu_copy_bw_intra_GBps * _GB)
+            + (n_inter > 0) / (machine.gpu_copy_bw_inter_GBps * _GB)
+        )
+    ).max()
+    rounds = math.ceil(math.log2(num_devices)) if num_devices > 1 else 0
+    coord_per_step = GPU_REDUCTIONS_PER_STEP * (
+        machine.gpu_coord_us + rounds * machine.gpu_net_round_us
+    ) * _US
+    locality = machine.gpu_tiling_locality
+    boundary_voxels = perim.reshape(decomp.proc_grid) * tile_side
+
+    compute = host = reduce_s = handoff = 0.0
+    steps = 0
+    for i in range(provider.num_samples):
+        w = provider.sample_weight(i)
+        per_dev = app.per_rank(provider.counts_at(i))
+        active = np.minimum(
+            owned_grid, per_dev * tile_inflation + boundary_voxels
+        )
+        quiescent = owned_grid - active
+        eff_active = (
+            imbalance_alpha * active.max()
+            + (1 - imbalance_alpha) * active.mean()
+        )
+        gpu_update = (
+            eff_active * GPU_UPDATE_PASSES * machine.gpu_voxel_ns
+            * locality * _NS
+        )
+        # GPU reduces only its active share (vs the full sweep of §3.3).
+        gpu_reduce = (
+            STAT_FIELDS * active.max() * machine.gpu_reduce_elem_ns
+            * locality * _NS
+        )
+        # Host cores scan the quiescent region: a memory-bandwidth-bound
+        # sweep (verify quiescence + accumulate constant statistics), far
+        # cheaper than the full per-voxel model update.
+        host_scan = (
+            quiescent.max()
+            * host_scan_ns_per_voxel
+            * _NS
+            / max(1, host_cores_per_gpu)
+        )
+        compute += w * max(gpu_update, host_scan)
+        host += w * host_scan
+        reduce_s += w * gpu_reduce
+        steps += w
+        # Handoff: transfer one tile ring at the active/quiescent frontier.
+        if rebalance_period and steps % rebalance_period < w:
+            frontier_bytes = (
+                4 * np.sqrt(active.max() + 1) * tile_side
+                * machine.gpu_bytes_per_voxel
+            )
+            handoff += (
+                machine.gpu_copy_lat_intra_us * _US
+                + frontier_bytes / (machine.gpu_copy_bw_intra_GBps * _GB)
+            )
+    total = compute + reduce_s + handoff + steps * (
+        launch_per_step + comm_per_step + coord_per_step
+    )
+    return HybridRuntime(
+        total_seconds=total,
+        compute_seconds=compute,
+        reduce_seconds=reduce_s,
+        comm_seconds=steps * comm_per_step,
+        coord_seconds=steps * coord_per_step,
+        launch_seconds=steps * launch_per_step,
+        host_seconds=host,
+        handoff_seconds=handoff,
+    )

@@ -1,0 +1,98 @@
+"""Machine models: per-operation costs for the target systems.
+
+``PERLMUTTER`` models the paper's evaluation platform (§4): AMD Milan CPU
+nodes (128 cores) and GPU nodes with 4 NVIDIA A100s, Slingshot
+interconnect.  Constants are calibrated so the *base configuration* of the
+paper's strong-scaling experiment (10,000^2 voxels, 16 FOI, 4 GPUs vs 128
+cores) lands near the reported ~5x speedup; all scaling behaviour then
+follows from counted work.  Rationale for magnitudes:
+
+- ``cpu_voxel_ns`` ~ hundreds of ns: one active voxel's per-step work
+  (agent updates, stencil, RNG, active-list bookkeeping) on one core;
+- ``gpu_voxel_ns`` ~ sub-ns per voxel per kernel pass: A100 HBM streams
+  ~1.5 TB/s and each pass touches tens of bytes per voxel;
+- atomics: an uncontended device atomic retires in ~10 ns; every
+  *conflict* serializes behind another op (§3.3's motivation);
+- copies: NVLink-class intra-node vs network inter-node latency/bandwidth;
+- ``gpu_coord_us``: host-side per-collective overhead (kernel sync +
+  UPC++ progress), the dominant fixed cost that saturates strong scaling
+  (Fig 6) once per-device work shrinks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """Per-operation costs.  Times in the unit noted per field."""
+
+    # -- CPU (per core) -----------------------------------------------------
+    #: ns of one core processing one active voxel for one step.
+    cpu_voxel_ns: float = 2280.0
+    #: us of overhead per RPC message (injection + handler dispatch).
+    cpu_rpc_us: float = 1.0
+    #: Extra us per RPC that crosses nodes.
+    cpu_rpc_internode_us: float = 1.5
+    #: GB/s effective payload bandwidth per rank.
+    cpu_bw_GBps: float = 2.0
+    #: us per tree-reduction round (allreduce latency).
+    cpu_allreduce_round_us: float = 20.0
+
+    # -- GPU (per device) -----------------------------------------------------
+    #: us per kernel launch.
+    gpu_launch_us: float = 6.0
+    #: ns per voxel per update-kernel pass.
+    gpu_voxel_ns: float = 0.68
+    #: ns per voxel scanned by the tile-activation sweep (pure streaming).
+    gpu_sweep_voxel_ns: float = 0.06
+    #: ns per element fed through the shared-memory tree reduction.
+    gpu_reduce_elem_ns: float = 0.09
+    #: ns per (uncontended) device atomic.
+    gpu_atomic_ns: float = 10.0
+    #: ns of serialization per conflicting atomic (same address).
+    gpu_atomic_conflict_ns: float = 6.0
+    #: Relative memory-traffic factor when tiling improves locality
+    #: (applies to update and reduce passes; Fig 4's observation that
+    #: tiling also speeds reductions).
+    gpu_tiling_locality: float = 0.62
+    #: D2D copy latency (us) and bandwidth (GB/s), intra-node (NVLink).
+    gpu_copy_lat_intra_us: float = 8.0
+    gpu_copy_bw_intra_GBps: float = 80.0
+    #: D2D copy latency (us) and bandwidth (GB/s), inter-node (network).
+    gpu_copy_lat_inter_us: float = 25.0
+    gpu_copy_bw_inter_GBps: float = 10.0
+    #: us of host coordination per cross-device collective (plus one
+    #: network latency per tree round).
+    gpu_coord_us: float = 10.0
+    gpu_net_round_us: float = 54.0
+
+    # -- memory (for feasibility checks) --------------------------------------
+    #: Estimated device bytes per voxel (state + intents + scratch + halo
+    #: and communication buffers, as in the CUDA implementation).
+    gpu_bytes_per_voxel: int = 96
+    gpu_capacity_bytes: int = 40 * 1024**3
+
+    def with_(self, **kw) -> "MachineModel":
+        return replace(self, **kw)
+
+
+#: The paper's evaluation platform.
+PERLMUTTER = MachineModel()
+
+#: GPUs per node on Perlmutter GPU nodes / CPU cores per CPU node (§4).
+GPUS_PER_NODE = 4
+CORES_PER_NODE = 128
+
+#: The paper's §6 peak-throughput ratio: 75 TFLOPS (GPU node) vs 5 TFLOPS
+#: (CPU node) => the ideal 15.6x speedup ceiling quoted for Fig 8.
+IDEAL_NODE_SPEEDUP = 75.0 / 4.8
+
+#: Radial activity growth speed (voxels/step) for paper-scale projections
+#: with the default COVID parameterization.  Calibrated jointly with the
+#: MachineModel against the paper's reported speedup points (DESIGN.md §2:
+#: we cannot execute 10,000^2-voxel, 33,120-step runs in Python); the
+#: small-scale analog is *measured* from real runs via
+#: WorkloadTrace.growth_speed and validated in tests/perf.
+PAPER_SCALE_GROWTH_SPEED = 0.015

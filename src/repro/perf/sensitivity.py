@@ -1,0 +1,122 @@
+"""Sensitivity analysis of the performance model.
+
+The scaling conclusions (Figs 6-8) should be *shape-robust*: they must
+follow from the structure of counted work (active fractions, halo
+surfaces, collective depths), not from the particular calibrated
+constants.  This module perturbs every machine-model constant and checks
+which qualitative findings survive:
+
+- strong scaling: speedup decreases monotonically with device count;
+- weak scaling: the GPU advantage is sustained (> 1x everywhere);
+- FOI scaling: speedup increases monotonically with FOI.
+
+``shape_robustness`` returns the fraction of perturbed models preserving
+each finding — reported by the bench and quoted in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields as dc_fields
+
+from repro.core.params import SimCovParams
+from repro.perf.activity import DiskActivityModel
+from repro.perf.machine import MachineModel, PAPER_SCALE_GROWTH_SPEED
+from repro.perf.projector import project_cpu_runtime, project_gpu_runtime
+
+#: Constants subjected to perturbation (all float cost knobs).
+PERTURBED_FIELDS = (
+    "cpu_voxel_ns",
+    "cpu_rpc_us",
+    "cpu_allreduce_round_us",
+    "gpu_launch_us",
+    "gpu_voxel_ns",
+    "gpu_reduce_elem_ns",
+    "gpu_copy_lat_inter_us",
+    "gpu_coord_us",
+    "gpu_net_round_us",
+)
+
+
+@dataclass(frozen=True)
+class ShapeFindings:
+    """Truth values of the paper's qualitative findings for one model."""
+
+    strong_monotone_decline: bool
+    strong_gpu_wins_at_base: bool
+    weak_sustained_advantage: bool
+    foi_monotone_growth: bool
+
+    def all_hold(self) -> bool:
+        return (
+            self.strong_monotone_decline
+            and self.strong_gpu_wins_at_base
+            and self.weak_sustained_advantage
+            and self.foi_monotone_growth
+        )
+
+
+def _speedups(machine: MachineModel, configs, samples: int) -> list[float]:
+    out = []
+    for (dim, foi), (gpus, cores) in configs:
+        params = SimCovParams.default_covid(dim=dim, num_infections=foi)
+        model = DiskActivityModel(
+            params, seed=1, speed=PAPER_SCALE_GROWTH_SPEED,
+            supergrid=48, samples=samples,
+        )
+        cpu = project_cpu_runtime(machine, model, cores).total_seconds
+        gpu = project_gpu_runtime(machine, model, gpus).total_seconds
+        out.append(cpu / gpu)
+    return out
+
+
+def evaluate_shape(machine: MachineModel, samples: int = 16) -> ShapeFindings:
+    """Evaluate the qualitative findings under one machine model."""
+    strong = _speedups(
+        machine,
+        [(((10_000, 10_000), 16), (g, g * 32)) for g in (4, 16, 64)],
+        samples,
+    )
+    weak = _speedups(
+        machine,
+        [
+            (((10_000, 10_000), 16), (4, 128)),
+            (((20_000, 20_000), 64), (16, 512)),
+            (((40_000, 40_000), 256), (64, 2048)),
+        ],
+        samples,
+    )
+    foi = _speedups(
+        machine,
+        [(((20_000, 20_000), f), (16, 512)) for f in (64, 256, 1024)],
+        samples,
+    )
+    return ShapeFindings(
+        strong_monotone_decline=strong[0] > strong[1] > strong[2],
+        strong_gpu_wins_at_base=strong[0] > 1.5,
+        weak_sustained_advantage=min(weak) > 1.0,
+        foi_monotone_growth=foi[0] < foi[1] < foi[2],
+    )
+
+
+def shape_robustness(
+    factors=(0.5, 2.0),
+    samples: int = 16,
+    max_models: int | None = None,
+) -> dict:
+    """Perturb each constant by the given factors (one at a time) and
+    report, per finding, the fraction of perturbed models preserving it.
+    """
+    base = MachineModel()
+    models = []
+    for name in PERTURBED_FIELDS:
+        for f in factors:
+            models.append(base.with_(**{name: getattr(base, name) * f}))
+    if max_models is not None:
+        models = models[:max_models]
+    counts = {f.name: 0 for f in dc_fields(ShapeFindings)}
+    for m in models:
+        findings = evaluate_shape(m, samples)
+        for f in dc_fields(ShapeFindings):
+            counts[f.name] += bool(getattr(findings, f.name))
+    n = len(models)
+    return {name: c / n for name, c in counts.items()} | {"models": n}

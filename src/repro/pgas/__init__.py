@@ -1,0 +1,29 @@
+"""An in-process PGAS runtime modeled on UPC++ (paper §2.2, §3).
+
+SIMCoV-CPU parallelizes over CPU ranks with UPC++: a partitioned global
+address space, asynchronous remote procedure calls (RPCs) that execute on
+the target rank at its next *progress* point, barriers and reductions.
+This package reproduces those semantics in a single process:
+
+- ranks are executed SPMD-style, one phase function at a time
+  (:class:`~repro.pgas.runtime.PgasRuntime.phase`);
+- RPCs issued during a phase are enqueued and delivered at the next
+  progress point, exactly like UPC++'s deferred execution;
+- every RPC, point-to-point message, barrier and reduction is counted by a
+  :class:`~repro.pgas.comm.CommStats` ledger that the performance model
+  converts into modeled communication time.
+"""
+
+from repro.pgas.comm import CommStats
+from repro.pgas.futures import Future, when_all
+from repro.pgas.runtime import PgasRuntime, RankContext
+from repro.pgas.reductions import ReduceOp
+
+__all__ = [
+    "PgasRuntime",
+    "RankContext",
+    "CommStats",
+    "ReduceOp",
+    "Future",
+    "when_all",
+]

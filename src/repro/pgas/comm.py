@@ -1,0 +1,88 @@
+"""Communication accounting for the PGAS runtime.
+
+The perf model needs, per simulated step: how many RPCs were issued (each
+pays a latency/injection overhead), how many payload bytes moved, how many
+collective rounds ran.  ``CommStats`` is a plain ledger; it never affects
+simulation semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+def payload_nbytes(payload: dict) -> int:
+    """Wire size of an RPC payload dict: ndarray buffers plus 8 bytes per
+    scalar field (UPC++ serializes trivially-copyable scalars inline)."""
+    total = 0
+    for value in payload.values():
+        if isinstance(value, np.ndarray):
+            total += value.nbytes
+        elif isinstance(value, dict):
+            total += payload_nbytes(value)
+        else:
+            total += 8
+    return total
+
+
+@dataclass
+class CommStats:
+    """Counters for one runtime's communication activity."""
+
+    #: RPC invocations (each pays per-message overhead).
+    rpcs: int = 0
+    #: Total RPC payload bytes.
+    rpc_bytes: int = 0
+    #: RPCs whose source and target ranks sit on different nodes.
+    rpcs_internode: int = 0
+    rpc_bytes_internode: int = 0
+    #: Barrier invocations.
+    barriers: int = 0
+    #: Reductions (allreduce) invocations.
+    reductions: int = 0
+    #: Elements reduced across ranks, summed over invocations.
+    reduction_elems: int = 0
+    #: Progress rounds executed (RPC delivery sweeps).
+    progress_rounds: int = 0
+    #: Optional per-(src,dst) message matrix, filled when ``track_pairs``.
+    pair_bytes: dict = field(default_factory=dict)
+    track_pairs: bool = False
+
+    def record_rpc(self, src: int, dst: int, nbytes: int, internode: bool) -> None:
+        self.rpcs += 1
+        self.rpc_bytes += nbytes
+        if internode:
+            self.rpcs_internode += 1
+            self.rpc_bytes_internode += nbytes
+        if self.track_pairs:
+            key = (src, dst)
+            self.pair_bytes[key] = self.pair_bytes.get(key, 0) + nbytes
+
+    def record_barrier(self) -> None:
+        self.barriers += 1
+
+    def record_reduction(self, elems: int) -> None:
+        self.reductions += 1
+        self.reduction_elems += elems
+
+    def record_progress_round(self) -> None:
+        self.progress_rounds += 1
+
+    def snapshot(self) -> dict:
+        """Immutable copy of scalar counters (for per-step deltas)."""
+        return {
+            "rpcs": self.rpcs,
+            "rpc_bytes": self.rpc_bytes,
+            "rpcs_internode": self.rpcs_internode,
+            "rpc_bytes_internode": self.rpc_bytes_internode,
+            "barriers": self.barriers,
+            "reductions": self.reductions,
+            "reduction_elems": self.reduction_elems,
+            "progress_rounds": self.progress_rounds,
+        }
+
+    @staticmethod
+    def delta(after: dict, before: dict) -> dict:
+        return {k: after[k] - before[k] for k in after}

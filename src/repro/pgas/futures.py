@@ -1,0 +1,89 @@
+"""Futures: UPC++'s asynchronous completion primitive.
+
+UPC++ RPCs return futures whose values arrive with a later progress
+round; applications chain continuations on them (``.then``) and join
+groups (``when_all``).  SIMCoV-CPU's tiebreak round-trips are exactly
+this pattern (intent RPC -> future -> result); the driver in
+:mod:`repro.simcov_cpu` keeps its explicit two-wave structure for
+clarity, and this module provides the general-purpose primitive for
+other PGAS applications built on the runtime (plus its own test suite).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+
+class Future:
+    """A value that becomes ready at some later progress round."""
+
+    __slots__ = ("_ready", "_value", "_callbacks")
+
+    def __init__(self):
+        self._ready = False
+        self._value: Any = None
+        self._callbacks: list[Callable[[Any], None]] = []
+
+    @property
+    def ready(self) -> bool:
+        return self._ready
+
+    def result(self) -> Any:
+        """The value; raises if not ready yet (call progress first)."""
+        if not self._ready:
+            raise RuntimeError(
+                "future not ready — drive the runtime's progress() first"
+            )
+        return self._value
+
+    def complete(self, value: Any) -> None:
+        if self._ready:
+            raise RuntimeError("future already completed")
+        self._ready = True
+        self._value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            cb(value)
+
+    def then(self, fn: Callable[[Any], Any]) -> "Future":
+        """Chain a continuation; returns a future of ``fn``'s result."""
+        out = Future()
+
+        def run(value):
+            out.complete(fn(value))
+
+        if self._ready:
+            run(self._value)
+        else:
+            self._callbacks.append(run)
+        return out
+
+    @staticmethod
+    def completed(value: Any = None) -> "Future":
+        f = Future()
+        f.complete(value)
+        return f
+
+
+def when_all(futures: list[Future]) -> Future:
+    """A future of the list of results, ready when every input is."""
+    out = Future()
+    remaining = len(futures)
+    results: list[Any] = [None] * len(futures)
+    if remaining == 0:
+        out.complete([])
+        return out
+    state = {"left": remaining}
+
+    def make_cb(i):
+        def cb(value):
+            results[i] = value
+            state["left"] -= 1
+            if state["left"] == 0:
+                out.complete(list(results))
+
+        return cb
+
+    for i, f in enumerate(futures):
+        f.then(make_cb(i))
+    return out

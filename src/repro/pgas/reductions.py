@@ -1,0 +1,50 @@
+"""Collective reductions over PGAS ranks.
+
+UPC++'s ``reduce_all`` is modeled as a binomial tree: ceil(log2(P)) rounds,
+each halving the participating ranks.  The numeric result is computed with
+numpy (deterministically, in rank order) and the round structure is recorded
+for the perf model.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+
+import numpy as np
+
+
+class ReduceOp(enum.Enum):
+    SUM = "sum"
+    MAX = "max"
+    MIN = "min"
+
+
+_OPS = {
+    ReduceOp.SUM: np.add,
+    ReduceOp.MAX: np.maximum,
+    ReduceOp.MIN: np.minimum,
+}
+
+
+def tree_reduce(values: list[np.ndarray], op: ReduceOp) -> np.ndarray:
+    """Reduce per-rank arrays pairwise along a binomial tree.
+
+    Pairwise order matters for float reproducibility: the tree combines
+    rank i with rank i+stride for stride = 1, 2, 4, ... exactly as the
+    UPC++ runtime does, so results are independent of delivery timing.
+    """
+    vals = [np.asarray(v).copy() for v in values]
+    n = len(vals)
+    fn = _OPS[op]
+    stride = 1
+    while stride < n:
+        for i in range(0, n - stride, 2 * stride):
+            vals[i] = fn(vals[i], vals[i + stride])
+        stride *= 2
+    return vals[0]
+
+
+def reduction_rounds(nranks: int) -> int:
+    """Tree depth: communication rounds for the perf model."""
+    return int(math.ceil(math.log2(nranks))) if nranks > 1 else 0

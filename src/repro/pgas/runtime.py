@@ -1,0 +1,196 @@
+"""The SPMD PGAS runtime.
+
+Execution model (mirroring how SIMCoV-CPU uses UPC++):
+
+1. The driver calls :meth:`PgasRuntime.phase` with a function; the function
+   runs once per rank (in rank order — a deterministic stand-in for
+   concurrent execution, valid because phases only touch rank-local state
+   and communicate via RPC).
+2. During a phase, ranks enqueue RPCs with :meth:`RankContext.rpc`.  RPCs do
+   NOT run inline — like UPC++, they execute on the *target* rank at the
+   next progress point.
+3. :meth:`PgasRuntime.progress` delivers queued RPCs (in deterministic
+   (issue order, target) order).  Handlers may themselves enqueue RPCs,
+   delivered in subsequent rounds of the same progress call.
+4. Barriers and reductions are collectives over all ranks.
+
+The paper's modified SIMCoV-CPU (§4.1) *stages* T-cell updates — prepare in
+one wave, execute in the next — precisely so that this deterministic
+delivery model matches the physical cluster's semantics.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.pgas.comm import CommStats, payload_nbytes
+from repro.pgas.reductions import ReduceOp, reduction_rounds, tree_reduce
+
+
+class RankContext:
+    """Per-rank view of the runtime: rank id, local store, RPC endpoint."""
+
+    def __init__(self, runtime: "PgasRuntime", rank: int):
+        self.runtime = runtime
+        self.rank = rank
+        #: Rank-local named state (the analog of UPC++ dist_object).
+        self.store: dict[str, Any] = {}
+
+    @property
+    def nranks(self) -> int:
+        return self.runtime.nranks
+
+    @property
+    def node(self) -> int:
+        return self.runtime.node_of(self.rank)
+
+    def rpc(self, target: int, handler: str, **payload) -> None:
+        """Enqueue an RPC for ``target``; runs at the next progress point."""
+        self.runtime._enqueue_rpc(self.rank, target, handler, payload)
+
+    def rpc_future(self, target: int, handler: str, **payload):
+        """Enqueue an RPC and return a :class:`~repro.pgas.futures.Future`
+        of the handler's return value.
+
+        Like ``upcxx::rpc``'s returned future: the value ships back as an
+        (accounted) reply message and the future completes during a later
+        progress round.
+        """
+        return self.runtime._enqueue_rpc_future(
+            self.rank, target, handler, payload
+        )
+
+
+class PgasRuntime:
+    """A team of ranks plus communication machinery.
+
+    Parameters
+    ----------
+    nranks:
+        Team size.
+    ranks_per_node:
+        Used only for accounting (inter- vs intra-node RPCs).  Perlmutter
+        CPU nodes run 128 ranks (paper §4).
+    comm:
+        Optional shared :class:`CommStats` ledger.
+    """
+
+    def __init__(
+        self,
+        nranks: int,
+        ranks_per_node: int | None = None,
+        comm: CommStats | None = None,
+    ):
+        if nranks <= 0:
+            raise ValueError(f"nranks must be positive, got {nranks}")
+        self.nranks = int(nranks)
+        self.ranks_per_node = int(ranks_per_node or nranks)
+        self.comm = comm if comm is not None else CommStats()
+        self.ranks = [RankContext(self, r) for r in range(self.nranks)]
+        self._handlers: dict[str, Callable] = {}
+        self._queues: list[deque] = [deque() for _ in range(self.nranks)]
+        self._seq = 0
+        self._futures: dict[int, Any] = {}
+        self._future_seq = 0
+        self.register_handler("__rpc_call", self._handle_rpc_call)
+        self.register_handler("__rpc_reply", self._handle_rpc_reply)
+
+    # -- topology ------------------------------------------------------------
+
+    def node_of(self, rank: int) -> int:
+        return rank // self.ranks_per_node
+
+    # -- handlers & RPC --------------------------------------------------------
+
+    def register_handler(self, name: str, fn: Callable) -> None:
+        """Register ``fn(ctx, **payload)`` as an RPC handler."""
+        if name in self._handlers:
+            raise ValueError(f"handler {name!r} already registered")
+        self._handlers[name] = fn
+
+    def _enqueue_rpc(
+        self, src: int, dst: int, handler: str, payload: dict
+    ) -> None:
+        if not 0 <= dst < self.nranks:
+            raise ValueError(f"RPC target {dst} out of range")
+        if handler not in self._handlers:
+            raise KeyError(f"unknown RPC handler {handler!r}")
+        nbytes = payload_nbytes(payload)
+        self.comm.record_rpc(
+            src, dst, nbytes, internode=self.node_of(src) != self.node_of(dst)
+        )
+        self._queues[dst].append((self._seq, src, handler, payload))
+        self._seq += 1
+
+    def _enqueue_rpc_future(self, src: int, dst: int, handler: str, payload):
+        from repro.pgas.futures import Future
+
+        if handler not in self._handlers:
+            raise KeyError(f"unknown RPC handler {handler!r}")
+        self._future_seq += 1
+        fid = self._future_seq
+        future = Future()
+        self._futures[fid] = future
+        self._enqueue_rpc(
+            src, dst, "__rpc_call",
+            {"fid_": fid, "handler_": handler, "reply_to_": src,
+             "payload_": payload},
+        )
+        return future
+
+    def _handle_rpc_call(self, ctx, fid_, handler_, reply_to_, payload_,
+                         _src_rank):
+        value = self._handlers[handler_](ctx, _src_rank=_src_rank, **payload_)
+        ctx.rpc(reply_to_, "__rpc_reply", fid_=fid_, value_=value)
+
+    def _handle_rpc_reply(self, ctx, fid_, value_, _src_rank):
+        self._futures.pop(fid_).complete(value_)
+
+    def progress(self) -> int:
+        """Deliver queued RPCs until quiescent; returns rounds executed.
+
+        Each round drains the RPCs visible at its start, in global issue
+        order — so handler-issued RPCs run a round later, like UPC++
+        progress with chained RPCs.
+        """
+        rounds = 0
+        while any(self._queues):
+            rounds += 1
+            self.comm.record_progress_round()
+            batch = []
+            for dst in range(self.nranks):
+                while self._queues[dst]:
+                    seq, src, handler, payload = self._queues[dst].popleft()
+                    batch.append((seq, dst, src, handler, payload))
+            for seq, dst, src, handler, payload in sorted(batch, key=lambda t: t[0]):
+                self._handlers[handler](self.ranks[dst], _src_rank=src, **payload)
+        return rounds
+
+    # -- SPMD driving -----------------------------------------------------------
+
+    def phase(self, fn: Callable[[RankContext], Any], progress: bool = True) -> list:
+        """Run ``fn`` on every rank, then (by default) deliver RPCs."""
+        results = [fn(ctx) for ctx in self.ranks]
+        if progress:
+            self.progress()
+        return results
+
+    # -- collectives ---------------------------------------------------------------
+
+    def barrier(self) -> None:
+        """Collective barrier (accounting only; phases are already synced)."""
+        self.progress()
+        self.comm.record_barrier()
+
+    def allreduce(self, values: list, op: ReduceOp = ReduceOp.SUM) -> np.ndarray:
+        """Tree-reduce per-rank values; every rank sees the same result."""
+        if len(values) != self.nranks:
+            raise ValueError(
+                f"allreduce needs {self.nranks} values, got {len(values)}"
+            )
+        arrs = [np.atleast_1d(np.asarray(v)) for v in values]
+        self.comm.record_reduction(arrs[0].size * reduction_rounds(self.nranks))
+        return tree_reduce(arrs, op)

@@ -1,0 +1,58 @@
+"""Distributions layered over the counter-based hash.
+
+Each function maps uint64 hash words to a target distribution with
+deterministic, decomposition-independent results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats as _sps
+
+#: 2**-53, scale factor mapping the top 53 bits of a uint64 to [0, 1).
+_U53 = float(2.0**-53)
+
+
+def uniform01(words: np.ndarray) -> np.ndarray:
+    """Map uint64 words to float64 uniform on [0, 1).
+
+    Uses the top 53 bits so every representable value is equally likely and
+    1.0 is never produced.
+    """
+    return (words >> np.uint64(11)).astype(np.float64) * _U53
+
+
+def bernoulli(words: np.ndarray, p) -> np.ndarray:
+    """Boolean array, True with probability ``p`` (scalar or array)."""
+    return uniform01(words) < p
+
+
+def randint_below(words: np.ndarray, n: int) -> np.ndarray:
+    """Integers uniform on [0, n).
+
+    Plain modulo; the bias is < n / 2**64 which is negligible for the small
+    ``n`` used here (neighborhood sizes <= 26).
+    """
+    if n <= 0:
+        raise ValueError(f"randint_below requires n >= 1, got {n}")
+    return (words % np.uint64(n)).astype(np.int64)
+
+
+def poisson(words: np.ndarray, mu) -> np.ndarray:
+    """Poisson variates via inverse transform of the uniform mapping.
+
+    SIMCoV draws per-cell incubation/expressing/apoptosis periods from
+    Poisson distributions (paper §2.2).  Inverse transform keeps the draw a
+    pure function of the hash word, preserving cross-implementation
+    determinism.  ``mu`` may be scalar or an array broadcastable to
+    ``words.shape``.
+    """
+    u = uniform01(words)
+    return _sps.poisson.ppf(u, mu).astype(np.int64)
+
+
+def exponential(words: np.ndarray, scale) -> np.ndarray:
+    """Exponential variates with mean ``scale``."""
+    u = uniform01(words)
+    # 1 - u is in (0, 1]; log is finite.
+    return -np.log1p(-u) * scale

@@ -1,0 +1,73 @@
+"""Core counter-based hash primitives.
+
+The generator is a vectorized splitmix64-style avalanche hash.  It is
+stateless: every output is a pure function of its inputs, which is the
+property SIMCoV-GPU needs so that two devices sharing a boundary can agree
+on the random bid of a T cell that only one of them owns (paper §3.1).
+
+All arithmetic is modulo 2**64 (numpy uint64 wraps silently for array
+operands; scalar operands are promoted to 0-d arrays to avoid the scalar
+overflow warning path).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# 2**64 / golden ratio, the Weyl increment used by splitmix64.
+PHI64 = np.uint64(0x9E3779B97F4A7C15)
+
+_MIX1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX2 = np.uint64(0x94D049BB133111EB)
+
+
+def _as_u64(x) -> np.ndarray:
+    """Coerce ``x`` to an at-least-1d uint64 ndarray.
+
+    Promoting scalars to 1-element arrays keeps all arithmetic on the
+    (silently wrapping) array fast path; numpy's *scalar* uint64 operations
+    would raise overflow RuntimeWarnings.
+    """
+    arr = np.asarray(x)
+    if arr.dtype != np.uint64:
+        # Cast via int64->uint64 two's complement for negative python ints.
+        arr = arr.astype(np.int64, copy=False).astype(np.uint64)
+    return np.atleast_1d(arr)
+
+
+def _mix(z: np.ndarray) -> np.ndarray:
+    z = (z ^ (z >> np.uint64(30))) * _MIX1
+    z = (z ^ (z >> np.uint64(27))) * _MIX2
+    return z ^ (z >> np.uint64(31))
+
+
+def hash_u64(x) -> np.ndarray:
+    """splitmix64 finalizer: avalanche a uint64 (array) into a uint64 (array).
+
+    Preserves the input's shape (scalars map to 0-d arrays).  Passes
+    practical avalanche requirements: flipping any input bit flips each
+    output bit with probability ~1/2 (exercised by the test suite).
+    """
+    shape = np.shape(x)
+    out = _mix(_as_u64(x) + PHI64)
+    return out.reshape(shape)
+
+
+def counter_hash(seed, stream, step, keys) -> np.ndarray:
+    """Hash the 4-tuple ``(seed, stream, step, keys)`` into uint64 words.
+
+    ``keys`` is typically an array of global voxel ids (any shape); the
+    result has the same shape.  ``seed``/``stream``/``step`` are scalars.
+
+    The tuple members are folded in sequentially, re-avalanched between
+    folds so that low-entropy inputs (small consecutive integers, which is
+    exactly what voxel ids and step counters are) still produce
+    statistically independent outputs.
+    """
+    shape = np.shape(keys)
+    s = _mix(_as_u64(seed) + PHI64)
+    s = _mix((s ^ (_as_u64(stream) * PHI64)) + PHI64)
+    s = _mix((s ^ (_as_u64(step) * _MIX1)) + PHI64)
+    k = _as_u64(keys)
+    out = _mix((s ^ (k * _MIX2) ^ (k >> np.uint64(32))) + PHI64)
+    return out.reshape(shape)

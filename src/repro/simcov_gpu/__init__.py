@@ -1,0 +1,25 @@
+"""SIMCoV-GPU: the paper's multinode, multi-GPU implementation (§3).
+
+The domain is decomposed over simulated GPU devices
+(:mod:`repro.gpusim`); each step is a fixed sequence of kernels separated
+by halo-copy waves (Fig 2):
+
+- the T-cell tiebreak is the **single-exchange** bid protocol of §3.1:
+  every T cell stores a random bid at its own voxel and (atomic-max) at its
+  target; one max-merge halo wave makes every device agree on every
+  winner, with deterministic erase-at-source / instantiate-at-target;
+- **memory tiling** (§3.2): kernels run only over active tiles; a periodic
+  sweep (period <= tile side, one-tile activation buffer, ghost tiles
+  pinned) re-derives activity;
+- **fast reduction** (§3.3): per-step statistics are computed by a
+  shared-memory tree reduction over every voxel instead of atomics
+  scattered through the update kernels.
+
+:class:`~repro.simcov_gpu.variants.GpuVariant` selects which of the two
+optimizations are enabled — the four prototypes profiled in Fig 4.
+"""
+
+from repro.simcov_gpu.variants import GpuVariant
+from repro.simcov_gpu.simulation import SimCovGPU
+
+__all__ = ["SimCovGPU", "GpuVariant"]

@@ -1,0 +1,39 @@
+"""The four SIMCoV-GPU optimization prototypes profiled in Fig 4 (§3.4)."""
+
+from __future__ import annotations
+
+import enum
+
+
+class GpuVariant(enum.Enum):
+    """Which GPU optimizations are enabled.
+
+    - ``UNOPTIMIZED``: iterates the entire simulation space every step and
+      accumulates statistics with atomics inside the update sweep;
+    - ``FAST_REDUCTION``: tree reduction only;
+    - ``MEMORY_TILING``: active-tile tracking only;
+    - ``COMBINED``: both (the production configuration).
+    """
+
+    UNOPTIMIZED = "unoptimized"
+    FAST_REDUCTION = "fast_reduction"
+    MEMORY_TILING = "memory_tiling"
+    COMBINED = "combined"
+
+    @property
+    def use_tiling(self) -> bool:
+        return self in (GpuVariant.MEMORY_TILING, GpuVariant.COMBINED)
+
+    @property
+    def use_tree_reduction(self) -> bool:
+        return self in (GpuVariant.FAST_REDUCTION, GpuVariant.COMBINED)
+
+    @property
+    def label(self) -> str:
+        """Fig 4 y-axis label."""
+        return {
+            GpuVariant.UNOPTIMIZED: "Unoptimized",
+            GpuVariant.FAST_REDUCTION: "Fast Reduction",
+            GpuVariant.MEMORY_TILING: "Memory Tiling",
+            GpuVariant.COMBINED: "Combined",
+        }[self]

@@ -1,0 +1,292 @@
+"""Unit tests for the shared update kernels."""
+
+import numpy as np
+import pytest
+
+from repro.core import kernels
+from repro.core.params import SimCovParams
+from repro.core.state import EpiState, VoxelBlock
+from repro.grid.spec import GridSpec
+from repro.rng.streams import VoxelRNG
+
+
+@pytest.fixture
+def params():
+    return SimCovParams.fast_test(dim=(12, 12), num_infections=1)
+
+
+@pytest.fixture
+def block(params):
+    spec = GridSpec(params.dim)
+    return VoxelBlock(spec, spec.domain)
+
+
+@pytest.fixture
+def rng():
+    return VoxelRNG(7)
+
+
+def put_tcell(block, x, y, life=50, bound=0):
+    """Place a T cell at *global* (x, y)."""
+    g = block.ghost
+    block.tcell[x + g, y + g] = 1
+    block.tcell_tissue_time[x + g, y + g] = life
+    block.tcell_bound_time[x + g, y + g] = bound
+
+
+class TestTcellAge:
+    def test_decrement_and_death(self, block):
+        put_tcell(block, 3, 3, life=1)
+        put_tcell(block, 5, 5, life=10)
+        kernels.tcell_age(block, block.interior)
+        assert block.tcell[4, 4] == 0  # died
+        assert block.tcell[6, 6] == 1
+        assert block.tcell_tissue_time[6, 6] == 9
+
+    def test_bound_countdown(self, block):
+        put_tcell(block, 2, 2, life=50, bound=3)
+        kernels.tcell_age(block, block.interior)
+        assert block.tcell_bound_time[3, 3] == 2
+
+    def test_unbound_stays_zero(self, block):
+        put_tcell(block, 2, 2, life=50, bound=0)
+        kernels.tcell_age(block, block.interior)
+        assert block.tcell_bound_time[3, 3] == 0
+
+
+class TestIntents:
+    def test_lone_tcell_moves(self, params, block, rng):
+        put_tcell(block, 6, 6)
+        intents = kernels.IntentArrays(block.shape)
+        kernels.tcell_intents(params, rng, 0, block, intents, block.interior)
+        assert intents.move_dir[7, 7] >= 0
+        assert intents.bid_self[7, 7] > 0
+        assert intents.bind_dir[7, 7] == -1
+        # Exactly one target voxel has a move bid.
+        assert (intents.move_bid > 0).sum() == 1
+
+    def test_bound_tcell_no_intent(self, params, block, rng):
+        put_tcell(block, 6, 6, bound=2)
+        intents = kernels.IntentArrays(block.shape)
+        kernels.tcell_intents(params, rng, 0, block, intents, block.interior)
+        assert intents.move_dir[7, 7] == -1
+        assert intents.bind_dir[7, 7] == -1
+
+    def test_binder_prefers_bind_over_move(self, params, block, rng):
+        put_tcell(block, 6, 6)
+        block.epi_state[7, 8] = EpiState.EXPRESSING  # neighbor of (6,6)
+        intents = kernels.IntentArrays(block.shape)
+        kernels.tcell_intents(params, rng, 0, block, intents, block.interior)
+        assert intents.bind_dir[7, 7] >= 0
+        assert intents.move_dir[7, 7] == -1
+        assert intents.bind_bid[7, 8] > 0
+
+    def test_incubating_not_bindable(self, params, block, rng):
+        put_tcell(block, 6, 6)
+        block.epi_state[7, 8] = EpiState.INCUBATING
+        intents = kernels.IntentArrays(block.shape)
+        kernels.tcell_intents(params, rng, 0, block, intents, block.interior)
+        assert intents.bind_dir[7, 7] == -1
+        assert intents.move_dir[7, 7] >= 0
+
+    def test_surrounded_tcell_blocked(self, params, block, rng):
+        put_tcell(block, 6, 6)
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                if dx or dy:
+                    put_tcell(block, 6 + dx, 6 + dy)
+        intents = kernels.IntentArrays(block.shape)
+        kernels.tcell_intents(params, rng, 0, block, intents, block.interior)
+        assert intents.move_dir[7, 7] == -1  # all neighbors occupied
+
+    def test_corner_tcell_never_targets_outside(self, params, block, rng):
+        """A T cell at the domain corner must not move out of the domain.
+        Run many steps so every direction is eventually drawn."""
+        put_tcell(block, 0, 0, life=10**6)
+        intents = kernels.IntentArrays(block.shape)
+        for step in range(50):
+            intents.clear()
+            kernels.tcell_intents(params, rng, step, block, intents, block.interior)
+            d = intents.move_dir[1, 1]
+            if d >= 0:
+                from repro.grid.spec import moore_offsets
+
+                off = moore_offsets(2)[d]
+                target = np.array([0, 0]) + off
+                assert (target >= 0).all(), f"step {step} moved out {target}"
+
+    def test_clear_resets(self, params, block, rng):
+        put_tcell(block, 6, 6)
+        intents = kernels.IntentArrays(block.shape)
+        kernels.tcell_intents(params, rng, 0, block, intents, block.interior)
+        intents.clear()
+        assert (intents.move_dir == -1).all()
+        assert (intents.bid_self == 0).all()
+
+
+class TestResolveMoves:
+    def test_single_mover_moves(self, params, block, rng):
+        put_tcell(block, 6, 6, life=42)
+        intents = kernels.IntentArrays(block.shape)
+        kernels.tcell_intents(params, rng, 0, block, intents, block.interior)
+        moved = kernels.resolve_moves(block, intents, block.interior)
+        assert moved == 1
+        assert block.tcell.sum() == 1
+        assert block.tcell[7, 7] == 0  # vacated
+        assert block.tcell_tissue_time.sum() == 42  # payload moved intact
+
+    def test_conflict_one_winner(self, params, block, rng):
+        """Two T cells bidding on the same voxel: exactly one moves."""
+        # Place cells around (6,6) and force their choices by scanning steps
+        # until both target the same voxel.
+        put_tcell(block, 5, 5, life=10**6)
+        put_tcell(block, 7, 7, life=10**6)
+        from repro.grid.spec import moore_offsets
+
+        offs = moore_offsets(2)
+        found = False
+        for step in range(500):
+            intents = kernels.IntentArrays(block.shape)
+            kernels.tcell_intents(params, rng, step, block, intents, block.interior)
+            d1, d2 = intents.move_dir[6, 6], intents.move_dir[8, 8]
+            if d1 < 0 or d2 < 0:
+                continue
+            t1 = np.array([5, 5]) + offs[d1]
+            t2 = np.array([7, 7]) + offs[d2]
+            if (t1 == t2).all():
+                found = True
+                before = int(block.tcell.sum())
+                kernels.resolve_moves(block, intents, block.interior)
+                after = int(block.tcell.sum())
+                assert after == before == 2  # conservation
+                # Exactly one landed on the contested voxel.
+                assert block.tcell[t1[0] + 1, t1[1] + 1] == 1
+                break
+        assert found, "no conflicting step found in 500 tries"
+
+    def test_conservation_over_many_steps(self, params, block, rng):
+        rs = np.random.default_rng(0)
+        for _ in range(12):
+            x, y = rs.integers(0, 12, size=2)
+            put_tcell(block, int(x), int(y), life=10**6)
+        n0 = int(block.tcell.sum())
+        for step in range(30):
+            intents = kernels.IntentArrays(block.shape)
+            kernels.tcell_intents(params, rng, step, block, intents, block.interior)
+            kernels.resolve_moves(block, intents, block.interior)
+            assert int(block.tcell.sum()) == n0
+            # Occupancy is 0/1 everywhere.
+            assert block.tcell.max() <= 1
+
+
+class TestResolveBinds:
+    def test_bind_triggers_apoptosis(self, params, block, rng):
+        put_tcell(block, 6, 6)
+        block.epi_state[7, 8] = EpiState.EXPRESSING
+        intents = kernels.IntentArrays(block.shape)
+        kernels.tcell_intents(params, rng, 0, block, intents, block.interior)
+        binds = kernels.resolve_binds(params, rng, 0, block, intents, block.interior)
+        assert binds == 1
+        assert block.epi_state[7, 8] == EpiState.APOPTOTIC
+        assert block.epi_timer[7, 8] >= 1
+        assert block.tcell_bound_time[7, 7] == params.tcell_binding_period
+
+    def test_two_binders_one_wins(self, params, block, rng):
+        block.epi_state[7, 7] = EpiState.EXPRESSING
+        put_tcell(block, 6, 6)
+        put_tcell(block, 6, 7)
+        intents = kernels.IntentArrays(block.shape)
+        kernels.tcell_intents(params, rng, 0, block, intents, block.interior)
+        kernels.resolve_binds(params, rng, 0, block, intents, block.interior)
+        bound = (block.tcell_bound_time > 0).sum()
+        assert bound == 1  # exactly one binder won
+
+
+class TestEpithelialUpdate:
+    def test_infection_requires_virions(self, params, block, rng):
+        kernels.epithelial_update(params, rng, 0, block, block.interior)
+        assert (block.epi_state[block.interior] == EpiState.HEALTHY).all()
+
+    def test_infection_with_certainty(self, block, rng):
+        p = SimCovParams.fast_test(dim=(12, 12)).with_(infectivity=1.0)
+        block.virions[block.interior] = 1.0
+        kernels.epithelial_update(p, rng, 0, block, block.interior)
+        assert (block.epi_state[block.interior] == EpiState.INCUBATING).all()
+        assert (block.epi_timer[block.interior] >= 1).all()
+
+    def test_single_transition_per_step(self, params, block, rng):
+        """A cell that becomes expressing must not also die this step."""
+        block.epi_state[3, 3] = EpiState.INCUBATING
+        block.epi_timer[3, 3] = 1
+        kernels.epithelial_update(params, rng, 0, block, block.interior)
+        assert block.epi_state[3, 3] == EpiState.EXPRESSING
+        assert block.epi_timer[3, 3] >= 1
+
+    def test_expressing_dies_at_timeout(self, params, block, rng):
+        block.epi_state[3, 3] = EpiState.EXPRESSING
+        block.epi_timer[3, 3] = 1
+        kernels.epithelial_update(params, rng, 0, block, block.interior)
+        assert block.epi_state[3, 3] == EpiState.DEAD
+
+    def test_apoptotic_dies_at_timeout(self, params, block, rng):
+        block.epi_state[3, 3] = EpiState.APOPTOTIC
+        block.epi_timer[3, 3] = 2
+        kernels.epithelial_update(params, rng, 0, block, block.interior)
+        assert block.epi_state[3, 3] == EpiState.APOPTOTIC
+        kernels.epithelial_update(params, rng, 1, block, block.interior)
+        assert block.epi_state[3, 3] == EpiState.DEAD
+
+
+class TestProduction:
+    def test_producers_and_clamp(self, params, block):
+        block.epi_state[2, 2] = EpiState.INCUBATING
+        block.epi_state[3, 3] = EpiState.EXPRESSING
+        block.epi_state[4, 4] = EpiState.APOPTOTIC
+        block.epi_state[5, 5] = EpiState.DEAD
+        block.virions[3, 3] = 0.95
+        kernels.production_update(params, block, block.interior)
+        assert block.virions[2, 2] == pytest.approx(params.virion_production)
+        assert block.virions[3, 3] == 1.0  # clamped
+        assert block.virions[4, 4] > 0
+        assert block.virions[5, 5] == 0.0
+        # Chemokine only from detectable states.
+        assert block.chemokine[2, 2] == 0.0
+        assert block.chemokine[3, 3] > 0
+        assert block.chemokine[4, 4] > 0
+
+
+class TestExtravasation:
+    def test_attempt_schedule_deterministic(self, params, rng):
+        a = kernels.extravasation_attempts(params, rng, 5, pool=40.0)
+        b = kernels.extravasation_attempts(params, rng, 5, pool=40.0)
+        np.testing.assert_array_equal(a["gid"], b["gid"])
+        assert a["gid"].size in (8, 9)  # 40 * 0.2 = 8 (+ stochastic round)
+
+    def test_zero_pool_no_attempts(self, params, rng):
+        a = kernels.extravasation_attempts(params, rng, 0, pool=0.0)
+        assert a["gid"].size == 0
+
+    def test_needs_chemokine(self, params, block, rng):
+        attempts = kernels.extravasation_attempts(params, rng, 0, pool=100.0)
+        n = kernels.apply_extravasation(params, block, attempts)
+        assert n == 0  # no signal anywhere
+        assert block.tcell.sum() == 0
+
+    def test_enters_at_signal(self, params, block, rng):
+        block.chemokine[block.interior] = 1.0
+        attempts = kernels.extravasation_attempts(params, rng, 0, pool=100.0)
+        n = kernels.apply_extravasation(params, block, attempts)
+        assert n > 0
+        assert block.tcell.sum() == n
+        assert (block.tcell_tissue_time[block.tcell == 1] >= 1).all()
+
+    def test_no_double_occupancy(self, params, rng):
+        """Many attempts on a tiny grid: occupancy stays 0/1."""
+        p = SimCovParams.fast_test(dim=(3, 3))
+        spec = GridSpec(p.dim)
+        blk = VoxelBlock(spec, spec.domain)
+        blk.chemokine[blk.interior] = 1.0
+        attempts = kernels.extravasation_attempts(p, rng, 0, pool=500.0)
+        n = kernels.apply_extravasation(p, blk, attempts)
+        assert blk.tcell.max() <= 1
+        assert n == blk.tcell.sum() <= 9

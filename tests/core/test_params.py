@@ -1,0 +1,81 @@
+"""Tests for SimCovParams validation and derived quantities."""
+
+import pytest
+
+from repro.core.params import SimCovParams
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        p = SimCovParams()
+        assert p.num_voxels == 10_000
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            SimCovParams(dim=(100,))
+
+    def test_rejects_nonpositive_dim(self):
+        with pytest.raises(ValueError):
+            SimCovParams(dim=(0, 10))
+
+    def test_rejects_too_many_foi(self):
+        with pytest.raises(ValueError):
+            SimCovParams(dim=(4, 4), num_infections=17)
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            SimCovParams(infectivity=1.5)
+        with pytest.raises(ValueError):
+            SimCovParams(extravasate_fraction=-0.1)
+
+    def test_rejects_bad_diffusion(self):
+        with pytest.raises(ValueError):
+            SimCovParams(virion_diffusion=2.0)
+
+    def test_rejects_zero_period(self):
+        with pytest.raises(ValueError):
+            SimCovParams(incubation_period=0)
+
+    def test_3d_dim(self):
+        p = SimCovParams(dim=(10, 10, 5))
+        assert p.ndim == 3
+        assert p.num_voxels == 500
+
+
+class TestDerived:
+    def test_simulated_days(self):
+        p = SimCovParams(num_steps=33_120)
+        assert abs(p.simulated_days - 23.0) < 0.1
+
+    def test_with_replaces(self):
+        p = SimCovParams()
+        q = p.with_(num_infections=8)
+        assert q.num_infections == 8
+        assert p.num_infections == 1
+        assert q.dim == p.dim
+
+    def test_with_validates(self):
+        with pytest.raises(ValueError):
+            SimCovParams().with_(infectivity=9.0)
+
+
+class TestPresets:
+    def test_default_covid_is_paper_base(self):
+        p = SimCovParams.default_covid()
+        assert p.dim == (10_000, 10_000)
+        assert p.num_infections == 16
+        assert p.num_steps == 33_120
+        # Moses et al. defaults.
+        assert p.incubation_period == 480
+        assert p.expressing_period == 900
+        assert p.apoptosis_period == 180
+        assert p.tcell_initial_delay == 10_080
+
+    def test_fast_test_is_small_and_quick(self):
+        p = SimCovParams.fast_test()
+        assert p.num_voxels <= 64 * 64
+        assert p.tcell_initial_delay < 200
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            SimCovParams().dim = (5, 5)

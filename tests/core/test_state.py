@@ -1,0 +1,94 @@
+"""Tests for VoxelBlock state arrays."""
+
+import numpy as np
+
+from repro.core.state import EpiState, VoxelBlock
+from repro.grid.box import Box
+from repro.grid.spec import GridSpec
+
+
+class TestVoxelBlock:
+    def test_whole_domain_block(self):
+        spec = GridSpec((8, 6))
+        blk = VoxelBlock(spec, spec.domain)
+        assert blk.shape == (10, 8)
+        assert blk.interior == (slice(1, 9), slice(1, 7))
+        assert blk.origin == (-1, -1)
+
+    def test_all_interior_healthy(self):
+        spec = GridSpec((8, 6))
+        blk = VoxelBlock(spec, spec.domain)
+        assert (blk.epi_state[blk.interior] == EpiState.HEALTHY).all()
+        # Ghost ring outside the domain is EMPTY.
+        assert (blk.epi_state[0, :] == EpiState.EMPTY).all()
+
+    def test_subdomain_ghosts_in_domain_are_healthy(self):
+        spec = GridSpec((8, 8))
+        blk = VoxelBlock(spec, Box((0, 0), (4, 4)))
+        # Ghost at local (5, 2) = global (4, 1): inside domain.
+        assert blk.in_domain[5, 2]
+        assert blk.epi_state[5, 2] == EpiState.HEALTHY
+        # Ghost at local (0, 0) = global (-1, -1): outside.
+        assert not blk.in_domain[0, 0]
+        assert blk.epi_state[0, 0] == EpiState.EMPTY
+
+    def test_gid_matches_spec(self):
+        spec = GridSpec((8, 8))
+        blk = VoxelBlock(spec, Box((2, 2), (6, 6)))
+        # Local (1,1) is global (2,2).
+        assert blk.gid[1, 1] == spec.ravel(np.array([2, 2]))
+        assert blk.gid[4, 4] == spec.ravel(np.array([5, 5]))
+
+    def test_gid_negative_outside(self):
+        spec = GridSpec((4, 4))
+        blk = VoxelBlock(spec, spec.domain)
+        assert blk.gid[0, 0] == -1
+
+    def test_state_arrays_bundle(self):
+        spec = GridSpec((4, 4))
+        blk = VoxelBlock(spec, spec.domain)
+        bundle = blk.state_arrays()
+        assert set(bundle) == set(VoxelBlock.STATE_FIELDS)
+        assert bundle["virions"] is blk.virions
+
+    def test_3d_block(self):
+        spec = GridSpec((4, 4, 4))
+        blk = VoxelBlock(spec, spec.domain)
+        assert blk.shape == (6, 6, 6)
+        assert (blk.epi_state[blk.interior] == EpiState.HEALTHY).all()
+
+
+class TestActivityMask:
+    def test_fresh_block_inactive(self):
+        spec = GridSpec((6, 6))
+        blk = VoxelBlock(spec, spec.domain)
+        assert not blk.activity_mask(1e-6).any()
+
+    def test_virions_activate(self):
+        spec = GridSpec((6, 6))
+        blk = VoxelBlock(spec, spec.domain)
+        blk.virions[3, 3] = 0.5
+        mask = blk.activity_mask(1e-6)
+        assert mask.sum() == 1
+        assert mask[2, 2]  # interior coords are padded coords - 1
+
+    def test_tcell_and_infected_activate(self):
+        spec = GridSpec((6, 6))
+        blk = VoxelBlock(spec, spec.domain)
+        blk.tcell[1, 1] = 1
+        blk.epi_state[4, 4] = EpiState.EXPRESSING
+        assert blk.activity_mask(1e-6).sum() == 2
+
+    def test_subthreshold_chemokine_inactive(self):
+        spec = GridSpec((6, 6))
+        blk = VoxelBlock(spec, spec.domain)
+        blk.chemokine[2, 2] = 1e-9
+        assert not blk.activity_mask(1e-6).any()
+        blk.chemokine[2, 2] = 1e-3
+        assert blk.activity_mask(1e-6).sum() == 1
+
+    def test_dead_cells_inactive(self):
+        spec = GridSpec((6, 6))
+        blk = VoxelBlock(spec, spec.domain)
+        blk.epi_state[blk.interior] = EpiState.DEAD
+        assert not blk.activity_mask(1e-6).any()

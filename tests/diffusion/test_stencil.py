@@ -1,0 +1,168 @@
+"""Tests for the diffusion stencil: conservation, symmetry, equivalences."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.diffusion.stencil import (
+    decay_field,
+    diffuse_global,
+    diffuse_padded,
+    diffuse_region,
+    mirror_out_of_domain,
+    mirror_pad,
+)
+from repro.grid.box import Box
+from repro.grid.decomposition import Decomposition
+from repro.grid.halo import HaloExchanger, MergeMode
+from repro.grid.spec import GridSpec
+
+
+class TestBasics:
+    def test_point_source_spreads_symmetrically(self):
+        f = np.zeros((11, 11))
+        f[5, 5] = 100.0
+        out = diffuse_global(f, 0.4)
+        assert out[5, 5] < 100.0
+        assert out[4, 5] == out[6, 5] == out[5, 4] == out[5, 6] > 0
+        assert out[4, 4] == 0.0  # diagonal not in VN stencil
+
+    def test_mass_conserved(self):
+        rng = np.random.default_rng(0)
+        f = rng.random((20, 20)) * 10
+        out = diffuse_global(f, 0.8)
+        assert np.isclose(out.sum(), f.sum(), rtol=1e-12)
+
+    def test_mass_conserved_3d(self):
+        rng = np.random.default_rng(1)
+        f = rng.random((8, 8, 8))
+        out = diffuse_global(f, 0.5)
+        assert np.isclose(out.sum(), f.sum(), rtol=1e-12)
+
+    def test_nonnegativity(self):
+        rng = np.random.default_rng(2)
+        f = rng.random((16, 16))
+        out = f
+        for _ in range(50):
+            out = diffuse_global(out, 1.0)
+        assert out.min() >= 0
+
+    def test_uniform_field_fixed_point(self):
+        f = np.full((9, 9), 3.14)
+        np.testing.assert_allclose(diffuse_global(f, 0.7), f)
+
+    def test_converges_to_uniform(self):
+        f = np.zeros((8, 8))
+        f[0, 0] = 64.0
+        out = f
+        for _ in range(3000):
+            out = diffuse_global(out, 0.5)
+        np.testing.assert_allclose(out, 1.0, atol=1e-6)
+
+    def test_zero_rate_identity(self):
+        rng = np.random.default_rng(3)
+        f = rng.random((6, 6))
+        np.testing.assert_array_equal(diffuse_global(f, 0.0), f)
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            diffuse_global(np.zeros((4, 4)), 1.5)
+        with pytest.raises(ValueError):
+            diffuse_global(np.zeros((4, 4)), -0.1)
+
+    def test_region_requires_distinct_buffers(self):
+        f = np.zeros((6, 6))
+        with pytest.raises(ValueError):
+            diffuse_region(f, f, (slice(1, 5), slice(1, 5)), 0.5)
+
+
+class TestDecay:
+    def test_exponential(self):
+        f = np.full((4, 4), 10.0)
+        decay_field(f, 0.1)
+        np.testing.assert_allclose(f, 9.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            decay_field(np.zeros(3), 2.0)
+
+
+class TestDistributedEquivalence:
+    """Halo exchange + per-rank padded update == global update, exactly."""
+
+    @pytest.mark.parametrize("nranks", [1, 2, 4, 6])
+    def test_subdomain_matches_global(self, nranks):
+        spec = GridSpec((24, 18))
+        decomp = Decomposition.blocks(spec, nranks)
+        ex = HaloExchanger(decomp)
+        rng = np.random.default_rng(42)
+        g = rng.random(spec.shape)
+        expected = diffuse_global(g, 0.6)
+        arrays = ex.scatter_global(g.astype(np.float64))
+        ex.exchange(arrays, MergeMode.REPLACE)
+        results = []
+        for rank in range(nranks):
+            arr = arrays[rank]
+            mirror_out_of_domain(arr, decomp.boxes[rank], spec.domain)
+            results.append(arr)
+        locals_new = [diffuse_padded(a, 0.6) for a in results]
+        # Reassemble and compare.
+        out = np.zeros(spec.shape)
+        for rank in range(nranks):
+            out[decomp.boxes[rank].slices_from((0, 0))] = locals_new[rank]
+        np.testing.assert_allclose(out, expected, rtol=1e-13)
+
+    def test_region_update_matches_padded(self):
+        """Tile-wise application covers the same result as one padded call."""
+        rng = np.random.default_rng(7)
+        padded = rng.random((14, 14))
+        whole = diffuse_padded(padded, 0.3)
+        dst = np.zeros_like(padded)
+        # Apply over four quadrant tiles of the 12x12 interior.
+        for si in (slice(1, 7), slice(7, 13)):
+            for sj in (slice(1, 7), slice(7, 13)):
+                diffuse_region(padded, dst, (si, sj), 0.3)
+        np.testing.assert_allclose(dst[1:-1, 1:-1], whole, rtol=1e-14)
+
+
+class TestMirrorOutOfDomain:
+    def test_corner_rank_mirrors_two_sides(self):
+        domain = Box((0, 0), (8, 8))
+        owned = Box((0, 0), (4, 4))
+        arr = np.zeros((6, 6))
+        arr[1:-1, 1:-1] = np.arange(16).reshape(4, 4)
+        mirror_out_of_domain(arr, owned, domain)
+        np.testing.assert_array_equal(arr[0, 1:-1], arr[1, 1:-1])
+        np.testing.assert_array_equal(arr[1:-1, 0], arr[1:-1, 1])
+        # High sides face the interior: untouched.
+        assert arr[-1, 1:-1].sum() == 0
+
+    def test_interior_rank_untouched(self):
+        domain = Box((0, 0), (12, 12))
+        owned = Box((4, 4), (8, 8))
+        arr = np.ones((6, 6))
+        arr[0, :] = -5
+        mirror_out_of_domain(arr, owned, domain)
+        assert (arr[0, :] == -5).all()
+
+
+class TestProperties:
+    @given(
+        seed=st.integers(min_value=0, max_value=1000),
+        rate=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_conservation_property(self, seed, rate):
+        f = np.random.default_rng(seed).random((10, 10))
+        out = diffuse_global(f, rate)
+        assert np.isclose(out.sum(), f.sum(), rtol=1e-10)
+        assert out.min() >= -1e-15
+
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=20, deadline=None)
+    def test_maximum_principle(self, seed):
+        """Diffusion never exceeds the initial extremes."""
+        f = np.random.default_rng(seed).random((10, 10))
+        out = diffuse_global(f, 1.0)
+        assert out.max() <= f.max() + 1e-12
+        assert out.min() >= f.min() - 1e-12

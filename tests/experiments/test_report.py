@@ -1,0 +1,44 @@
+"""Tests for the automated paper-vs-measured report."""
+
+import pytest
+
+from repro.experiments.report import generate_report, write_report
+
+
+@pytest.fixture(scope="module")
+def report_text():
+    return generate_report(fast=True)
+
+
+class TestReport:
+    def test_all_sections_present(self, report_text):
+        for section in (
+            "Table 1", "Fig 4", "Fig 5 / Table 2", "Fig 6", "Fig 7", "Fig 8"
+        ):
+            assert section in report_text, section
+
+    def test_paper_values_quoted(self, report_text):
+        assert "4.98" in report_text  # strong-scaling base paper speedup
+        assert "11.97" in report_text  # FOI paper speedup
+        assert "99.68" in report_text  # Table 2 paper agreement
+
+    def test_variants_listed(self, report_text):
+        for label in ("Unoptimized", "Fast Reduction", "Memory Tiling",
+                      "Combined"):
+            assert label in report_text
+
+    def test_markdown_tables_well_formed(self, report_text):
+        for line in report_text.splitlines():
+            if line.startswith("|") and "---" not in line:
+                # Consistent column separators.
+                assert line.count("|") >= 3
+
+    def test_write_report(self, tmp_path, monkeypatch):
+        import repro.experiments.report as rep
+
+        monkeypatch.setattr(
+            rep, "generate_report", lambda fast=False: "# stub\n"
+        )
+        path = write_report(str(tmp_path / "out" / "REPORT.md"))
+        with open(path) as fh:
+            assert fh.read() == "# stub\n"

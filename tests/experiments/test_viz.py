@@ -1,0 +1,80 @@
+"""Tests for world-state rendering."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import SequentialSimCov
+from repro.core.params import SimCovParams
+from repro.core.state import EpiState, VoxelBlock
+from repro.experiments.viz import LEGEND, render_activity, render_world
+from repro.grid.spec import GridSpec
+
+
+class TestRenderWorld:
+    def test_fresh_tissue_all_healthy(self):
+        spec = GridSpec((8, 8))
+        blk = VoxelBlock(spec, spec.domain)
+        art = render_world(blk)
+        rows = art.splitlines()[:-1]
+        assert rows == ["........"] * 8
+
+    def test_states_rendered(self):
+        spec = GridSpec((4, 4))
+        blk = VoxelBlock(spec, spec.domain)
+        blk.epi_state[1, 1] = EpiState.EXPRESSING
+        blk.epi_state[2, 2] = EpiState.DEAD
+        blk.tcell[3, 3] = 1
+        art = render_world(blk)
+        assert "E" in art and "x" in art and "T" in art
+
+    def test_tcell_drawn_over_epithelium(self):
+        spec = GridSpec((2, 2))
+        blk = VoxelBlock(spec, spec.domain)
+        blk.epi_state[1, 1] = EpiState.APOPTOTIC
+        blk.tcell[1, 1] = 1
+        art = render_world(blk).splitlines()[0]
+        assert art[0] == "T"
+
+    def test_downsampling_keeps_features(self):
+        spec = GridSpec((200, 200))
+        blk = VoxelBlock(spec, spec.domain)
+        blk.epi_state[100, 100] = EpiState.EXPRESSING
+        art = render_world(blk, max_width=50)
+        rows = art.splitlines()[:-1]
+        assert len(rows) <= 50
+        assert any("E" in r for r in rows)
+
+    def test_legend_present(self):
+        spec = GridSpec((4, 4))
+        blk = VoxelBlock(spec, spec.domain)
+        assert LEGEND in render_world(blk)
+
+    def test_rejects_3d(self):
+        spec = GridSpec((4, 4, 4))
+        blk = VoxelBlock(spec, spec.domain)
+        with pytest.raises(ValueError):
+            render_world(blk)
+
+    def test_real_simulation_snapshot(self):
+        p = SimCovParams.fast_test(dim=(32, 32), num_infections=2,
+                                   num_steps=60)
+        sim = SequentialSimCov(p, seed=3)
+        sim.run()
+        art = render_world(sim.block)
+        # A mid-infection world shows infected states.
+        assert any(g in art for g in ("i", "E", "x"))
+
+
+class TestRenderActivity:
+    def test_active_and_buffer(self):
+        mask = np.zeros((8, 8), dtype=bool)
+        mask[2, 2] = True
+        tiles = np.zeros((8, 8), dtype=bool)
+        tiles[:4, :4] = True
+        art = render_activity(mask, tiles)
+        assert "#" in art and "+" in art and "." in art
+
+    def test_no_tiles(self):
+        mask = np.ones((4, 4), dtype=bool)
+        art = render_activity(mask)
+        assert art.splitlines()[0] == "####"

@@ -1,0 +1,72 @@
+"""Tests for GpuCluster topology and copy accounting."""
+
+import numpy as np
+import pytest
+
+from repro.grid.decomposition import Decomposition
+from repro.grid.halo import HaloExchanger, MergeMode
+from repro.grid.spec import GridSpec
+from repro.gpusim.cluster import GpuCluster
+
+
+class TestTopology:
+    def test_node_packing(self):
+        c = GpuCluster(16, gpus_per_node=4)
+        assert c.num_nodes == 4
+        assert c.devices[0].node == 0
+        assert c.devices[3].node == 0
+        assert c.devices[4].node == 1
+        assert c.devices[15].node == 3
+
+    def test_internode(self):
+        c = GpuCluster(8, gpus_per_node=4)
+        assert not c.internode(0, 3)
+        assert c.internode(3, 4)
+
+    def test_partial_last_node(self):
+        assert GpuCluster(6, gpus_per_node=4).num_nodes == 2
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            GpuCluster(0)
+        with pytest.raises(ValueError):
+            GpuCluster(4, gpus_per_node=0)
+
+
+class TestCopyAccounting:
+    def test_intra_vs_inter(self):
+        c = GpuCluster(8, gpus_per_node=4)
+        c.copy(0, 1, 100)
+        c.copy(0, 5, 200)
+        assert c.ledger.copies_intra == 1
+        assert c.ledger.copy_bytes_intra == 100
+        assert c.ledger.copies_inter == 1
+        assert c.ledger.copy_bytes_inter == 200
+
+    def test_halo_hook_integration(self):
+        """A halo exchange over a 4-device cluster lands its messages in the
+        cluster ledger with the right locality split."""
+        spec = GridSpec((16, 16))
+        decomp = Decomposition.blocks(spec, 4)
+        c = GpuCluster(4, gpus_per_node=2)  # devices {0,1} node0, {2,3} node1
+        ex = HaloExchanger(decomp, on_message=c.halo_message_hook())
+        arrays = [ex.allocate(r, np.float32) for r in range(4)]
+        ex.exchange(arrays, MergeMode.REPLACE)
+        assert c.ledger.copies_intra > 0
+        assert c.ledger.copies_inter > 0
+        total = c.ledger.copy_bytes_intra + c.ledger.copy_bytes_inter
+        # 4 ranks x (2 edges of 8 voxels + 1 corner) x 4 bytes.
+        assert total == 4 * (8 + 8 + 1) * 4
+
+
+class TestReduceScalar:
+    def test_sum_and_counting(self):
+        c = GpuCluster(4)
+        out = c.reduce_scalar([1.0, 2.0, 3.0, 4.0])
+        assert out == 10.0
+        assert c.ledger.device_reductions == 1
+
+    def test_wrong_count_rejected(self):
+        c = GpuCluster(4)
+        with pytest.raises(ValueError):
+            c.reduce_scalar([1.0])

@@ -1,0 +1,87 @@
+"""Tests for Device memory management and kernel launch accounting."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.device import Device
+from repro.gpusim.ledger import KernelCategory, WorkLedger
+
+
+class TestMemory:
+    def test_allocate_and_access(self):
+        d = Device(0)
+        arr = d.allocate("virions", (8, 8), np.float32)
+        assert d["virions"] is arr
+        assert d.allocated_bytes == 256
+
+    def test_duplicate_name_rejected(self):
+        d = Device(0)
+        d.allocate("a", (4,), np.int8)
+        with pytest.raises(ValueError):
+            d.allocate("a", (4,), np.int8)
+
+    def test_capacity_enforced(self):
+        d = Device(0, capacity_bytes=100)
+        d.allocate("a", (10,), np.float64)  # 80 bytes
+        with pytest.raises(MemoryError):
+            d.allocate("b", (10,), np.float64)
+
+    def test_free_releases_capacity(self):
+        d = Device(0, capacity_bytes=100)
+        d.allocate("a", (10,), np.float64)
+        d.free("a")
+        d.allocate("b", (10,), np.float64)
+        assert d.allocated_bytes == 80
+
+    def test_fill_value(self):
+        d = Device(0)
+        arr = d.allocate("a", (3,), np.int32, fill=7)
+        assert (arr == 7).all()
+
+
+class TestLaunch:
+    def test_launch_counts(self):
+        d = Device(0)
+        d.launch(KernelCategory.UPDATE_AGENTS, voxels=100, bytes_per_voxel=12)
+        d.launch(KernelCategory.UPDATE_AGENTS, voxels=50)
+        d.launch(KernelCategory.REDUCE_STATS, voxels=200)
+        assert d.ledger.launches["update_agents"] == 2
+        assert d.ledger.voxels["update_agents"] == 150
+        assert d.ledger.global_bytes["update_agents"] == 1200
+        assert d.ledger.launches["reduce_stats"] == 1
+        assert d.ledger.total_launches() == 3
+        assert d.ledger.total_voxels() == 350
+
+    def test_launch_runs_fn_and_passes_result(self):
+        d = Device(0)
+        out = d.launch(KernelCategory.UPDATE_AGENTS, 1, fn=lambda: 42)
+        assert out == 42
+
+    def test_shared_ledger(self):
+        ledger = WorkLedger()
+        a = Device(0, ledger=ledger)
+        b = Device(1, ledger=ledger)
+        a.launch(KernelCategory.UPDATE_AGENTS, 10)
+        b.launch(KernelCategory.UPDATE_AGENTS, 20)
+        assert ledger.voxels["update_agents"] == 30
+
+
+class TestLedgerArithmetic:
+    def test_snapshot_minus(self):
+        ledger = WorkLedger()
+        d = Device(0, ledger=ledger)
+        d.launch(KernelCategory.UPDATE_AGENTS, 10)
+        before = ledger.snapshot()
+        d.launch(KernelCategory.UPDATE_AGENTS, 5)
+        d.launch(KernelCategory.TILE_SWEEP, 100)
+        delta = ledger.minus(before)
+        assert delta.voxels["update_agents"] == 5
+        assert delta.voxels["tile_sweep"] == 100
+        assert delta.launches["update_agents"] == 1
+
+    def test_snapshot_is_independent(self):
+        ledger = WorkLedger()
+        snap = ledger.snapshot()
+        ledger.record_atomics(5, 2)
+        assert snap.atomic_ops == 0
+        assert ledger.atomic_ops == 5

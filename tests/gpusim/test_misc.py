@@ -1,0 +1,57 @@
+"""Gap-filling tests for gpusim edges."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.atomics import atomic_add
+from repro.gpusim.device import Device
+from repro.gpusim.ledger import KernelCategory, WorkLedger
+
+
+class TestDeviceEdges:
+    def test_free_unknown_raises(self):
+        with pytest.raises(KeyError):
+            Device(0).free("nope")
+
+    def test_getitem_unknown_raises(self):
+        with pytest.raises(KeyError):
+            Device(0)["nope"]
+
+    def test_zero_voxel_launch(self):
+        d = Device(0)
+        d.launch(KernelCategory.UPDATE_AGENTS, 0)
+        assert d.ledger.total_launches() == 1
+        assert d.ledger.total_voxels() == 0
+
+
+class TestAtomicsEdges:
+    def test_empty_batch(self):
+        d = Device(0)
+        arr = np.zeros(4, dtype=np.int64)
+        atomic_add(d, arr, np.array([], dtype=np.int64), 1)
+        assert d.ledger.atomic_ops == 0
+        assert arr.sum() == 0
+
+    def test_multi_dim_index_conflicts(self):
+        from repro.gpusim.atomics import _conflicts
+
+        idx = np.array([[0, 0], [0, 0], [1, 1]])
+        assert _conflicts(idx) == 1
+
+
+class TestLedgerEdges:
+    def test_minus_with_disjoint_categories(self):
+        a = WorkLedger()
+        b = WorkLedger()
+        a.record_launch(KernelCategory.UPDATE_AGENTS, 10)
+        b.record_launch(KernelCategory.REDUCE_STATS, 5)
+        d = a.minus(b)
+        assert d.voxels["update_agents"] == 10
+        assert d.voxels["reduce_stats"] == -5
+
+    def test_copy_accounting_kinds(self):
+        led = WorkLedger()
+        led.record_copy(100, internode=False)
+        led.record_copy(200, internode=True)
+        assert (led.copies_intra, led.copy_bytes_intra) == (1, 100)
+        assert (led.copies_inter, led.copy_bytes_inter) == (1, 200)

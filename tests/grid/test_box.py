@@ -1,0 +1,92 @@
+"""Unit tests for Box geometry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.grid.box import Box
+
+
+def boxes(ndim=2, lo=-20, hi=20):
+    coord = st.integers(min_value=lo, max_value=hi)
+    return st.tuples(
+        st.lists(coord, min_size=ndim, max_size=ndim),
+        st.lists(st.integers(min_value=0, max_value=15), min_size=ndim, max_size=ndim),
+    ).map(lambda t: Box(tuple(t[0]), tuple(a + b for a, b in zip(t[0], t[1]))))
+
+
+class TestBoxBasics:
+    def test_shape_and_size(self):
+        b = Box((1, 2), (4, 7))
+        assert b.shape == (3, 5)
+        assert b.size == 15
+        assert not b.is_empty
+
+    def test_empty_box(self):
+        b = Box((3, 3), (3, 5))
+        assert b.is_empty
+        assert b.size == 0
+        assert b.coords().shape == (0, 2)
+
+    def test_rank_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Box((0, 0), (1, 1, 1))
+
+    def test_contains(self):
+        b = Box((0, 0), (4, 4))
+        pts = np.array([[0, 0], [3, 3], [4, 0], [-1, 2]])
+        np.testing.assert_array_equal(b.contains(pts), [True, True, False, False])
+
+    def test_expand_and_clip(self):
+        b = Box((2, 2), (4, 4))
+        e = b.expand(1)
+        assert e == Box((1, 1), (5, 5))
+        assert e.clip(Box((0, 0), (4, 10))) == Box((1, 1), (4, 5))
+
+    def test_shift(self):
+        assert Box((0, 0), (2, 2)).shift((3, -1)) == Box((3, -1), (5, 1))
+
+    def test_slices_from(self):
+        b = Box((5, 6), (8, 9))
+        sl = b.slices_from((4, 4))
+        arr = np.zeros((10, 10))
+        arr[sl] = 1
+        assert arr.sum() == 9
+        assert arr[1, 2] == 1 and arr[3, 4] == 1
+
+    def test_coords_cover_box(self):
+        b = Box((1, 1), (3, 4))
+        c = b.coords()
+        assert c.shape == (6, 2)
+        assert b.contains(c).all()
+        assert len(np.unique(c[:, 0] * 100 + c[:, 1])) == 6
+
+    def test_3d(self):
+        b = Box((0, 0, 0), (2, 3, 4))
+        assert b.size == 24
+        assert b.coords().shape == (24, 3)
+
+
+class TestBoxProperties:
+    @given(a=boxes(), b=boxes())
+    @settings(max_examples=100, deadline=None)
+    def test_intersection_commutes_and_bounds(self, a, b):
+        i1 = a.intersect(b)
+        i2 = b.intersect(a)
+        assert i1.size == i2.size
+        assert i1.size <= min(a.size, b.size)
+
+    @given(a=boxes(), b=boxes())
+    @settings(max_examples=100, deadline=None)
+    def test_intersection_membership(self, a, b):
+        inter = a.intersect(b)
+        if not inter.is_empty:
+            pts = inter.coords()
+            assert a.contains(pts).all()
+            assert b.contains(pts).all()
+
+    @given(a=boxes(), w=st.integers(min_value=0, max_value=3))
+    @settings(max_examples=60, deadline=None)
+    def test_expand_shrink_roundtrip(self, a, w):
+        if not a.is_empty:
+            assert a.expand(w).expand(-w) == a

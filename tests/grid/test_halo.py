@@ -1,0 +1,184 @@
+"""Tests for halo exchange: REPLACE and MAX merge semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.grid.decomposition import Decomposition
+from repro.grid.halo import HaloExchanger, MergeMode
+from repro.grid.spec import GridSpec
+
+
+def make_exchanger(shape=(12, 12), nranks=4, ghost=1, on_message=None):
+    spec = GridSpec(shape)
+    decomp = Decomposition.blocks(spec, nranks)
+    return HaloExchanger(decomp, ghost=ghost, on_message=on_message)
+
+
+class TestGeometry:
+    def test_local_shape(self):
+        ex = make_exchanger((12, 12), 4)
+        assert ex.local_shape(0) == (8, 8)  # 6x6 owned + 2 ghost
+
+    def test_owned_slices_select_interior(self):
+        ex = make_exchanger()
+        arr = ex.allocate(0, np.int32)
+        arr[ex.owned_slices(0)] = 1
+        assert arr.sum() == 36
+        assert arr[0, :].sum() == 0 and arr[-1, :].sum() == 0
+
+    def test_scatter_gather_roundtrip(self):
+        ex = make_exchanger((10, 14), 4)
+        rng = np.random.default_rng(0)
+        g = rng.integers(0, 100, size=(10, 14)).astype(np.int64)
+        arrays = ex.scatter_global(g)
+        np.testing.assert_array_equal(ex.gather_global(arrays), g)
+
+
+class TestReplaceExchange:
+    def test_ghosts_match_owner_values(self):
+        spec = GridSpec((12, 12))
+        decomp = Decomposition.blocks(spec, 4)
+        ex = HaloExchanger(decomp)
+        rng = np.random.default_rng(1)
+        g = rng.integers(0, 1000, size=spec.shape).astype(np.int64)
+        # Scatter WITHOUT ghosts, then exchange must fill them.
+        arrays = []
+        for rank in range(4):
+            arr = ex.allocate(rank, np.int64)
+            arr[ex.owned_slices(rank)] = g[
+                decomp.boxes[rank].slices_from((0, 0))
+            ]
+            arrays.append(arr)
+        ex.exchange(arrays, MergeMode.REPLACE)
+        for rank in range(4):
+            ext = ex.extents[rank]
+            local = arrays[rank][ex.region_slices(rank, ext)]
+            np.testing.assert_array_equal(
+                local, g[ext.slices_from((0, 0))],
+                err_msg=f"rank {rank} extent mismatch",
+            )
+
+    def test_corner_ghosts_filled(self):
+        """Diagonal-neighbor corners must arrive (T cells move diagonally)."""
+        spec = GridSpec((8, 8))
+        decomp = Decomposition.blocks(spec, 4)
+        ex = HaloExchanger(decomp)
+        arrays = [ex.allocate(r, np.int64) for r in range(4)]
+        for rank in range(4):
+            arrays[rank][ex.owned_slices(rank)] = rank + 1
+        ex.exchange(arrays, MergeMode.REPLACE)
+        # Rank 0 owns [0:4, 0:4]; its ghost corner voxel (4,4) belongs to the
+        # diagonal rank owning [4:8, 4:8].
+        diag = int(decomp.owner_of(np.array([4, 4])))
+        corner_val = arrays[0][ex.region_slices(0, ex.extents[0])][-1, -1]
+        assert corner_val == diag + 1
+
+    def test_3d_exchange(self):
+        spec = GridSpec((6, 6, 6))
+        decomp = Decomposition.blocks(spec, 8)
+        ex = HaloExchanger(decomp)
+        rng = np.random.default_rng(2)
+        g = rng.integers(0, 50, size=spec.shape).astype(np.int32)
+        arrays = ex.scatter_global(g)
+        # Perturb ghosts, exchange must restore them.
+        for rank in range(8):
+            arrays[rank][0, :, :] = -1 if arrays[rank][0, 0, 0] != -2 else -1
+        ex.exchange(arrays, MergeMode.REPLACE)
+        for rank in range(8):
+            ext = ex.extents[rank]
+            np.testing.assert_array_equal(
+                arrays[rank][ex.region_slices(rank, ext)],
+                g[ext.slices_from((0, 0, 0))],
+            )
+
+
+class TestMaxExchange:
+    def test_max_merge_equals_global_max(self):
+        """After one MAX wave, every copy of a voxel equals the global max of
+        all contributions — the single-communication bid-merge of §3.1."""
+        spec = GridSpec((12, 12))
+        decomp = Decomposition.blocks(spec, 4)
+        ex = HaloExchanger(decomp)
+        rng = np.random.default_rng(3)
+        arrays = [ex.allocate(r, np.uint64) for r in range(4)]
+        # Every rank writes random bids over its WHOLE extent (own + ghost),
+        # simulating local bids and ghost-targeted bids.
+        for rank in range(4):
+            ext = ex.extents[rank]
+            sl = ex.region_slices(rank, ext)
+            arrays[rank][sl] = rng.integers(
+                1, 2**63, size=arrays[rank][sl].shape, dtype=np.uint64
+            )
+        # Global truth: elementwise max over all ranks covering each voxel.
+        truth = np.zeros(spec.shape, dtype=np.uint64)
+        for rank in range(4):
+            ext = ex.extents[rank]
+            gsl = ext.slices_from((0, 0))
+            np.maximum(
+                truth[gsl],
+                arrays[rank][ex.region_slices(rank, ext)],
+                out=truth[gsl],
+            )
+        ex.exchange(arrays, MergeMode.MAX)
+        for rank in range(4):
+            ext = ex.extents[rank]
+            np.testing.assert_array_equal(
+                arrays[rank][ex.region_slices(rank, ext)],
+                truth[ext.slices_from((0, 0))],
+                err_msg=f"rank {rank}",
+            )
+
+    @given(seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=25, deadline=None)
+    def test_max_merge_property_many_layouts(self, seed):
+        rng = np.random.default_rng(seed)
+        nranks = int(rng.integers(1, 9))
+        shape = (int(rng.integers(nranks, 20)), int(rng.integers(nranks, 20)))
+        spec = GridSpec(shape)
+        decomp = Decomposition.blocks(spec, nranks)
+        ex = HaloExchanger(decomp)
+        arrays = []
+        truth = np.zeros(spec.shape, dtype=np.uint64)
+        for rank in range(nranks):
+            arr = ex.allocate(rank, np.uint64)
+            ext = ex.extents[rank]
+            sl = ex.region_slices(rank, ext)
+            arr[sl] = rng.integers(0, 1000, size=arr[sl].shape, dtype=np.uint64)
+            gsl = ext.slices_from((0, 0))
+            np.maximum(truth[gsl], arr[sl], out=truth[gsl])
+            arrays.append(arr)
+        ex.exchange(arrays, MergeMode.MAX)
+        for rank in range(nranks):
+            ext = ex.extents[rank]
+            np.testing.assert_array_equal(
+                arrays[rank][ex.region_slices(rank, ext)],
+                truth[ext.slices_from((0, 0))],
+            )
+
+
+class TestAccounting:
+    def test_message_bytes_counted(self):
+        messages = []
+        ex = make_exchanger(
+            (12, 12), 4, on_message=lambda s, d, n: messages.append((s, d, n))
+        )
+        arrays = [ex.allocate(r, np.float64) for r in range(4)]
+        ex.exchange(arrays, MergeMode.REPLACE)
+        assert messages
+        # Each rank exchanges with 3 neighbors: 2 edges (6 voxels) + corner (1).
+        total_bytes = sum(n for _, _, n in messages)
+        expected_voxels = 4 * (6 + 6 + 1)
+        assert total_bytes == expected_voxels * 8
+
+    def test_bad_array_count_rejected(self):
+        ex = make_exchanger()
+        with pytest.raises(ValueError):
+            ex.exchange([ex.allocate(0, np.int32)], MergeMode.REPLACE)
+
+    def test_bad_shape_rejected(self):
+        ex = make_exchanger()
+        arrays = [ex.allocate(r, np.int32) for r in range(4)]
+        arrays[2] = np.zeros((3, 3), dtype=np.int32)
+        with pytest.raises(ValueError):
+            ex.exchange(arrays, MergeMode.REPLACE)

@@ -1,0 +1,101 @@
+"""Stress tests of the §3.1 tiebreak across rank/device boundaries.
+
+A dense crowd of T cells straddling the subdomain boundary guarantees
+move and bind conflicts in every step, including cross-boundary ones.
+Conservation and exact sequential agreement under this load is the
+sharpest test of the single-exchange bid protocol (GPU) and the two-wave
+RPC protocol (CPU).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.model import SequentialSimCov
+from repro.core.params import SimCovParams
+from repro.core.state import EpiState
+from repro.simcov_cpu.simulation import SimCovCPU
+from repro.simcov_gpu.simulation import SimCovGPU
+
+
+def crowd_tcells(sim_blocks, spec, density=0.35, seed=13, life=10_000):
+    """Deterministically place a dense T-cell crowd into block state,
+    identical for any decomposition."""
+    rng = np.random.default_rng(seed)
+    mask = rng.random(spec.shape) < density
+    coords = np.argwhere(mask)
+    for block in sim_blocks:
+        local = coords - np.array(block.origin)
+        ok = np.all(
+            (local >= 0) & (local < np.array(block.shape)), axis=1
+        )
+        sel = tuple(local[ok].T)
+        block.tcell[sel] = 1
+        block.tcell_tissue_time[sel] = life
+        block.tcell_bound_time[sel] = 0
+
+
+def infect_band(sim_blocks, spec, rows, timer=10_000):
+    """Set a band of expressing cells (bind targets) across the domain."""
+    for block in sim_blocks:
+        for x in rows:
+            g = np.array([[x, y] for y in range(spec.shape[1])])
+            local = g - np.array(block.origin)
+            ok = np.all((local >= 0) & (local < np.array(block.shape)), axis=1)
+            sel = tuple(local[ok].T)
+            block.epi_state[sel] = EpiState.EXPRESSING
+            block.epi_timer[sel] = timer
+
+
+@pytest.fixture(scope="module")
+def crowded_runs():
+    # No extravasation/infection noise: pure movement + binding pressure.
+    p = SimCovParams.fast_test(dim=(24, 24), num_infections=0, num_steps=40)
+    p = p.with_(tcell_generation_rate=0.0, infectivity=0.0)
+    spec_args = dict(seed=3)
+    seq = SequentialSimCov(p, **spec_args)
+    cpu = SimCovCPU(p, nranks=4, **spec_args)
+    gpu = SimCovGPU(p, num_devices=4, tile_shape=(3, 3), **spec_args)
+    for sim, blocks in ((seq, [seq.block]), (cpu, cpu.blocks), (gpu, gpu.blocks)):
+        crowd_tcells(blocks, seq.spec)
+        infect_band(blocks, seq.spec, rows=(11, 12))  # on the rank boundary
+    # Parallel sims need ghosts consistent with the injected state; the
+    # step's opening exchange handles that (CPU wave / GPU wave A).
+    return p, seq, cpu, gpu
+
+
+class TestCrowdedTiebreaks:
+    def test_conservation_under_heavy_conflict(self, crowded_runs):
+        p, seq, cpu, gpu = crowded_runs
+        n0 = int(seq.block.tcell.sum())
+        assert n0 > 150  # the crowd is dense
+        for i in range(40):
+            s1, s2, s3 = seq.step(), cpu.step(), gpu.step()
+            assert s1.tcells_tissue == s2.tcells_tissue == s3.tcells_tissue
+            assert s1.moves == s2.moves == s3.moves, f"step {i}"
+            assert s1.binds == s2.binds == s3.binds, f"step {i}"
+
+    def test_exact_state_after_crowded_run(self, crowded_runs):
+        _, seq, cpu, gpu = crowded_runs
+        for f in ("tcell", "tcell_tissue_time", "tcell_bound_time",
+                  "epi_state", "epi_timer"):
+            ref = getattr(seq.block, f)[seq.block.interior]
+            np.testing.assert_array_equal(ref, cpu.gather_field(f), err_msg=f)
+            np.testing.assert_array_equal(ref, gpu.gather_field(f), err_msg=f)
+
+    def test_conflicts_actually_happened(self, crowded_runs):
+        """The scenario must exercise contention: fewer moves than movers."""
+        _, seq, _, _ = crowded_runs
+        total_moves = sum(s.moves for s in seq.series._stats)
+        tcells = seq.series[0].tcells_tissue
+        steps = len(seq.series)
+        # With 35% density, far fewer than one move per cell per step.
+        assert 0 < total_moves < 0.8 * tcells * steps
+
+    def test_binding_contention_resolved_once_per_cell(self, crowded_runs):
+        """Every apoptotic transition was caused by exactly one winner:
+        bound T cells never exceed apoptotic conversions."""
+        _, seq, _, _ = crowded_runs
+        total_binds = sum(s.binds for s in seq.series._stats)
+        assert total_binds > 0
+        bound_now = int((seq.block.tcell_bound_time > 0).sum())
+        assert bound_now <= total_binds

@@ -1,0 +1,154 @@
+"""Cross-implementation equivalence: the reproduction's strongest result.
+
+The paper (§4.1) demonstrates *statistical* agreement between SIMCoV-CPU
+and SIMCoV-GPU.  Because this reproduction keys all randomness by global
+voxel id, we can show the stronger property: the sequential reference,
+SIMCoV-CPU (any rank count/decomposition) and SIMCoV-GPU (any device
+count, any optimization variant) produce bitwise-identical voxel state.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.model import SequentialSimCov
+from repro.core.params import SimCovParams
+from repro.grid.decomposition import DecompositionKind
+from repro.simcov_cpu.simulation import SimCovCPU
+from repro.simcov_gpu.simulation import SimCovGPU
+from repro.simcov_gpu.variants import GpuVariant
+
+FIELDS = (
+    "epi_state",
+    "virions",
+    "chemokine",
+    "tcell",
+    "tcell_tissue_time",
+    "tcell_bound_time",
+    "epi_timer",
+)
+
+INT_STATS = (
+    "healthy", "incubating", "expressing", "apoptotic", "dead",
+    "tcells_tissue", "extravasations", "binds", "moves",
+)
+FLOAT_STATS = ("virions_total", "chemokine_total", "tcells_vasculature")
+
+
+def assert_stats_match(a, b, label):
+    for f in INT_STATS:
+        assert getattr(a, f) == getattr(b, f), f"{label}: {f} {getattr(a,f)} vs {getattr(b,f)}"
+    for f in FLOAT_STATS:
+        # Reduction order differs across implementations; integer-valued
+        # sums of [0,1] fractions agree to ~1 ulp per element.
+        assert np.isclose(getattr(a, f), getattr(b, f), rtol=1e-12), f"{label}: {f}"
+
+
+def assert_fields_match(seq, sim, label):
+    interior = seq.block.interior
+    for name in FIELDS:
+        ref = getattr(seq.block, name)[interior]
+        got = sim.gather_field(name)
+        assert np.array_equal(ref, got), (
+            f"{label}: field {name} differs at "
+            f"{np.argwhere(ref != got)[:3].tolist()}"
+        )
+
+
+#: Enough steps to cover the full dynamic range: infection growth, T-cell
+#: arrival (delay=60), movement conflicts, binding, clearance.
+STEPS = 140
+
+
+@pytest.fixture(scope="module")
+def reference():
+    p = SimCovParams.fast_test(dim=(24, 24), num_infections=3, num_steps=STEPS)
+    seq = SequentialSimCov(p, seed=42)
+    seq.run(STEPS)
+    return p, seq
+
+
+class TestCpuEquivalence:
+    @pytest.mark.parametrize("nranks", [2, 4])
+    def test_block_decomposition(self, reference, nranks):
+        p, seq = reference
+        cpu = SimCovCPU(p, nranks=nranks, seed=42)
+        for i in range(STEPS):
+            assert_stats_match(seq.series[i], cpu.step(), f"cpu{nranks} step {i}")
+        assert_fields_match(seq, cpu, f"cpu{nranks}")
+
+    def test_linear_decomposition(self, reference):
+        p, seq = reference
+        cpu = SimCovCPU(
+            p, nranks=3, seed=42, decomposition=DecompositionKind.LINEAR
+        )
+        cpu.run(STEPS)
+        assert_fields_match(seq, cpu, "cpu-linear")
+        assert_stats_match(seq.series[-1], cpu.series[-1], "cpu-linear")
+
+
+class TestGpuEquivalence:
+    @pytest.mark.parametrize(
+        "variant",
+        [GpuVariant.UNOPTIMIZED, GpuVariant.COMBINED],
+        ids=lambda v: v.value,
+    )
+    def test_variants(self, reference, variant):
+        p, seq = reference
+        gpu = SimCovGPU(
+            p, num_devices=4, seed=42, variant=variant, tile_shape=(4, 4)
+        )
+        for i in range(STEPS):
+            assert_stats_match(seq.series[i], gpu.step(), f"{variant} step {i}")
+        assert_fields_match(seq, gpu, str(variant))
+
+    def test_tiling_only_variant(self, reference):
+        p, seq = reference
+        gpu = SimCovGPU(
+            p, num_devices=2, seed=42,
+            variant=GpuVariant.MEMORY_TILING, tile_shape=(3, 3),
+        )
+        gpu.run(STEPS)
+        assert_fields_match(seq, gpu, "gpu-tiling")
+
+    def test_fast_reduction_variant(self, reference):
+        p, seq = reference
+        gpu = SimCovGPU(
+            p, num_devices=4, seed=42, variant=GpuVariant.FAST_REDUCTION
+        )
+        gpu.run(STEPS)
+        assert_fields_match(seq, gpu, "gpu-fastred")
+        assert_stats_match(seq.series[-1], gpu.series[-1], "gpu-fastred")
+
+    def test_device_count_invariance(self, reference):
+        """1 device must equal 4 devices exactly (decomposition-free RNG)."""
+        p, _ = reference
+        a = SimCovGPU(p, num_devices=1, seed=7, tile_shape=(4, 4))
+        b = SimCovGPU(p, num_devices=4, seed=7, tile_shape=(4, 4))
+        a.run(60)
+        b.run(60)
+        for name in FIELDS:
+            np.testing.assert_array_equal(
+                a.gather_field(name), b.gather_field(name), err_msg=name
+            )
+
+    def test_sweep_period_invariance(self, reference):
+        """Sweeping every step vs at the maximum sound period must not
+        change results — only work (the §3.2 safety claim)."""
+        p, seq = reference
+        eager = SimCovGPU(p, num_devices=4, seed=42, tile_shape=(4, 4),
+                          sweep_period=1)
+        eager.run(STEPS)
+        assert_fields_match(seq, eager, "gpu-sweep1")
+
+
+class TestCpuGpuAgainstEachOther:
+    def test_cpu_gpu_direct(self, reference):
+        p, _ = reference
+        cpu = SimCovCPU(p, nranks=6, seed=99)
+        gpu = SimCovGPU(p, num_devices=6, seed=99, tile_shape=(3, 3))
+        cpu.run(80)
+        gpu.run(80)
+        for name in FIELDS:
+            np.testing.assert_array_equal(
+                cpu.gather_field(name), gpu.gather_field(name), err_msg=name
+            )

@@ -1,0 +1,43 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are user-facing documentation; a broken one is a broken README.
+Each runs in a subprocess with the repo's interpreter (they are all
+self-contained and take seconds to a couple of minutes).
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parents[2] / "examples").glob("*.py")
+)
+
+
+def test_all_examples_discovered():
+    names = {p.name for p in EXAMPLES}
+    assert {
+        "quickstart.py",
+        "patchy_lesion_study.py",
+        "ant_foraging.py",
+        "scaling_study.py",
+        "parameter_fitting.py",
+        "lung_3d.py",
+    } <= names
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script, tmp_path):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=900,
+        cwd=tmp_path,  # examples write results/ relative to cwd
+    )
+    assert result.returncode == 0, (
+        f"{script.name} failed:\n{result.stderr[-2000:]}"
+    )
+    assert result.stdout.strip(), f"{script.name} produced no output"

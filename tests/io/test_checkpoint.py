@@ -1,0 +1,124 @@
+"""Tests for checkpoint/restore, including cross-implementation resume."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import SequentialSimCov
+from repro.core.params import SimCovParams
+from repro.io.checkpoint import CHECKPOINT_FIELDS, load_checkpoint, save_checkpoint
+from repro.simcov_cpu.simulation import SimCovCPU
+from repro.simcov_gpu.simulation import SimCovGPU
+
+
+@pytest.fixture(scope="module")
+def reference():
+    """An uninterrupted 100-step run, with a checkpoint taken at step 60."""
+    p = SimCovParams.fast_test(dim=(24, 24), num_infections=2, num_steps=100)
+    sim = SequentialSimCov(p, seed=77)
+    sim.run(60)
+    return p, sim
+
+
+class TestSaveLoad:
+    def test_roundtrip_state(self, reference, tmp_path):
+        p, sim = reference
+        path = str(tmp_path / "ck.npz")
+        save_checkpoint(path, sim)
+        restored = load_checkpoint(path)
+        assert restored.step_num == 60
+        assert restored.pool == sim.pool
+        assert restored.params == p
+        for name in CHECKPOINT_FIELDS:
+            np.testing.assert_array_equal(
+                getattr(restored.block, name)[restored.block.interior],
+                getattr(sim.block, name)[sim.block.interior],
+                err_msg=name,
+            )
+
+    def test_version_checked(self, reference, tmp_path):
+        p, sim = reference
+        path = str(tmp_path / "ck.npz")
+        save_checkpoint(path, sim)
+        data = dict(np.load(path))
+        data["format_version"] = np.int64(99)
+        np.savez(path, **data)
+        with pytest.raises(ValueError, match="format"):
+            load_checkpoint(path)
+
+
+class TestResumeExactness:
+    def _finish(self, sim, steps):
+        for _ in range(steps):
+            last = sim.step()
+        return last
+
+    def test_resume_sequential_matches_uninterrupted(self, reference, tmp_path):
+        p, sim60 = reference
+        path = str(tmp_path / "ck.npz")
+        save_checkpoint(path, sim60)
+        # Uninterrupted control.
+        control = SequentialSimCov(p, seed=77)
+        control.run(100)
+        resumed = load_checkpoint(path)
+        last = self._finish(resumed, 40)
+        assert last == control.series[99]
+        np.testing.assert_array_equal(
+            resumed.block.epi_state, control.block.epi_state
+        )
+        np.testing.assert_array_equal(resumed.block.tcell, control.block.tcell)
+
+    def test_resume_on_gpu_matches_uninterrupted(self, reference, tmp_path):
+        """The headline property: a sequential checkpoint resumes on the
+        4-GPU implementation and stays bitwise identical."""
+        p, sim60 = reference
+        path = str(tmp_path / "ck.npz")
+        save_checkpoint(path, sim60)
+        control = SequentialSimCov(p, seed=77)
+        control.run(100)
+        resumed = load_checkpoint(
+            path,
+            make_sim=lambda pp, s, g: SimCovGPU(
+                pp, num_devices=4, seed=s, seed_gids=g, tile_shape=(4, 4)
+            ),
+        )
+        self._finish(resumed, 40)
+        for name in ("epi_state", "tcell", "virions", "epi_timer"):
+            np.testing.assert_array_equal(
+                resumed.gather_field(name),
+                getattr(control.block, name)[control.block.interior],
+                err_msg=name,
+            )
+
+    def test_resume_on_cpu_ranks(self, reference, tmp_path):
+        p, sim60 = reference
+        path = str(tmp_path / "ck.npz")
+        save_checkpoint(path, sim60)
+        control = SequentialSimCov(p, seed=77)
+        control.run(80)
+        resumed = load_checkpoint(
+            path,
+            make_sim=lambda pp, s, g: SimCovCPU(pp, nranks=3, seed=s,
+                                                seed_gids=g),
+        )
+        self._finish(resumed, 20)
+        np.testing.assert_array_equal(
+            resumed.gather_field("tcell"),
+            control.block.tcell[control.block.interior],
+        )
+
+    def test_gpu_checkpoint_resumes_sequentially(self, tmp_path):
+        """Checkpoints are implementation-independent in both directions."""
+        p = SimCovParams.fast_test(dim=(16, 16), num_infections=1,
+                                   num_steps=50)
+        gpu = SimCovGPU(p, num_devices=2, seed=5)
+        gpu.run(25)
+        path = str(tmp_path / "g.npz")
+        save_checkpoint(path, gpu)
+        control = SequentialSimCov(p, seed=5)
+        control.run(50)
+        resumed = load_checkpoint(path)
+        for _ in range(25):
+            resumed.step()
+        np.testing.assert_array_equal(
+            resumed.block.epi_state, control.block.epi_state
+        )

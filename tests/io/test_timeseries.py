@@ -1,0 +1,72 @@
+"""Tests for time-series persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core.model import SequentialSimCov
+from repro.core.params import SimCovParams
+from repro.core.stats import StepStats
+from repro.io.timeseries import StatsLogger, load_timeseries, save_timeseries
+
+
+@pytest.fixture(scope="module")
+def run():
+    p = SimCovParams.fast_test(dim=(16, 16), num_infections=2, num_steps=40)
+    sim = SequentialSimCov(p, seed=1)
+    sim.run()
+    return sim
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, run, tmp_path):
+        path = str(tmp_path / "stats.csv")
+        save_timeseries(path, run.series)
+        loaded = load_timeseries(path)
+        assert len(loaded) == len(run.series)
+        for name in ("virions_total", "healthy", "tcells_tissue"):
+            np.testing.assert_allclose(
+                loaded.field(name), run.series.field(name)
+            )
+
+    def test_loaded_peaks_match(self, run, tmp_path):
+        path = str(tmp_path / "stats.csv")
+        save_timeseries(path, run.series)
+        loaded = load_timeseries(path)
+        assert loaded.peak("virions_total") == run.series.peak("virions_total")
+
+    def test_creates_directories(self, run, tmp_path):
+        path = str(tmp_path / "a" / "b" / "stats.csv")
+        save_timeseries(path, run.series)
+        assert load_timeseries(path)[0].step == 0
+
+
+class TestStatsLogger:
+    def test_incremental_logging(self, tmp_path):
+        path = str(tmp_path / "log.csv")
+        p = SimCovParams.fast_test(dim=(12, 12), num_infections=1, num_steps=10)
+        sim = SequentialSimCov(p, seed=2)
+        with StatsLogger(path) as logger:
+            for _ in range(10):
+                logger.log(sim.step())
+            assert logger.rows_written == 10
+        loaded = load_timeseries(path)
+        assert len(loaded) == 10
+        np.testing.assert_allclose(
+            loaded.field("virions_total"), sim.series.field("virions_total")
+        )
+
+    def test_partial_log_readable(self, tmp_path):
+        """Flush-per-row: an interrupted run leaves usable output."""
+        path = str(tmp_path / "log.csv")
+        logger = StatsLogger(path)
+        logger.log(StepStats(0, 1, 0, 0, 0, 0, 0, 0.5, 0.0))
+        # Do NOT close; read anyway.
+        loaded = load_timeseries(path)
+        assert len(loaded) == 1
+        assert loaded[0].virions_total == 0.5
+        logger.close()
+
+    def test_double_close_safe(self, tmp_path):
+        logger = StatsLogger(str(tmp_path / "x.csv"))
+        logger.close()
+        logger.close()

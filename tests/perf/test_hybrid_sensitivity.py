@@ -1,0 +1,74 @@
+"""Unit tests for the hybrid scheme and the sensitivity analysis."""
+
+import pytest
+
+from repro.core.params import SimCovParams
+from repro.perf.activity import DiskActivityModel
+from repro.perf.hybrid import HybridRuntime, project_hybrid_runtime
+from repro.perf.machine import MachineModel, PAPER_SCALE_GROWTH_SPEED, PERLMUTTER
+from repro.perf.sensitivity import (
+    PERTURBED_FIELDS,
+    ShapeFindings,
+    evaluate_shape,
+    shape_robustness,
+)
+
+
+@pytest.fixture(scope="module")
+def sparse_model():
+    p = SimCovParams.default_covid(dim=(10_000, 10_000), num_infections=16)
+    return DiskActivityModel(
+        p, seed=1, speed=PAPER_SCALE_GROWTH_SPEED, supergrid=32, samples=12
+    )
+
+
+class TestHybrid:
+    def test_returns_breakdown(self, sparse_model):
+        r = project_hybrid_runtime(PERLMUTTER, sparse_model, 4)
+        assert isinstance(r, HybridRuntime)
+        assert r.total_seconds > 0
+        assert r.host_seconds >= 0
+        assert r.compute_seconds <= r.total_seconds
+
+    def test_more_host_cores_reduce_host_time(self, sparse_model):
+        few = project_hybrid_runtime(
+            PERLMUTTER, sparse_model, 4, host_cores_per_gpu=4
+        )
+        many = project_hybrid_runtime(
+            PERLMUTTER, sparse_model, 4, host_cores_per_gpu=64
+        )
+        assert many.host_seconds < few.host_seconds
+
+    def test_no_rebalance_no_handoff(self, sparse_model):
+        r = project_hybrid_runtime(
+            PERLMUTTER, sparse_model, 4, rebalance_period=0
+        )
+        assert r.handoff_seconds == 0.0
+
+    def test_overlap_semantics(self, sparse_model):
+        """Compute is the max of GPU and host work, never their sum."""
+        r = project_hybrid_runtime(PERLMUTTER, sparse_model, 4)
+        # Host work alone must not exceed the overlapped compute total.
+        assert r.host_seconds <= r.compute_seconds + 1e-9
+
+
+class TestShapeFindings:
+    def test_all_hold(self):
+        good = ShapeFindings(True, True, True, True)
+        assert good.all_hold()
+        assert not ShapeFindings(True, True, True, False).all_hold()
+
+    def test_baseline_model(self):
+        assert evaluate_shape(MachineModel(), samples=8).all_hold()
+
+    def test_perturbed_fields_exist(self):
+        m = MachineModel()
+        for name in PERTURBED_FIELDS:
+            assert hasattr(m, name)
+
+    def test_robustness_limited_models(self):
+        out = shape_robustness(factors=(2.0,), samples=6, max_models=3)
+        assert out["models"] == 3
+        for name, frac in out.items():
+            if name != "models":
+                assert 0.0 <= frac <= 1.0

@@ -1,0 +1,110 @@
+"""Tests for futures and future-returning RPCs."""
+
+import numpy as np
+import pytest
+
+from repro.pgas.futures import Future, when_all
+from repro.pgas.runtime import PgasRuntime
+
+
+class TestFuture:
+    def test_not_ready_initially(self):
+        f = Future()
+        assert not f.ready
+        with pytest.raises(RuntimeError, match="not ready"):
+            f.result()
+
+    def test_complete_and_result(self):
+        f = Future()
+        f.complete(42)
+        assert f.ready and f.result() == 42
+
+    def test_double_complete_rejected(self):
+        f = Future()
+        f.complete(1)
+        with pytest.raises(RuntimeError):
+            f.complete(2)
+
+    def test_then_after_completion(self):
+        f = Future.completed(3)
+        g = f.then(lambda v: v * 2)
+        assert g.result() == 6
+
+    def test_then_before_completion(self):
+        f = Future()
+        g = f.then(lambda v: v + 1)
+        assert not g.ready
+        f.complete(10)
+        assert g.result() == 11
+
+    def test_then_chain(self):
+        f = Future()
+        h = f.then(lambda v: v + 1).then(lambda v: v * 10)
+        f.complete(1)
+        assert h.result() == 20
+
+
+class TestWhenAll:
+    def test_collects_in_order(self):
+        fs = [Future(), Future(), Future()]
+        joined = when_all(fs)
+        fs[2].complete("c")
+        fs[0].complete("a")
+        assert not joined.ready
+        fs[1].complete("b")
+        assert joined.result() == ["a", "b", "c"]
+
+    def test_empty(self):
+        assert when_all([]).result() == []
+
+
+class TestRpcFuture:
+    def test_round_trip(self):
+        rt = PgasRuntime(2)
+        rt.register_handler("double", lambda ctx, x, _src_rank: x * 2)
+        f = rt.ranks[0].rpc_future(1, "double", x=21)
+        assert not f.ready
+        rt.progress()  # call round + reply round
+        assert f.result() == 42
+
+    def test_reply_is_accounted(self):
+        rt = PgasRuntime(2)
+        rt.register_handler("echo", lambda ctx, x, _src_rank: x)
+        rt.ranks[0].rpc_future(1, "echo", x=np.zeros(16))
+        before = rt.comm.rpcs
+        rt.progress()
+        # The reply RPC was recorded during progress.
+        assert rt.comm.rpcs == before + 1
+        assert rt.comm.rpc_bytes >= 128  # the array payload was counted
+
+    def test_unknown_handler_rejected(self):
+        rt = PgasRuntime(2)
+        with pytest.raises(KeyError):
+            rt.ranks[0].rpc_future(1, "nope")
+
+    def test_continuation_runs_at_completion(self):
+        rt = PgasRuntime(2)
+        rt.register_handler("get_rank", lambda ctx, _src_rank: ctx.rank)
+        seen = []
+        f = rt.ranks[0].rpc_future(1, "get_rank")
+        f.then(seen.append)
+        rt.progress()
+        assert seen == [1]
+
+    def test_many_concurrent_futures(self):
+        rt = PgasRuntime(4)
+        rt.register_handler("sq", lambda ctx, x, _src_rank: x * x)
+        futures = [
+            rt.ranks[0].rpc_future((i % 3) + 1, "sq", x=i) for i in range(20)
+        ]
+        joined = when_all(futures)
+        rt.progress()
+        assert joined.result() == [i * i for i in range(20)]
+
+    def test_two_round_completion_semantics(self):
+        """The reply lands one progress round after the call executes."""
+        rt = PgasRuntime(2)
+        rt.register_handler("noop", lambda ctx, _src_rank: "ok")
+        rt.ranks[0].rpc_future(1, "noop")
+        rounds = rt.progress()
+        assert rounds == 2

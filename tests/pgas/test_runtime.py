@@ -1,0 +1,182 @@
+"""Tests for the PGAS runtime: RPC semantics, phases, collectives."""
+
+import numpy as np
+import pytest
+
+from repro.pgas.comm import CommStats, payload_nbytes
+from repro.pgas.reductions import ReduceOp, reduction_rounds, tree_reduce
+from repro.pgas.runtime import PgasRuntime
+
+
+class TestPayloadBytes:
+    def test_array_and_scalar(self):
+        p = {"a": np.zeros(10, dtype=np.float64), "b": 3}
+        assert payload_nbytes(p) == 88
+
+
+class TestRpcSemantics:
+    def test_rpc_deferred_until_progress(self):
+        rt = PgasRuntime(2)
+        log = []
+        rt.register_handler("note", lambda ctx, x, _src_rank: log.append((ctx.rank, x)))
+
+        def sender(ctx):
+            if ctx.rank == 0:
+                ctx.rpc(1, "note", x=42)
+            assert log == []  # not yet delivered inside the phase
+
+        rt.phase(sender, progress=False)
+        assert log == []
+        rt.progress()
+        assert log == [(1, 42)]
+
+    def test_phase_auto_progress(self):
+        rt = PgasRuntime(2)
+        log = []
+        rt.register_handler("note", lambda ctx, x, _src_rank: log.append(x))
+        rt.phase(lambda ctx: ctx.rpc((ctx.rank + 1) % 2, "note", x=ctx.rank))
+        assert sorted(log) == [0, 1]
+
+    def test_delivery_in_issue_order(self):
+        rt = PgasRuntime(3)
+        log = []
+        rt.register_handler("note", lambda ctx, x, _src_rank: log.append(x))
+
+        def sender(ctx):
+            ctx.rpc(0, "note", x=ctx.rank * 10)
+            ctx.rpc(0, "note", x=ctx.rank * 10 + 1)
+
+        rt.phase(sender)
+        assert log == [0, 1, 10, 11, 20, 21]
+
+    def test_chained_rpcs_next_round(self):
+        rt = PgasRuntime(2)
+        rounds_seen = []
+
+        def ping(ctx, depth, _src_rank):
+            rounds_seen.append(depth)
+            if depth < 3:
+                ctx.rpc(1 - ctx.rank, "ping", depth=depth + 1)
+
+        rt.register_handler("ping", ping)
+        rt.ranks[0].rpc(1, "ping", depth=0)
+        rounds = rt.progress()
+        assert rounds_seen == [0, 1, 2, 3]
+        assert rounds == 4
+
+    def test_unknown_handler_rejected(self):
+        rt = PgasRuntime(2)
+        with pytest.raises(KeyError):
+            rt.ranks[0].rpc(1, "nope")
+
+    def test_bad_target_rejected(self):
+        rt = PgasRuntime(2)
+        rt.register_handler("h", lambda ctx, _src_rank: None)
+        with pytest.raises(ValueError):
+            rt.ranks[0].rpc(5, "h")
+
+    def test_duplicate_handler_rejected(self):
+        rt = PgasRuntime(1)
+        rt.register_handler("h", lambda ctx: None)
+        with pytest.raises(ValueError):
+            rt.register_handler("h", lambda ctx: None)
+
+    def test_src_rank_passed(self):
+        rt = PgasRuntime(4)
+        seen = {}
+        rt.register_handler(
+            "who", lambda ctx, _src_rank: seen.setdefault(ctx.rank, _src_rank)
+        )
+        rt.ranks[3].rpc(0, "who")
+        rt.progress()
+        assert seen == {0: 3}
+
+
+class TestAccounting:
+    def test_rpc_counts_and_bytes(self):
+        comm = CommStats()
+        rt = PgasRuntime(4, ranks_per_node=2, comm=comm)
+        rt.register_handler("h", lambda ctx, data, _src_rank: None)
+        rt.ranks[0].rpc(1, "h", data=np.zeros(4, dtype=np.int64))  # intra-node
+        rt.ranks[0].rpc(3, "h", data=np.zeros(4, dtype=np.int64))  # inter-node
+        rt.progress()
+        assert comm.rpcs == 2
+        assert comm.rpc_bytes == 64
+        assert comm.rpcs_internode == 1
+        assert comm.rpc_bytes_internode == 32
+
+    def test_pair_tracking(self):
+        comm = CommStats(track_pairs=True)
+        rt = PgasRuntime(2, comm=comm)
+        rt.register_handler("h", lambda ctx, _src_rank: None)
+        rt.ranks[0].rpc(1, "h")
+        rt.ranks[0].rpc(1, "h")
+        rt.progress()
+        assert comm.pair_bytes == {(0, 1): 0}
+        assert comm.rpcs == 2
+
+    def test_snapshot_delta(self):
+        comm = CommStats()
+        before = comm.snapshot()
+        comm.record_barrier()
+        comm.record_reduction(10)
+        d = CommStats.delta(comm.snapshot(), before)
+        assert d["barriers"] == 1 and d["reduction_elems"] == 10
+
+
+class TestCollectives:
+    def test_allreduce_sum(self):
+        rt = PgasRuntime(8)
+        out = rt.allreduce([np.array([r, 2 * r]) for r in range(8)], ReduceOp.SUM)
+        np.testing.assert_array_equal(out, [28, 56])
+
+    def test_allreduce_max_min(self):
+        rt = PgasRuntime(5)
+        vals = [np.array([float(r)]) for r in range(5)]
+        assert rt.allreduce(vals, ReduceOp.MAX)[0] == 4.0
+        assert rt.allreduce(vals, ReduceOp.MIN)[0] == 0.0
+
+    def test_allreduce_wrong_count(self):
+        rt = PgasRuntime(3)
+        with pytest.raises(ValueError):
+            rt.allreduce([1, 2])
+
+    def test_barrier_counts(self):
+        rt = PgasRuntime(4)
+        rt.barrier()
+        rt.barrier()
+        assert rt.comm.barriers == 2
+
+    def test_node_of(self):
+        rt = PgasRuntime(8, ranks_per_node=4)
+        assert rt.node_of(0) == 0
+        assert rt.node_of(3) == 0
+        assert rt.node_of(4) == 1
+
+
+class TestTreeReduce:
+    def test_matches_numpy_sum(self):
+        rng = np.random.default_rng(0)
+        vals = [rng.random(16) for _ in range(7)]
+        out = tree_reduce(vals, ReduceOp.SUM)
+        np.testing.assert_allclose(out, np.sum(vals, axis=0), rtol=1e-12)
+
+    def test_deterministic_association(self):
+        vals = [np.array([0.1 * i]) for i in range(5)]
+        a = tree_reduce(vals, ReduceOp.SUM)
+        b = tree_reduce(vals, ReduceOp.SUM)
+        assert a == b
+
+    def test_integer_exact(self):
+        vals = [np.array([2**40 + i]) for i in range(9)]
+        assert tree_reduce(vals, ReduceOp.SUM)[0] == sum(2**40 + i for i in range(9))
+
+    def test_rounds(self):
+        assert reduction_rounds(1) == 0
+        assert reduction_rounds(2) == 1
+        assert reduction_rounds(8) == 3
+        assert reduction_rounds(9) == 4
+
+    def test_single_rank(self):
+        out = tree_reduce([np.array([5.0])], ReduceOp.SUM)
+        assert out[0] == 5.0

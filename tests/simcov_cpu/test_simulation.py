@@ -1,0 +1,113 @@
+"""Tests for SIMCoV-CPU specifics: active regions, RPC accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core.params import SimCovParams
+from repro.core.state import EpiState, VoxelBlock
+from repro.grid.box import Box
+from repro.grid.spec import GridSpec
+from repro.simcov_cpu.active_region import ActiveRegion
+from repro.simcov_cpu.simulation import SimCovCPU
+
+
+class TestActiveRegion:
+    def test_initially_all_active(self):
+        spec = GridSpec((8, 8))
+        blk = VoxelBlock(spec, spec.domain)
+        ar = ActiveRegion(blk, 1e-6)
+        assert ar.count == 64
+
+    def test_refresh_shrinks_to_activity(self):
+        spec = GridSpec((16, 16))
+        blk = VoxelBlock(spec, spec.domain)
+        blk.virions[8, 8] = 0.5  # padded coords; owned (7,7)
+        ar = ActiveRegion(blk, 1e-6)
+        ar.refresh()
+        assert ar.count == 9  # the voxel + Moore dilation
+        region = ar.region()
+        assert region == (slice(7, 10), slice(7, 10))
+
+    def test_idle_region_none(self):
+        spec = GridSpec((8, 8))
+        blk = VoxelBlock(spec, spec.domain)
+        ar = ActiveRegion(blk, 1e-6)
+        ar.refresh()
+        assert ar.count == 0
+        assert ar.region() is None
+
+    def test_ghost_activity_activates_boundary(self):
+        """Activity in a ghost voxel (from a neighbor rank) must activate
+        the adjacent owned boundary voxels."""
+        spec = GridSpec((16, 8))
+        blk = VoxelBlock(spec, Box((0, 0), (8, 8)))  # ghosts at x=8
+        blk.virions[9, 4] = 0.3  # ghost voxel (global (8,3))
+        ar = ActiveRegion(blk, 1e-6)
+        ar.refresh()
+        assert ar.count == 3  # owned (7, 2..4)
+        assert ar.mask[7, 2] and ar.mask[7, 3] and ar.mask[7, 4]
+
+    def test_bbox_covers_disjoint_activity(self):
+        spec = GridSpec((16, 16))
+        blk = VoxelBlock(spec, spec.domain)
+        blk.virions[2, 2] = 0.5
+        blk.virions[14, 14] = 0.5
+        ar = ActiveRegion(blk, 1e-6)
+        ar.refresh()
+        region = ar.region()
+        assert region == (slice(1, 16), slice(1, 16))
+        assert ar.count == 18  # two dilated 3x3 patches
+
+
+class TestCpuSimulation:
+    def test_work_records(self):
+        p = SimCovParams.fast_test(dim=(16, 16), num_infections=1, num_steps=5)
+        cpu = SimCovCPU(p, nranks=4, seed=0)
+        cpu.run(5)
+        assert len(cpu.step_work) == 5
+        rec = cpu.step_work[0]
+        assert len(rec["active_per_rank"]) == 4
+        assert rec["comm"]["rpcs"] > 0
+        assert rec["comm"]["reductions"] == 1
+
+    def test_rpc_bytes_scale_with_boundary(self):
+        """Linear decomposition moves more boundary bytes than block."""
+        from repro.grid.decomposition import DecompositionKind
+
+        p = SimCovParams.fast_test(dim=(24, 24), num_infections=2, num_steps=8)
+        blk = SimCovCPU(p, nranks=4, seed=1)
+        lin = SimCovCPU(p, nranks=4, seed=1,
+                        decomposition=DecompositionKind.LINEAR)
+        blk.run(8)
+        lin.run(8)
+        assert lin.runtime.comm.rpc_bytes > blk.runtime.comm.rpc_bytes
+
+    def test_internode_rpcs_accounted(self):
+        p = SimCovParams.fast_test(dim=(16, 16), num_infections=1, num_steps=3)
+        cpu = SimCovCPU(p, nranks=4, seed=0, ranks_per_node=2)
+        cpu.run(3)
+        assert cpu.runtime.comm.rpcs_internode > 0
+        assert cpu.runtime.comm.rpcs_internode < cpu.runtime.comm.rpcs
+
+    def test_active_counts_grow_with_infection(self):
+        p = SimCovParams.fast_test(dim=(32, 32), num_infections=4, num_steps=60)
+        cpu = SimCovCPU(p, nranks=4, seed=2)
+        cpu.run(60)
+        early = sum(cpu.step_work[1]["active_per_rank"])
+        late = sum(cpu.step_work[-1]["active_per_rank"])
+        assert late > early
+
+    def test_single_rank_degenerate(self):
+        p = SimCovParams.fast_test(dim=(12, 12), num_infections=1, num_steps=20)
+        cpu = SimCovCPU(p, nranks=1, seed=0)
+        cpu.run(20)
+        assert cpu.runtime.comm.rpcs == 0  # no neighbors
+        assert len(cpu.series) == 20
+
+    def test_gather_helpers(self):
+        p = SimCovParams.fast_test(dim=(12, 12), num_infections=2, num_steps=1)
+        cpu = SimCovCPU(p, nranks=4, seed=0)
+        epi = cpu.gather_epi_state()
+        assert epi.shape == (12, 12)
+        assert (epi == EpiState.HEALTHY).all()
+        assert cpu.gather_field("virions").sum() == 2.0

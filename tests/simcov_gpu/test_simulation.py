@@ -1,0 +1,162 @@
+"""Tests for SIMCoV-GPU specifics: variants, tiling, ledger accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core.params import SimCovParams
+from repro.simcov_gpu.simulation import SimCovGPU
+from repro.simcov_gpu.variants import GpuVariant
+
+
+@pytest.fixture
+def params():
+    return SimCovParams.fast_test(dim=(32, 32), num_infections=4, num_steps=30)
+
+
+class TestVariants:
+    def test_flags(self):
+        assert not GpuVariant.UNOPTIMIZED.use_tiling
+        assert not GpuVariant.UNOPTIMIZED.use_tree_reduction
+        assert GpuVariant.FAST_REDUCTION.use_tree_reduction
+        assert not GpuVariant.FAST_REDUCTION.use_tiling
+        assert GpuVariant.MEMORY_TILING.use_tiling
+        assert GpuVariant.COMBINED.use_tiling
+        assert GpuVariant.COMBINED.use_tree_reduction
+
+    def test_labels(self):
+        assert GpuVariant.COMBINED.label == "Combined"
+
+
+class TestTiling:
+    def test_unoptimized_processes_everything(self, params):
+        gpu = SimCovGPU(params, num_devices=4, seed=0,
+                        variant=GpuVariant.UNOPTIMIZED)
+        gpu.step()
+        assert gpu.active_fraction() == 1.0
+
+    def test_tiling_skips_inactive(self, params):
+        gpu = SimCovGPU(params, num_devices=4, seed=0,
+                        variant=GpuVariant.COMBINED, tile_shape=(4, 4))
+        # After the first sweep the active set collapses to the FOI tiles
+        # (+ buffers + pinned boundary tiles).
+        for _ in range(gpu.sweep_period + 1):
+            gpu.step()
+        assert gpu.active_fraction() < 1.0
+
+    def test_active_set_grows_with_infection(self, params):
+        gpu = SimCovGPU(params, num_devices=4, seed=0, tile_shape=(4, 4))
+        gpu.run(8)
+        early = gpu.active_fraction()
+        gpu.run(22)
+        late = gpu.active_fraction()
+        assert late >= early
+
+    def test_sweep_period_default_is_tile_side(self, params):
+        gpu = SimCovGPU(params, num_devices=4, seed=0, tile_shape=(4, 8))
+        assert gpu.sweep_period == 4
+
+    def test_sweep_launches_counted(self, params):
+        gpu = SimCovGPU(params, num_devices=4, seed=0, tile_shape=(4, 4))
+        gpu.run(gpu.sweep_period)
+        ledger = gpu.cluster.ledger
+        assert ledger.launches.get("tile_sweep", 0) == 4  # one per device
+        assert ledger.voxels["tile_sweep"] == 32 * 32  # full owned scan
+
+
+class TestReductionStrategies:
+    def test_unoptimized_uses_many_atomics(self, params):
+        gpu = SimCovGPU(params, num_devices=2, seed=0,
+                        variant=GpuVariant.UNOPTIMIZED)
+        gpu.step()
+        work = gpu.step_work[0]["ledger"]
+        # Atomic reduce: one op per voxel per stat field (8 fields).
+        assert work.atomic_ops >= 8 * 32 * 32
+
+    def test_tree_reduction_uses_few_atomics(self, params):
+        atom = SimCovGPU(params, num_devices=2, seed=0,
+                         variant=GpuVariant.UNOPTIMIZED)
+        tree = SimCovGPU(params, num_devices=2, seed=0,
+                         variant=GpuVariant.FAST_REDUCTION)
+        atom.step()
+        tree.step()
+        assert (
+            tree.step_work[0]["ledger"].atomic_ops
+            < atom.step_work[0]["ledger"].atomic_ops / 50
+        )
+        assert tree.step_work[0]["ledger"].reduce_tree_elems > 0
+
+    def test_stats_identical_across_strategies(self, params):
+        a = SimCovGPU(params, num_devices=2, seed=3,
+                      variant=GpuVariant.UNOPTIMIZED)
+        b = SimCovGPU(params, num_devices=2, seed=3,
+                      variant=GpuVariant.FAST_REDUCTION)
+        for _ in range(10):
+            sa, sb = a.step(), b.step()
+            assert sa.healthy == sb.healthy
+            assert sa.tcells_tissue == sb.tcells_tissue
+            assert np.isclose(sa.virions_total, sb.virions_total, rtol=1e-12)
+
+
+class TestLedger:
+    def test_halo_copies_counted(self, params):
+        gpu = SimCovGPU(params, num_devices=4, seed=0, gpus_per_node=2)
+        gpu.step()
+        work = gpu.step_work[0]["ledger"]
+        assert work.copies_intra > 0
+        assert work.copies_inter > 0
+
+    def test_single_node_no_internode(self, params):
+        gpu = SimCovGPU(params, num_devices=4, seed=0, gpus_per_node=4)
+        gpu.step()
+        assert gpu.step_work[0]["ledger"].copies_inter == 0
+
+    def test_launch_counts_stable_without_tiling(self, params):
+        gpu = SimCovGPU(params, num_devices=2, seed=0,
+                        variant=GpuVariant.UNOPTIMIZED)
+        gpu.run(3)
+        launches = [
+            w["ledger"].total_launches() for w in gpu.step_work
+        ]
+        assert launches[0] == launches[1] == launches[2]
+
+    def test_tiling_reduces_update_voxels(self, params):
+        full = SimCovGPU(params, num_devices=2, seed=0,
+                         variant=GpuVariant.UNOPTIMIZED)
+        tiled = SimCovGPU(params, num_devices=2, seed=0,
+                          variant=GpuVariant.COMBINED, tile_shape=(4, 4))
+        n = tiled.sweep_period + 2
+        full.run(n)
+        tiled.run(n)
+        fv = full.step_work[-1]["ledger"].voxels["update_agents"]
+        tv = tiled.step_work[-1]["ledger"].voxels["update_agents"]
+        assert tv < fv
+
+    def test_device_reductions_counted(self, params):
+        gpu = SimCovGPU(params, num_devices=2, seed=0)
+        gpu.step()
+        # One cross-device reduce per reduced stat + extr/binds/moves.
+        assert gpu.step_work[0]["ledger"].device_reductions == 8 + 3
+
+
+class TestDeviceMemory:
+    def test_buffers_registered(self, params):
+        gpu = SimCovGPU(params, num_devices=4, seed=0)
+        dev = gpu.cluster.devices[0]
+        assert dev.allocated_bytes > 0
+        assert "epi_state" in dev.arrays
+        assert "intent_move_bid" in dev.arrays
+
+    def test_bytes_per_voxel_matches_machine_model(self, params):
+        """The perf model's gpu_bytes_per_voxel estimate is grounded in the
+        actual per-voxel footprint of the implementation."""
+        from repro.perf.machine import PERLMUTTER
+
+        gpu = SimCovGPU(params, num_devices=4, seed=0)
+        dev = gpu.cluster.devices[0]
+        owned = gpu.decomp.boxes[0].size
+        measured = dev.allocated_bytes / owned
+        assert 0.5 < measured / PERLMUTTER.gpu_bytes_per_voxel < 2.0
+
+    def test_capacity_exceeded_raises(self, params):
+        with pytest.raises(MemoryError):
+            SimCovGPU(params, num_devices=2, seed=0, capacity_bytes=10_000)
