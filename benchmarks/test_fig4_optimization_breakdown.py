@@ -15,9 +15,14 @@ from repro.experiments.profiling import format_fig4, run_profiling
 from repro.simcov_gpu.variants import GpuVariant
 
 
+NUM_STEPS = 40
+
+
 @pytest.fixture(scope="module")
 def rows():
-    params = SimCovParams.fast_test(dim=(64, 64), num_infections=1, num_steps=40)
+    params = SimCovParams.fast_test(
+        dim=(64, 64), num_infections=1, num_steps=NUM_STEPS
+    )
     return run_profiling(params, num_devices=2, seed=11)
 
 
@@ -72,3 +77,45 @@ def test_fig4_optimizations_compose_independently(rows):
     # (within a factor reflecting the shared fixed costs).
     assert gain_comb > max(gain_fast, gain_tile)
     assert gain_comb > 0.3 * gain_fast * gain_tile
+
+
+class TestEnginePhaseTimings:
+    """The breakdown is observable straight from the engine's per-phase
+    hooks (sim.phase_metrics, surfaced as ProfilingRow.phase_seconds /
+    phase_calls) — no variant-specific ledger spelunking required."""
+
+    def test_every_variant_reports_phase_timings(self, rows):
+        for r in rows:
+            assert r.phase_seconds, r.variant
+            # Every mandatory kernel phase executed every step and accrued
+            # wall time.
+            for name in ("age_extravasate", "intents", "resolve",
+                         "epithelial", "diffuse", "reduce"):
+                assert r.phase_calls[name] == NUM_STEPS, (r.variant, name)
+                assert r.phase_seconds[name] > 0.0, (r.variant, name)
+
+    def test_exchange_phases_timed(self, rows):
+        for r in rows:
+            # The GPU schedule's halo waves (A, B, C) run every step.
+            for name in ("boundary_exchange", "tiebreak_exchange",
+                         "concentration_exchange"):
+                assert r.phase_calls[name] == NUM_STEPS, (r.variant, name)
+
+    def test_tile_sweep_only_runs_under_tiling(self, rows):
+        by = {r.variant: r for r in rows}
+        for variant, r in by.items():
+            sweeps = r.phase_calls.get("tile_sweep", 0)
+            if variant.use_tiling:
+                # Periodic: more than never, less than every step.
+                assert 0 < sweeps < NUM_STEPS, variant
+            else:
+                assert sweeps == 0, variant
+
+    def test_single_wave_tiebreak_visible_in_phase_counts(self, rows):
+        """The GPU path's §3.1 single-exchange protocol shows up directly
+        in the counters: the two-wave phases (result delivery + source-side
+        apply) never execute, the one tiebreak exchange runs every step."""
+        for r in rows:
+            assert r.phase_calls["tiebreak_exchange"] == NUM_STEPS, r.variant
+            assert r.phase_calls.get("result_exchange", 0) == 0, r.variant
+            assert r.phase_calls.get("apply_results", 0) == 0, r.variant

@@ -22,6 +22,17 @@ diffusing pheromone field — built from this package's substrates:
 Run:  python examples/ant_foraging.py
 """
 
+# Make `repro` importable when run straight from a checkout (no install):
+# fall back to the repo's src/ layout next to this script.
+try:
+    import repro  # noqa: F401
+except ModuleNotFoundError:
+    import pathlib
+    import sys
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+
 import numpy as np
 
 from repro.core.kernels import IntentArrays, _shift, commit_moves, compute_moves

@@ -15,6 +15,17 @@ GPUs.  This example runs that loop end to end:
 Run:  python examples/parameter_fitting.py
 """
 
+# Make `repro` importable when run straight from a checkout (no install):
+# fall back to the repo's src/ layout next to this script.
+try:
+    import repro  # noqa: F401
+except ModuleNotFoundError:
+    import pathlib
+    import sys
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+
 from repro.core.model import SequentialSimCov
 from repro.core.params import SimCovParams
 from repro.experiments.sweep import best_fit, run_sweep, summarize

@@ -16,6 +16,17 @@ faster.
 Run:  python examples/patchy_lesion_study.py
 """
 
+# Make `repro` importable when run straight from a checkout (no install):
+# fall back to the repo's src/ layout next to this script.
+try:
+    import repro  # noqa: F401
+except ModuleNotFoundError:
+    import pathlib
+    import sys
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+
 import numpy as np
 
 from repro import SequentialSimCov, SimCovParams

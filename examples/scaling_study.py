@@ -11,6 +11,17 @@ memory feasibility.
 Run:  python examples/scaling_study.py [side_voxels] [foi]
 """
 
+# Make `repro` importable when run straight from a checkout (no install):
+# fall back to the repo's src/ layout next to this script.
+try:
+    import repro  # noqa: F401
+except ModuleNotFoundError:
+    import pathlib
+    import sys
+
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+
 import sys
 
 from repro.core.params import SimCovParams

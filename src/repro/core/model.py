@@ -5,22 +5,22 @@ domain, updated by the shared kernels in the canonical phase order.  This
 defines ground truth: both parallel implementations must reproduce its
 per-step state exactly (they do — see tests/integration), because all
 randomness is keyed by global voxel id.
+
+The step loop itself lives in :mod:`repro.engine`: this class is a thin
+shim that builds a :class:`~repro.engine.sequential.SequentialBackend`
+and delegates to the shared :class:`~repro.engine.engine.StepEngine`.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core import kernels
 from repro.core.params import SimCovParams
-from repro.core.seeding import apply_seeds, seed_infections
-from repro.core.state import VoxelBlock
-from repro.core.stats import StepStats, TimeSeries, stats_vector
-from repro.grid.spec import GridSpec
-from repro.rng.streams import VoxelRNG
+from repro.engine.driver import EngineDriver
+from repro.engine.sequential import SequentialBackend
 
 
-class SequentialSimCov:
+class SequentialSimCov(EngineDriver):
     """Single-block SIMCoV simulation.
 
     Parameters
@@ -45,86 +45,15 @@ class SequentialSimCov:
         seed_gids: np.ndarray | None = None,
         structure_gids: np.ndarray | None = None,
     ):
-        self.params = params
-        self.rng = VoxelRNG(seed)
-        self.spec = GridSpec(params.dim)
-        self.block = VoxelBlock(self.spec, self.spec.domain)
-        if structure_gids is not None:
-            from repro.core.structure import apply_structure
-
-            apply_structure(self.block, structure_gids)
-        if seed_gids is None:
-            seed_gids = seed_infections(params, self.rng)
-        self.seed_gids = np.asarray(seed_gids, dtype=np.int64)
-        apply_seeds(self.block, self.seed_gids)
-        self.intents = kernels.IntentArrays(self.block.shape)
-        self.pool = 0.0
-        self.step_num = 0
-        self.series = TimeSeries()
-        self._scratch_v = np.zeros_like(self.block.virions)
-        self._scratch_c = np.zeros_like(self.block.chemokine)
-
-    # -- driver ---------------------------------------------------------------
-
-    def step(self) -> StepStats:
-        """Advance one timestep; returns (and records) the step's stats."""
-        p = self.params
-        blk = self.block
-        t = self.step_num
-        interior = blk.interior
-
-        # Vascular pool dynamics (replicated scalar state).
-        if t >= p.tcell_initial_delay:
-            self.pool += p.tcell_generation_rate
-        self.pool -= self.pool / p.tcell_vascular_period
-
-        # T cells: age, arrive, choose, tiebreak, act.
-        kernels.tcell_age(blk, interior)
-        attempts = kernels.extravasation_attempts(p, self.rng, t, self.pool)
-        extravasations = kernels.apply_extravasation(p, blk, attempts)
-        self.intents.clear()
-        kernels.tcell_intents(p, self.rng, t, blk, self.intents, interior)
-        moves = kernels.resolve_moves(blk, self.intents, interior)
-        binds = kernels.resolve_binds(p, self.rng, t, blk, self.intents, interior)
-
-        # Epithelial cells.
-        kernels.epithelial_update(p, self.rng, t, blk, interior)
-        kernels.production_update(p, blk, interior, step=t)
-
-        # Concentrations (no-flux domain boundary).
-        kernels.mirror_fields(blk)
-        kernels.concentration_update(
-            p, blk, interior, self._scratch_v, self._scratch_c
+        backend = SequentialBackend(
+            params, seed=seed, seed_gids=seed_gids, structure_gids=structure_gids
         )
-        kernels.concentration_commit(
-            p, blk, [interior], self._scratch_v, self._scratch_c, step=t
-        )
-
-        # Statistics + pool debit.
-        self.pool = max(0.0, self.pool - extravasations)
-        stats = StepStats.from_vector(
-            t,
-            stats_vector(blk),
-            pool=self.pool,
-            extravasations=extravasations,
-            binds=binds,
-            moves=moves,
-        )
-        self.series.append(stats)
-        self.step_num += 1
-        return stats
-
-    def run(self, num_steps: int | None = None) -> TimeSeries:
-        """Run ``num_steps`` (default ``params.num_steps``) and return the
-        accumulated time series."""
-        n = num_steps if num_steps is not None else self.params.num_steps
-        for _ in range(n):
-            self.step()
-        return self.series
+        self._init_engine(backend)
+        self.block = backend.block
+        self.intents = backend.intents
 
     # -- inspection ---------------------------------------------------------------
 
     def activity_fraction(self) -> float:
         """Fraction of voxels active now (perf-model workload input)."""
-        mask = self.block.activity_mask(self.params.min_chemokine)
-        return float(mask.mean())
+        return self.backend.activity_fraction()

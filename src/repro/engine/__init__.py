@@ -1,0 +1,50 @@
+"""Phase-pipeline execution engine.
+
+The per-step schedule of the simulation is data: an ordered tuple of
+:class:`Phase` objects (kernel phases and exchange barriers, drawn from
+the canonical :data:`PHASE_ORDER` vocabulary).  A :class:`StepEngine`
+executes a schedule against an :class:`ExecutionBackend` — sequential,
+PGAS or GPU-cluster — timing every phase.  The historical drivers are
+thin shims over this machinery (see :mod:`repro.engine.driver`).
+"""
+
+from repro.engine.backend import ExecutionBackend
+from repro.engine.driver import EngineDriver
+from repro.engine.engine import StepContext, StepEngine
+from repro.engine.gpu import GpuClusterBackend
+from repro.engine.metrics import PhaseMetrics
+from repro.engine.pgas import PgasBackend
+from repro.engine.phases import (
+    PHASE_KINDS,
+    PHASE_ORDER,
+    REQUIRED_PHASES,
+    FieldSet,
+    Phase,
+    PhaseKind,
+    describe_schedule,
+    exchange,
+    kernel,
+    validate_schedule,
+)
+from repro.engine.sequential import SequentialBackend
+
+__all__ = [
+    "PHASE_KINDS",
+    "PHASE_ORDER",
+    "REQUIRED_PHASES",
+    "EngineDriver",
+    "ExecutionBackend",
+    "FieldSet",
+    "GpuClusterBackend",
+    "PgasBackend",
+    "Phase",
+    "PhaseKind",
+    "PhaseMetrics",
+    "SequentialBackend",
+    "StepContext",
+    "StepEngine",
+    "describe_schedule",
+    "exchange",
+    "kernel",
+    "validate_schedule",
+]

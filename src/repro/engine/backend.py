@@ -1,0 +1,98 @@
+"""The execution-backend protocol the StepEngine drives.
+
+A backend owns the substrate state (blocks, runtimes, clusters, tiles)
+and implements the kernel phases of its declared schedule as
+``phase_<name>`` methods plus one :meth:`ExecutionBackend.exchange`
+method that maps exchange barriers onto its communication primitive —
+RPC waves (PGAS), halo copies (GPU cluster), or a no-op (sequential).
+
+A phase handler returns ``False`` to report "reached but skipped" (a
+barrier with nothing to ship, a periodic phase that is not due); any
+other return value counts as an execution in the engine's metrics.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.core.params import SimCovParams
+from repro.core.seeding import apply_seeds, seed_infections
+from repro.core.state import VoxelBlock
+from repro.engine.phases import Phase, PhaseKind
+from repro.grid.spec import GridSpec
+from repro.rng.streams import VoxelRNG
+
+
+class ExecutionBackend(abc.ABC):
+    """Substrate adapter: state + phase implementations for one platform."""
+
+    #: Short identifier used in logs/records.
+    name: str = "backend"
+
+    params: SimCovParams
+    rng: VoxelRNG
+    spec: GridSpec
+    seed_gids: np.ndarray
+
+    # -- construction helpers ------------------------------------------------
+
+    def _init_common(self, params: SimCovParams, seed: int) -> None:
+        """Shared constructor prologue: params, RNG, grid spec."""
+        self.params = params
+        self.rng = VoxelRNG(seed)
+        self.spec = GridSpec(params.dim)
+
+    def _seed_blocks(
+        self,
+        blocks: list[VoxelBlock],
+        seed_gids: np.ndarray | None,
+        structure_gids: np.ndarray | None,
+    ) -> None:
+        """Apply structure + FOI seeds identically to every block."""
+        if structure_gids is not None:
+            from repro.core.structure import apply_structure
+
+            for b in blocks:
+                apply_structure(b, structure_gids)
+        if seed_gids is None:
+            seed_gids = seed_infections(self.params, self.rng)
+        self.seed_gids = np.asarray(seed_gids, dtype=np.int64)
+        for b in blocks:
+            apply_seeds(b, self.seed_gids)
+
+    # -- the protocol --------------------------------------------------------
+
+    @abc.abstractmethod
+    def schedule(self) -> tuple[Phase, ...]:
+        """This backend's per-step schedule (validated by the engine)."""
+
+    def begin_step(self, ctx) -> None:
+        """Reset per-step scratch state / take accounting snapshots."""
+
+    def execute(self, phase: Phase, ctx):
+        """Dispatch one phase; ``False`` means skipped."""
+        if phase.kind is PhaseKind.EXCHANGE:
+            return self.exchange(phase, ctx)
+        handler = getattr(self, f"phase_{phase.name}", None)
+        if handler is None:
+            return False
+        return handler(ctx)
+
+    def exchange(self, phase: Phase, ctx):
+        """Map an exchange barrier to this substrate's primitive.
+
+        Default: no communication (the sequential substrate)."""
+        return False
+
+    def step_record(self, ctx) -> dict:
+        """Backend-specific extras merged into the engine's per-step
+        ``step_work`` record (ledger deltas, comm counters, ...)."""
+        return {}
+
+    # -- inspection ----------------------------------------------------------
+
+    @abc.abstractmethod
+    def gather_field(self, name: str) -> np.ndarray:
+        """Assembled global interior view of one voxel field."""

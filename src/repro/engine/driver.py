@@ -1,0 +1,88 @@
+"""Base class for the driver shims.
+
+`SequentialSimCov`, `SimCovCPU` and `SimCovGPU` keep their historical
+constructor signatures and public attributes, but all of them now build
+an :class:`~repro.engine.backend.ExecutionBackend` and delegate the
+entire step loop to a shared :class:`~repro.engine.engine.StepEngine`.
+This base class wires that delegation: stepping, the time series, the
+per-step work records, the per-phase metrics, and the checkpoint state
+(``pool`` / ``step_num`` are settable so restore works unchanged).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.stats import StepStats, TimeSeries
+from repro.engine.backend import ExecutionBackend
+from repro.engine.engine import StepEngine
+from repro.engine.metrics import PhaseMetrics
+from repro.engine.phases import Phase
+
+
+class EngineDriver:
+    """Thin facade over a StepEngine + backend pair."""
+
+    backend: ExecutionBackend
+    engine: StepEngine
+
+    def _init_engine(
+        self,
+        backend: ExecutionBackend,
+        schedule: tuple[Phase, ...] | None = None,
+    ) -> None:
+        self.backend = backend
+        self.engine = StepEngine(backend, schedule)
+        self.params = backend.params
+        self.rng = backend.rng
+        self.spec = backend.spec
+        self.seed_gids = backend.seed_gids
+
+    # -- stepping ------------------------------------------------------------
+
+    def step(self) -> StepStats:
+        return self.engine.step()
+
+    def run(self, num_steps: int | None = None) -> TimeSeries:
+        return self.engine.run(num_steps)
+
+    # -- engine state (checkpointable scalars have setters) -------------------
+
+    @property
+    def pool(self) -> float:
+        return self.engine.pool
+
+    @pool.setter
+    def pool(self, value: float) -> None:
+        self.engine.pool = value
+
+    @property
+    def step_num(self) -> int:
+        return self.engine.step_num
+
+    @step_num.setter
+    def step_num(self, value: int) -> None:
+        self.engine.step_num = value
+
+    @property
+    def series(self) -> TimeSeries:
+        return self.engine.series
+
+    @property
+    def step_work(self) -> list[dict]:
+        return self.engine.step_work
+
+    @property
+    def phase_metrics(self) -> PhaseMetrics:
+        """Cumulative per-phase wall-time / call / skip counters."""
+        return self.engine.metrics
+
+    @property
+    def schedule(self) -> tuple[Phase, ...]:
+        """The declarative phase schedule this driver executes."""
+        return self.engine.schedule
+
+    # -- inspection ----------------------------------------------------------
+
+    def gather_field(self, name: str) -> np.ndarray:
+        return self.backend.gather_field(name)

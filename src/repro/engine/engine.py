@@ -1,0 +1,124 @@
+"""The phase-pipeline StepEngine.
+
+One step loop for all three implementations: the engine owns the
+replicated scalar logic every driver used to duplicate (vascular-pool
+dynamics, the global extravasation-attempt schedule, the pool debit,
+StepStats assembly, the time series and per-step work records) and runs
+the backend's declared schedule phase by phase, timing each one.
+
+Drivers (`SequentialSimCov`, `SimCovCPU`, `SimCovGPU`) are thin
+configuration shims: they build a backend, hand it to a StepEngine, and
+re-export the engine's state under their historical public API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from time import perf_counter
+
+import numpy as np
+
+from repro.core import kernels
+from repro.core.stats import StepStats, TimeSeries
+from repro.engine.backend import ExecutionBackend
+from repro.engine.metrics import PhaseMetrics
+from repro.engine.phases import Phase, validate_schedule
+
+
+@dataclass
+class StepContext:
+    """Per-step scratch shared between the engine and the backend."""
+
+    #: Step number being executed.
+    step: int
+    #: The global, decomposition-independent extravasation-attempt schedule.
+    attempts: dict
+    #: Set by the ``reduce`` phase: the REDUCED_FIELDS vector.
+    reduced: np.ndarray | None = None
+    #: Set by the ``reduce`` phase (or locally on one block): step totals.
+    extravasations: int = 0
+    binds: int = 0
+    moves: int = 0
+    #: Free-form backend scratch (cleared every step).
+    extras: dict = field(default_factory=dict)
+
+
+class StepEngine:
+    """Executes a declarative phase schedule against an ExecutionBackend."""
+
+    def __init__(
+        self,
+        backend: ExecutionBackend,
+        schedule: tuple[Phase, ...] | None = None,
+    ):
+        self.backend = backend
+        self.params = backend.params
+        self.rng = backend.rng
+        self.schedule = tuple(schedule if schedule is not None else backend.schedule())
+        validate_schedule(self.schedule)
+        #: Cumulative per-phase wall-time and invocation counters.
+        self.metrics = PhaseMetrics()
+        self.pool = 0.0
+        self.step_num = 0
+        self.series = TimeSeries()
+        #: Per-step records: phase timings + backend extras (ledger deltas,
+        #: comm counters, active counts) for the performance model.
+        self.step_work: list[dict] = []
+
+    # -- driver --------------------------------------------------------------
+
+    def step(self) -> StepStats:
+        """Advance one timestep; returns (and records) the step's stats."""
+        p = self.params
+        t = self.step_num
+
+        # Vascular pool dynamics (replicated scalar state) + the global
+        # attempt schedule every backend applies to the voxels it owns.
+        if t >= p.tcell_initial_delay:
+            self.pool += p.tcell_generation_rate
+        self.pool -= self.pool / p.tcell_vascular_period
+        attempts = kernels.extravasation_attempts(p, self.rng, t, self.pool)
+
+        ctx = StepContext(step=t, attempts=attempts)
+        self.backend.begin_step(ctx)
+
+        phase_seconds: dict[str, float] = {}
+        for phase in self.schedule:
+            start = perf_counter()
+            ran = self.backend.execute(phase, ctx)
+            elapsed = perf_counter() - start
+            skipped = ran is False
+            self.metrics.record(phase.name, elapsed, skipped=skipped)
+            if not skipped:
+                phase_seconds[phase.name] = elapsed
+
+        if ctx.reduced is None:
+            raise RuntimeError(
+                f"backend {self.backend.name!r} reduce phase did not set "
+                "ctx.reduced"
+            )
+
+        # Pool debit + statistics assembly (identical on every substrate).
+        self.pool = max(0.0, self.pool - ctx.extravasations)
+        stats = StepStats.from_vector(
+            t,
+            ctx.reduced,
+            pool=self.pool,
+            extravasations=ctx.extravasations,
+            binds=ctx.binds,
+            moves=ctx.moves,
+        )
+        self.series.append(stats)
+        record = {"step": t, "phase_seconds": phase_seconds}
+        record.update(self.backend.step_record(ctx))
+        self.step_work.append(record)
+        self.step_num += 1
+        return stats
+
+    def run(self, num_steps: int | None = None) -> TimeSeries:
+        """Run ``num_steps`` (default ``params.num_steps``); return the
+        accumulated time series."""
+        n = num_steps if num_steps is not None else self.params.num_steps
+        for _ in range(n):
+            self.step()
+        return self.series

@@ -1,0 +1,65 @@
+"""Built-in per-phase timing/counter hooks.
+
+Every :class:`~repro.engine.engine.StepEngine` owns a
+:class:`PhaseMetrics`; each executed phase contributes host wall-time and
+an invocation count, and each skipped phase (a barrier a backend maps to
+a no-op, or a periodic phase that is not due) contributes a skip count.
+Drivers expose the object as ``sim.phase_metrics``; the Fig 4 ablation
+benchmarks and ``repro.perf`` consume it instead of reaching into
+variant-specific ledger plumbing.
+"""
+
+from __future__ import annotations
+
+
+class PhaseMetrics:
+    """Cumulative wall-time and invocation counters, keyed by phase name."""
+
+    def __init__(self):
+        #: Total host seconds spent executing each phase.
+        self.seconds: dict[str, float] = {}
+        #: Times each phase actually executed.
+        self.calls: dict[str, int] = {}
+        #: Times each phase was reached but skipped (no-op mapping or
+        #: periodic phase not due).
+        self.skips: dict[str, int] = {}
+
+    def record(self, name: str, seconds: float, skipped: bool = False) -> None:
+        if skipped:
+            self.skips[name] = self.skips.get(name, 0) + 1
+            return
+        self.seconds[name] = self.seconds.get(name, 0.0) + float(seconds)
+        self.calls[name] = self.calls.get(name, 0) + 1
+
+    # -- inspection ---------------------------------------------------------
+
+    def total_seconds(self) -> float:
+        return sum(self.seconds.values())
+
+    def phase_names(self) -> tuple[str, ...]:
+        """Every phase seen, executed or skipped."""
+        return tuple(dict.fromkeys([*self.calls, *self.skips]))
+
+    def summary(self) -> dict[str, dict]:
+        """``{phase: {seconds, calls, skips, mean_seconds}}`` rows."""
+        out = {}
+        for name in self.phase_names():
+            calls = self.calls.get(name, 0)
+            secs = self.seconds.get(name, 0.0)
+            out[name] = {
+                "seconds": secs,
+                "calls": calls,
+                "skips": self.skips.get(name, 0),
+                "mean_seconds": secs / calls if calls else 0.0,
+            }
+        return out
+
+    def format(self) -> str:
+        """Aligned text table of :meth:`summary` (debugging helper)."""
+        rows = self.summary()
+        lines = [f"{'phase':<24}{'calls':>7}{'skips':>7}{'seconds':>12}"]
+        for name, r in rows.items():
+            lines.append(
+                f"{name:<24}{r['calls']:>7}{r['skips']:>7}{r['seconds']:>12.4f}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,173 @@
+"""The declarative per-step schedule shared by every implementation.
+
+The paper's core claim (§3, §4.1) is that one staged step schedule runs
+identically on sequential, PGAS-CPU and multi-GPU substrates.  This module
+encodes that schedule as *data* — an ordered list of :class:`Phase`
+objects — instead of prose in three driver docstrings.  The canonical
+phase order is:
+
+==================== ======== ==============================================
+phase                kind     semantics
+==================== ======== ==============================================
+open_exchange        exchange start-of-step ghost refresh (PGAS active-region
+                              input; no-op elsewhere)
+age_extravasate      kernel   T-cell aging + vascular extravasation
+boundary_exchange    exchange post-extravasation boundary state / occupancy
+                              halo (GPU wave A; PGAS occupancy strips)
+intents              kernel   T-cell bind/move target choice + bids
+tiebreak_exchange    exchange the single tiebreak exchange of §3.1 (GPU:
+                              REPLACE intents + MAX bids; PGAS: intent-RPC
+                              delivery, wave 1 of the two-wave tiebreak)
+resolve              kernel   assign winners, execute moves and binds
+result_exchange      exchange PGAS result-RPC delivery (wave 2); no-op on
+                              the single-wave GPU path
+apply_results        kernel   PGAS sources apply wave-2 results
+epithelial           kernel   infection, state-timer transitions, production
+concentration_exchange exchange post-production concentration halo (wave C)
+diffuse              kernel   stencil diffusion + decay
+reduce               kernel   statistics reduction (allreduce / atomics /
+                              tree + cross-device reduce)
+tile_sweep           kernel   periodic tile-activation sweep (§3.2, GPU only)
+==================== ======== ==============================================
+
+A backend declares its own schedule from this vocabulary — field sets and
+merge modes for the exchange barriers differ per substrate — and the
+:class:`~repro.engine.engine.StepEngine` executes it with per-phase
+timing/counter hooks.  Phases a backend cannot express are kept in the
+schedule as explicit no-ops (skips), so the mapping between substrates
+stays visible in the metrics.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.grid.halo import MergeMode
+
+
+class PhaseKind(enum.Enum):
+    """What a phase does: local kernel work or a communication barrier."""
+
+    KERNEL = "kernel"
+    EXCHANGE = "exchange"
+
+
+@dataclass(frozen=True)
+class FieldSet:
+    """One group of arrays shipped by an exchange barrier.
+
+    ``scope`` names the holder: ``"state"`` for
+    :class:`~repro.core.state.VoxelBlock` fields, ``"intent"`` for
+    :class:`~repro.core.kernels.IntentArrays` fields.  ``merge`` is the
+    ghost-merge semantics (REPLACE for per-source data, MAX for the
+    bid-max tiebreak).
+    """
+
+    scope: str
+    fields: tuple[str, ...]
+    merge: MergeMode
+
+    def __post_init__(self):
+        if self.scope not in ("state", "intent"):
+            raise ValueError(f"unknown field scope {self.scope!r}")
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One entry of the per-step schedule."""
+
+    name: str
+    kind: PhaseKind
+    #: For EXCHANGE phases: what is shipped and how ghosts merge.  Empty
+    #: tuples mark barriers the backend maps to a non-halo primitive (RPC
+    #: delivery) or to a no-op.
+    exchanges: tuple[FieldSet, ...] = ()
+    #: One-line description shown in schedule dumps.
+    doc: str = ""
+
+    def __post_init__(self):
+        if self.exchanges and self.kind is not PhaseKind.EXCHANGE:
+            raise ValueError(f"kernel phase {self.name!r} cannot carry field sets")
+
+
+def kernel(name: str, doc: str = "") -> Phase:
+    """A local-compute phase."""
+    return Phase(name, PhaseKind.KERNEL, doc=doc)
+
+
+def exchange(name: str, *field_sets: FieldSet, doc: str = "") -> Phase:
+    """A communication barrier shipping ``field_sets`` (possibly none)."""
+    return Phase(name, PhaseKind.EXCHANGE, exchanges=tuple(field_sets), doc=doc)
+
+
+#: Canonical phase names in canonical order (see module docstring).
+PHASE_ORDER = (
+    "open_exchange",
+    "age_extravasate",
+    "boundary_exchange",
+    "intents",
+    "tiebreak_exchange",
+    "resolve",
+    "result_exchange",
+    "apply_results",
+    "epithelial",
+    "concentration_exchange",
+    "diffuse",
+    "reduce",
+    "tile_sweep",
+)
+
+#: Canonical kind per phase name.
+PHASE_KINDS = {
+    name: (PhaseKind.EXCHANGE if name.endswith("_exchange") else PhaseKind.KERNEL)
+    for name in PHASE_ORDER
+}
+
+#: Phases every schedule must carry (the model cannot run without them).
+REQUIRED_PHASES = frozenset(
+    {"age_extravasate", "intents", "resolve", "epithelial", "diffuse", "reduce"}
+)
+
+
+def validate_schedule(schedule: tuple[Phase, ...] | list[Phase]) -> None:
+    """Reject schedules that are not a subsequence of the canonical order.
+
+    Raises ``ValueError`` on unknown names, duplicates, kind mismatches,
+    missing required phases, or phases out of canonical order.
+    """
+    names = [p.name for p in schedule]
+    unknown = [n for n in names if n not in PHASE_KINDS]
+    if unknown:
+        raise ValueError(f"unknown phase(s) {unknown}; canonical set: {PHASE_ORDER}")
+    if len(set(names)) != len(names):
+        dupes = sorted({n for n in names if names.count(n) > 1})
+        raise ValueError(f"duplicate phase(s) {dupes}")
+    for p in schedule:
+        if p.kind is not PHASE_KINDS[p.name]:
+            raise ValueError(
+                f"phase {p.name!r} declared {p.kind.value}, canonical kind is "
+                f"{PHASE_KINDS[p.name].value}"
+            )
+    missing = REQUIRED_PHASES - set(names)
+    if missing:
+        raise ValueError(f"schedule missing required phase(s) {sorted(missing)}")
+    order = [PHASE_ORDER.index(n) for n in names]
+    if order != sorted(order):
+        raise ValueError(
+            f"schedule order {names} violates canonical order {PHASE_ORDER}"
+        )
+
+
+def describe_schedule(schedule: tuple[Phase, ...] | list[Phase]) -> str:
+    """Human-readable schedule table (debugging/docs helper)."""
+    lines = []
+    for p in schedule:
+        detail = ""
+        if p.kind is PhaseKind.EXCHANGE and p.exchanges:
+            detail = "; ".join(
+                f"{fs.scope}[{','.join(fs.fields)}]:{fs.merge.name}"
+                for fs in p.exchanges
+            )
+        lines.append(f"{p.name:<24}{p.kind.value:<10}{detail or p.doc}")
+    return "\n".join(lines)

@@ -1,0 +1,119 @@
+"""The sequential execution backend: one undivided block, no communication.
+
+This is the ground-truth substrate — every exchange barrier in the
+canonical schedule maps to a no-op because a single
+:class:`~repro.core.state.VoxelBlock` covers the whole domain and its
+ghosts only ever mirror the no-flux boundary.  Both parallel backends
+must reproduce its per-step state exactly (see tests/integration),
+because all randomness is keyed by global voxel id.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import kernels
+from repro.core.params import SimCovParams
+from repro.core.state import VoxelBlock
+from repro.core.stats import stats_vector
+from repro.engine.backend import ExecutionBackend
+from repro.engine.phases import Phase, exchange, kernel
+
+
+class SequentialBackend(ExecutionBackend):
+    """Whole-domain updates in canonical phase order."""
+
+    name = "sequential"
+
+    def __init__(
+        self,
+        params: SimCovParams,
+        seed: int = 0,
+        seed_gids: np.ndarray | None = None,
+        structure_gids: np.ndarray | None = None,
+    ):
+        self._init_common(params, seed)
+        self.block = VoxelBlock(self.spec, self.spec.domain)
+        self._seed_blocks([self.block], seed_gids, structure_gids)
+        self.intents = kernels.IntentArrays(self.block.shape)
+        self._scratch_v = np.zeros_like(self.block.virions)
+        self._scratch_c = np.zeros_like(self.block.chemokine)
+
+    # -- schedule ------------------------------------------------------------
+
+    def schedule(self) -> tuple[Phase, ...]:
+        """The full canonical schedule; every barrier is a no-op here."""
+        return (
+            exchange("open_exchange", doc="no-op: single block"),
+            kernel("age_extravasate"),
+            exchange("boundary_exchange", doc="no-op: single block"),
+            kernel("intents"),
+            exchange("tiebreak_exchange", doc="no-op: single block"),
+            kernel("resolve"),
+            exchange("result_exchange", doc="no-op: single block"),
+            kernel("apply_results", doc="no-op: nothing crosses a boundary"),
+            kernel("epithelial"),
+            exchange("concentration_exchange", doc="no-op: single block"),
+            kernel("diffuse"),
+            kernel("reduce"),
+            kernel("tile_sweep", doc="no-op: no tiling"),
+        )
+
+    # -- kernel phases -------------------------------------------------------
+
+    def phase_age_extravasate(self, ctx) -> None:
+        kernels.tcell_age(self.block, self.block.interior)
+        ctx.extravasations = kernels.apply_extravasation(
+            self.params, self.block, ctx.attempts
+        )
+
+    def phase_intents(self, ctx) -> None:
+        self.intents.clear()
+        kernels.tcell_intents(
+            self.params, self.rng, ctx.step, self.block, self.intents,
+            self.block.interior,
+        )
+
+    def phase_resolve(self, ctx) -> None:
+        interior = self.block.interior
+        ctx.moves = kernels.resolve_moves(self.block, self.intents, interior)
+        ctx.binds = kernels.resolve_binds(
+            self.params, self.rng, ctx.step, self.block, self.intents, interior
+        )
+
+    def phase_apply_results(self, ctx):
+        return False
+
+    def phase_epithelial(self, ctx) -> None:
+        interior = self.block.interior
+        kernels.epithelial_update(
+            self.params, self.rng, ctx.step, self.block, interior
+        )
+        kernels.production_update(self.params, self.block, interior, step=ctx.step)
+
+    def phase_diffuse(self, ctx) -> None:
+        interior = self.block.interior
+        kernels.mirror_fields(self.block)
+        kernels.concentration_update(
+            self.params, self.block, interior, self._scratch_v, self._scratch_c
+        )
+        kernels.concentration_commit(
+            self.params, self.block, [interior], self._scratch_v,
+            self._scratch_c, step=ctx.step,
+        )
+
+    def phase_reduce(self, ctx) -> None:
+        ctx.reduced = stats_vector(self.block)
+
+    def phase_tile_sweep(self, ctx):
+        return False
+
+    # -- inspection ----------------------------------------------------------
+
+    def gather_field(self, name: str) -> np.ndarray:
+        return getattr(self.block, name)[self.block.interior].copy()
+
+    def activity_fraction(self) -> float:
+        """Fraction of voxels active now (perf-model workload input)."""
+        mask = self.block.activity_mask(self.params.min_chemokine)
+        return float(mask.mean())

@@ -15,7 +15,7 @@ version multiplies the gains.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core.params import SimCovParams
 from repro.perf.costs import gpu_step_seconds
@@ -26,11 +26,20 @@ from repro.simcov_gpu.variants import GpuVariant
 
 @dataclass
 class ProfilingRow:
-    """One Fig 4 bar."""
+    """One Fig 4 bar.
+
+    ``update_seconds``/``reduce_seconds`` are *modeled* times (ledger work
+    priced by the machine model); ``phase_seconds``/``phase_calls`` are the
+    engine's own per-phase host wall-time and invocation counters
+    (``sim.phase_metrics``), reported as measured — they are never rescaled
+    by ``scale_to_paper``.
+    """
 
     variant: GpuVariant
     update_seconds: float
     reduce_seconds: float
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+    phase_calls: dict[str, int] = field(default_factory=dict)
 
     @property
     def total_seconds(self) -> float:
@@ -71,13 +80,20 @@ def run_profiling(
             )
             update += cost.update_seconds + cost.sweep_seconds
             reduce += cost.reduce_seconds
-        rows.append(ProfilingRow(variant, update, reduce))
+        rows.append(
+            ProfilingRow(
+                variant, update, reduce,
+                phase_seconds=dict(sim.phase_metrics.seconds),
+                phase_calls=dict(sim.phase_metrics.calls),
+            )
+        )
     if scale_to_paper:
         combined = next(r for r in rows if r.variant is GpuVariant.COMBINED)
         factor = 70.0 / max(combined.total_seconds, 1e-12)
         rows = [
             ProfilingRow(
-                r.variant, r.update_seconds * factor, r.reduce_seconds * factor
+                r.variant, r.update_seconds * factor, r.reduce_seconds * factor,
+                phase_seconds=r.phase_seconds, phase_calls=r.phase_calls,
             )
             for r in rows
         ]

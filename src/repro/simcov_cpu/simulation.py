@@ -15,36 +15,23 @@ Per-step structure (staged per §4.1, RPC waves per §2.2/§3.1):
 6. epithelial update + production (local, active region);
 7. **field RPC wave**: virion/chemokine boundary strips; diffusion + decay;
 8. tree allreduce of statistics; pool debit.
+
+The schedule above is declared as data by
+:class:`~repro.engine.pgas.PgasBackend` and executed by the shared
+:class:`~repro.engine.engine.StepEngine`; this class is a thin shim that
+re-exports the backend's state under the historical public API.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core import kernels
 from repro.core.params import SimCovParams
-from repro.core.seeding import apply_seeds, seed_infections
-from repro.core.state import VoxelBlock
-from repro.core.stats import REDUCED_FIELDS, StepStats, TimeSeries, stats_vector
-from repro.grid.decomposition import Decomposition, DecompositionKind
-from repro.grid.halo import HaloExchanger
-from repro.grid.spec import GridSpec, moore_offsets
-from repro.pgas.runtime import PgasRuntime
-from repro.pgas.reductions import ReduceOp
-from repro.rng.streams import VoxelRNG
-from repro.simcov_cpu.active_region import ActiveRegion
-
-#: Start-of-step wave: everything the active-region refresh and the binding
-#: stencil need, fresh as of the previous step's end.
-_OPEN_WAVE = ("epi_state", "virions", "chemokine", "tcell")
-#: Post-extravasation wave: the exact T-cell occupancy snapshot movement is
-#: resolved against.
-_OCCUPANCY_WAVE = ("tcell",)
-#: Pre-diffusion wave: post-production concentration ghosts.
-_FIELD_WAVE = ("virions", "chemokine")
+from repro.engine.driver import EngineDriver
+from repro.grid.decomposition import DecompositionKind
 
 
-class SimCovCPU:
+class SimCovCPU(EngineDriver):
     """Rank-parallel SIMCoV on the PGAS runtime.
 
     Parameters
@@ -70,411 +57,28 @@ class SimCovCPU:
         seed_gids: np.ndarray | None = None,
         structure_gids: np.ndarray | None = None,
     ):
-        self.params = params
-        self.rng = VoxelRNG(seed)
-        self.spec = GridSpec(params.dim)
-        self.decomp = Decomposition.make(self.spec, nranks, decomposition)
-        self.runtime = PgasRuntime(nranks, ranks_per_node=ranks_per_node)
-        self.exchanger = HaloExchanger(self.decomp)
-        self.blocks = [
-            VoxelBlock(self.spec, self.decomp.boxes[r]) for r in range(nranks)
-        ]
-        self.intents = [kernels.IntentArrays(b.shape) for b in self.blocks]
-        self.active = [
-            ActiveRegion(b, params.min_chemokine) for b in self.blocks
-        ]
-        self._scratch = [
-            (np.zeros_like(b.virions), np.zeros_like(b.chemokine))
-            for b in self.blocks
-        ]
-        # Per-rank buffers filled by RPC handlers during progress.
-        self._incoming_moves: list[list[dict]] = [[] for _ in range(nranks)]
-        self._incoming_binds: list[list[dict]] = [[] for _ in range(nranks)]
-        self._won_moves: list[list[np.ndarray]] = [[] for _ in range(nranks)]
-        self._won_binds: list[list[np.ndarray]] = [[] for _ in range(nranks)]
-        self._register_handlers()
-        if structure_gids is not None:
-            from repro.core.structure import apply_structure
+        # Deferred: repro.engine.pgas itself imports from this package.
+        from repro.engine.pgas import PgasBackend
 
-            for b in self.blocks:
-                apply_structure(b, structure_gids)
-        if seed_gids is None:
-            seed_gids = seed_infections(params, self.rng)
-        self.seed_gids = np.asarray(seed_gids, dtype=np.int64)
-        for b in self.blocks:
-            apply_seeds(b, self.seed_gids)
-        self.pool = 0.0
-        self.step_num = 0
-        self.series = TimeSeries()
-        #: Per-step work records for the performance model.
-        self.step_work: list[dict] = []
-
-    # -- RPC handlers ----------------------------------------------------------
-
-    def _register_handlers(self) -> None:
-        rt = self.runtime
-
-        def recv_boundary(ctx, lo, hi, _src_rank, **fields):
-            from repro.grid.box import Box
-
-            region = Box(tuple(int(x) for x in lo), tuple(int(x) for x in hi))
-            block = self.blocks[ctx.rank]
-            sl = region.slices_from(block.origin)
-            for name, data in fields.items():
-                getattr(block, name)[sl] = data
-
-        def recv_move_intents(ctx, src_gid, tgt_gid, bid, life, _src_rank):
-            self._incoming_moves[ctx.rank].append(
-                {
-                    "src_rank": _src_rank,
-                    "src_gid": src_gid,
-                    "tgt_gid": tgt_gid,
-                    "bid": bid,
-                    "life": life,
-                }
-            )
-
-        def recv_bind_intents(ctx, src_gid, tgt_gid, bid, _src_rank):
-            self._incoming_binds[ctx.rank].append(
-                {
-                    "src_rank": _src_rank,
-                    "src_gid": src_gid,
-                    "tgt_gid": tgt_gid,
-                    "bid": bid,
-                }
-            )
-
-        def recv_move_results(ctx, won_src_gid, _src_rank):
-            self._won_moves[ctx.rank].append(won_src_gid)
-
-        def recv_bind_results(ctx, won_src_gid, _src_rank):
-            self._won_binds[ctx.rank].append(won_src_gid)
-
-        rt.register_handler("recv_boundary", recv_boundary)
-        rt.register_handler("recv_move_intents", recv_move_intents)
-        rt.register_handler("recv_bind_intents", recv_bind_intents)
-        rt.register_handler("recv_move_results", recv_move_results)
-        rt.register_handler("recv_bind_results", recv_bind_results)
-
-    # -- boundary waves ---------------------------------------------------------
-
-    def _send_boundary_wave(self, fields: tuple[str, ...]) -> None:
-        """Each rank ships the strips neighbors' ghosts need (batched per
-        route, like a tuned UPC++ code)."""
-        for src, dst, region in self.exchanger.replace_routes:
-            block = self.blocks[src]
-            sl = region.slices_from(block.origin)
-            payload = {name: getattr(block, name)[sl].copy() for name in fields}
-            self.runtime.ranks[src].rpc(
-                dst,
-                "recv_boundary",
-                lo=np.array(region.lo),
-                hi=np.array(region.hi),
-                **payload,
-            )
-        self.runtime.progress()
-
-    # -- local <-> global index helpers ----------------------------------------------
-
-    def _locate(self, rank: int, gids: np.ndarray) -> tuple[tuple, np.ndarray]:
-        """Padded-array indices for global ids owned by ``rank``."""
-        block = self.blocks[rank]
-        coords = self.spec.unravel(gids)
-        local = coords - np.array(block.origin)
-        return tuple(local.T), coords
-
-    # -- the step ------------------------------------------------------------------
-
-    def step(self) -> StepStats:
-        p = self.params
-        rt = self.runtime
-        t = self.step_num
-        nranks = rt.nranks
-
-        comm_before = rt.comm.snapshot()
-        active_counts = []
-
-        # Pool (replicated scalar, identical on every rank).
-        if t >= p.tcell_initial_delay:
-            self.pool += p.tcell_generation_rate
-        self.pool -= self.pool / p.tcell_vascular_period
-        attempts = kernels.extravasation_attempts(p, self.rng, t, self.pool)
-
-        extr_local = [0] * nranks
-        moves_local = [0] * nranks
-        binds_local = [0] * nranks
-        pending_moves: list[dict] = [None] * nranks
-        pending_binds: list[dict] = [None] * nranks
-
-        # Phase 1: start-of-step boundary wave (fresh end-of-last-step state).
-        self._send_boundary_wave(_OPEN_WAVE)
-
-        # Phase 2: refresh active regions, age, extravasate (all local).
-        def phase_age(ctx):
-            r = ctx.rank
-            self.active[r].refresh()
-            active_counts.append(self.active[r].count)
-            region = self.active[r].region()
-            if region is not None:
-                kernels.tcell_age(self.blocks[r], region)
-            extr_local[r] = kernels.apply_extravasation(
-                p, self.blocks[r], attempts
-            )
-
-        rt.phase(phase_age, progress=False)
-
-        # Phase 2b: occupancy wave — the exact T-cell snapshot for movement.
-        self._send_boundary_wave(_OCCUPANCY_WAVE)
-
-        # Phase 3: intents + intent RPCs (tiebreak wave 1).
-        def phase_intents(ctx):
-            r = ctx.rank
-            block = self.blocks[r]
-            intents = self.intents[r]
-            intents.clear()
-            region = self.active[r].region()
-            if region is not None:
-                kernels.tcell_intents(p, self.rng, t, block, intents, region)
-            pending_moves[r] = self._extract_remote_intents(r, kind="move")
-            pending_binds[r] = self._extract_remote_intents(r, kind="bind")
-
-        rt.phase(phase_intents, progress=True)  # delivers intent RPCs
-
-        # Phase 4: merge remote bids, resolve, apply arrivals, result RPCs.
-        def phase_resolve(ctx):
-            r = ctx.rank
-            block = self.blocks[r]
-            intents = self.intents[r]
-            region = self.active[r].region()
-            self._merge_remote_bids(r)
-            if region is not None:
-                moves_local[r] += kernels.resolve_moves(block, intents, region)
-                binds_local[r] += kernels.resolve_binds(
-                    p, self.rng, t, block, intents, region
-                )
-            moves_local[r] += self._apply_remote_moves(ctx)
-            self._apply_remote_binds(ctx)
-
-        rt.phase(phase_resolve, progress=True)  # delivers result RPCs
-
-        # Phase 5: apply results at sources.
-        def phase_results(ctx):
-            self._apply_results(ctx.rank, pending_moves[ctx.rank],
-                                pending_binds[ctx.rank])
-
-        rt.phase(phase_results, progress=False)
-
-        # Phase 6: epithelial + production.
-        def phase_epithelial(ctx):
-            r = ctx.rank
-            region = self.active[r].region()
-            if region is not None:
-                kernels.epithelial_update(p, self.rng, t, self.blocks[r], region)
-                kernels.production_update(p, self.blocks[r], region, step=t)
-
-        rt.phase(phase_epithelial, progress=False)
-
-        # Phase 7: field wave + diffusion.
-        self._send_boundary_wave(_FIELD_WAVE)
-
-        def phase_diffuse(ctx):
-            r = ctx.rank
-            block = self.blocks[r]
-            region = self.active[r].region()
-            if region is None:
-                return
-            kernels.mirror_fields(block)
-            sv, sc = self._scratch[r]
-            kernels.concentration_update(p, block, region, sv, sc)
-            kernels.concentration_commit(p, block, [region], sv, sc, step=t)
-
-        rt.phase(phase_diffuse, progress=False)
-
-        # Phase 8: statistics allreduce + pool debit.
-        vectors = [
-            np.concatenate(
-                [
-                    stats_vector(self.blocks[r]),
-                    [extr_local[r], binds_local[r], moves_local[r]],
-                ]
-            )
-            for r in range(nranks)
-        ]
-        reduced = rt.allreduce(vectors, ReduceOp.SUM)
-        extr = int(reduced[len(REDUCED_FIELDS)])
-        self.pool = max(0.0, self.pool - extr)
-        stats = StepStats.from_vector(
-            t,
-            reduced[: len(REDUCED_FIELDS)],
-            pool=self.pool,
-            extravasations=extr,
-            binds=int(reduced[len(REDUCED_FIELDS) + 1]),
-            moves=int(reduced[len(REDUCED_FIELDS) + 2]),
+        backend = PgasBackend(
+            params,
+            nranks,
+            seed=seed,
+            decomposition=decomposition,
+            ranks_per_node=ranks_per_node,
+            seed_gids=seed_gids,
+            structure_gids=structure_gids,
         )
-        self.series.append(stats)
-        self.step_work.append(
-            {
-                "step": t,
-                "active_per_rank": list(active_counts),
-                "comm": rt.comm.delta(rt.comm.snapshot(), comm_before),
-            }
-        )
-        self.step_num += 1
-        return stats
+        self._init_engine(backend)
+        self.decomp = backend.decomp
+        self.runtime = backend.runtime
+        self.exchanger = backend.exchanger
+        self.blocks = backend.blocks
+        self.intents = backend.intents
+        self.active = backend.active
 
-    # -- tiebreak plumbing ----------------------------------------------------------
-
-    def _extract_remote_intents(self, rank: int, kind: str) -> dict:
-        """Find owned T cells targeting ghost voxels; ship them to owners and
-        withhold them from local resolution.  Returns the pending record."""
-        block = self.blocks[rank]
-        intents = self.intents[rank]
-        interior = block.interior
-        if kind == "move":
-            dirs = intents.move_dir[interior]
-            stencil = moore_offsets(self.spec.ndim)
-            base = 0
-        else:
-            dirs = intents.bind_dir[interior]
-            stencil = kernels.bind_stencil(self.spec.ndim)
-            base = 0
-        owned_box = block.owned
-        src_list, tgt_list, bid_list, life_list = [], [], [], []
-        pend_local = []
-        for k, off in enumerate(stencil):
-            mask = dirs == (k + base)
-            if not mask.any():
-                continue
-            src_local = np.argwhere(mask)  # owned-relative coords
-            src_global = src_local + np.array(owned_box.lo)
-            tgt_global = src_global + off
-            outside = ~owned_box.contains(tgt_global)
-            if not outside.any():
-                continue
-            src_g = src_global[outside]
-            tgt_g = tgt_global[outside]
-            src_pad = tuple((src_g - np.array(block.origin)).T)
-            src_list.append(self.spec.ravel(src_g))
-            tgt_list.append(self.spec.ravel(tgt_g))
-            bid_list.append(intents.bid_self[src_pad])
-            if kind == "move":
-                life_list.append(block.tcell_tissue_time[src_pad])
-            pend_local.append(src_pad)
-            # Withhold from local resolution.
-            if kind == "move":
-                intents.move_dir[src_pad] = -1
-            else:
-                intents.bind_dir[src_pad] = -1
-        if not src_list:
-            return {"src_gid": np.array([], dtype=np.int64)}
-        src_gid = np.concatenate(src_list)
-        tgt_gid = np.concatenate(tgt_list)
-        bid = np.concatenate(bid_list)
-        owners = self.decomp.owner_of(self.spec.unravel(tgt_gid))
-        life = np.concatenate(life_list) if kind == "move" else None
-        for dst in np.unique(owners):
-            sel = owners == dst
-            payload = {
-                "src_gid": src_gid[sel],
-                "tgt_gid": tgt_gid[sel],
-                "bid": bid[sel],
-            }
-            if kind == "move":
-                payload["life"] = life[sel]
-                self.runtime.ranks[rank].rpc(int(dst), "recv_move_intents", **payload)
-            else:
-                self.runtime.ranks[rank].rpc(int(dst), "recv_bind_intents", **payload)
-        return {"src_gid": src_gid, "bid": bid, "kind": kind}
-
-    def _merge_remote_bids(self, rank: int) -> None:
-        """Max-merge buffered remote bids into this rank's bid arrays."""
-        intents = self.intents[rank]
-        for rec in self._incoming_moves[rank]:
-            idx, _ = self._locate(rank, rec["tgt_gid"])
-            arr = intents.move_bid
-            np.maximum.at(arr, idx, rec["bid"])
-        for rec in self._incoming_binds[rank]:
-            idx, _ = self._locate(rank, rec["tgt_gid"])
-            np.maximum.at(intents.bind_bid, idx, rec["bid"])
-
-    def _apply_remote_moves(self, ctx) -> int:
-        """Instantiate remote movers that won bids on owned voxels; notify
-        their source ranks (tiebreak wave 2)."""
-        r = ctx.rank
-        block = self.blocks[r]
-        intents = self.intents[r]
-        arrivals = 0
-        winners_by_src: dict[int, list[int]] = {}
-        for rec in self._incoming_moves[r]:
-            idx, _ = self._locate(r, rec["tgt_gid"])
-            won = intents.move_bid[idx] == rec["bid"]
-            for i in np.nonzero(won)[0]:
-                cell = tuple(int(x[i]) for x in idx)
-                block.tcell[cell] = 1
-                block.tcell_tissue_time[cell] = rec["life"][i]
-                block.tcell_bound_time[cell] = 0
-                arrivals += 1
-                winners_by_src.setdefault(rec["src_rank"], []).append(
-                    int(rec["src_gid"][i])
-                )
-        self._incoming_moves[r] = []
-        for src_rank, gids in winners_by_src.items():
-            ctx.rpc(
-                src_rank,
-                "recv_move_results",
-                won_src_gid=np.array(gids, dtype=np.int64),
-            )
-        return arrivals
-
-    def _apply_remote_binds(self, ctx) -> None:
-        """Apply remote bind winners to owned epithelial cells; notify the
-        winning T cells' owners."""
-        r = ctx.rank
-        block = self.blocks[r]
-        intents = self.intents[r]
-        p = self.params
-        winners_by_src: dict[int, list[int]] = {}
-        for rec in self._incoming_binds[r]:
-            idx, _ = self._locate(r, rec["tgt_gid"])
-            won = intents.bind_bid[idx] == rec["bid"]
-            for i in np.nonzero(won)[0]:
-                winners_by_src.setdefault(rec["src_rank"], []).append(
-                    int(rec["src_gid"][i])
-                )
-        self._incoming_binds[r] = []
-        for src_rank, gids in winners_by_src.items():
-            ctx.rpc(
-                src_rank,
-                "recv_bind_results",
-                won_src_gid=np.array(gids, dtype=np.int64),
-            )
-
-    def _apply_results(self, rank: int, pending_moves, pending_binds) -> None:
-        """Source side of tiebreak wave 2: erase movers that won a ghost
-        voxel; hold binders that won a ghost epithelial cell."""
-        block = self.blocks[rank]
-        for gids in self._won_moves[rank]:
-            idx, _ = self._locate(rank, gids)
-            block.tcell[idx] = 0
-            block.tcell_tissue_time[idx] = 0
-            block.tcell_bound_time[idx] = 0
-        self._won_moves[rank] = []
-        for gids in self._won_binds[rank]:
-            idx, _ = self._locate(rank, gids)
-            block.tcell_bound_time[idx] = self.params.tcell_binding_period
-        self._won_binds[rank] = []
-
-    # -- driver -----------------------------------------------------------------------
-
-    def run(self, num_steps: int | None = None) -> TimeSeries:
-        n = num_steps if num_steps is not None else self.params.num_steps
-        for _ in range(n):
-            self.step()
-        return self.series
+    # -- inspection ---------------------------------------------------------------
 
     def gather_epi_state(self) -> np.ndarray:
         """Assembled global epithelial state (test/IO helper)."""
-        return self.exchanger.gather_global([b.epi_state for b in self.blocks])
-
-    def gather_field(self, name: str) -> np.ndarray:
-        return self.exchanger.gather_global([getattr(b, name) for b in self.blocks])
+        return self.backend.gather_epi_state()

@@ -16,35 +16,24 @@ Per-step kernel/copy schedule (Fig 2, with the §4.1 staging):
 7. **halo wave C** (concentrations) + diffusion kernels;
 8. statistics reduction (atomics or tree, per variant) + cross-device
    reduce; periodic tile-activation sweep.
+
+The schedule above is declared as data by
+:class:`~repro.engine.gpu.GpuClusterBackend` and executed by the shared
+:class:`~repro.engine.engine.StepEngine`; this class is a thin shim that
+re-exports the backend's state under the historical public API.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core import kernels
 from repro.core.params import SimCovParams
-from repro.core.seeding import apply_seeds, seed_infections
-from repro.core.state import EpiState, VoxelBlock
-from repro.core.stats import REDUCED_FIELDS, StepStats, TimeSeries
-from repro.grid.decomposition import Decomposition, DecompositionKind
-from repro.grid.halo import HaloExchanger, MergeMode
-from repro.grid.spec import GridSpec
-from repro.grid.tiling import TileGrid
-from repro.gpusim.cluster import GpuCluster
-from repro.gpusim.ledger import KernelCategory
-from repro.gpusim.reduction import atomic_reduce, tree_reduce_device
-from repro.rng.streams import VoxelRNG
+from repro.engine.driver import EngineDriver
+from repro.grid.decomposition import DecompositionKind
 from repro.simcov_gpu.variants import GpuVariant
 
-#: Halo wave A fields (boundary state; payload rides along so arrivals can
-#: be instantiated from ghost copies).
-_WAVE_A = ("epi_state", "tcell", "tcell_tissue_time", "tcell_bound_time")
-#: Halo wave C fields (post-production concentrations).
-_WAVE_C = ("virions", "chemokine")
 
-
-class SimCovGPU:
+class SimCovGPU(EngineDriver):
     """Device-parallel SIMCoV on the GPU cluster simulator.
 
     Parameters
@@ -78,321 +67,33 @@ class SimCovGPU:
         structure_gids: np.ndarray | None = None,
         capacity_bytes: int | None = None,
     ):
-        self.params = params
-        self.variant = variant
-        self.rng = VoxelRNG(seed)
-        self.spec = GridSpec(params.dim)
-        self.decomp = Decomposition.make(self.spec, num_devices, decomposition)
-        from repro.gpusim.device import A100_BYTES
+        # Deferred: repro.engine.gpu itself imports from this package.
+        from repro.engine.gpu import GpuClusterBackend
 
-        self.cluster = GpuCluster(
+        backend = GpuClusterBackend(
+            params,
             num_devices,
+            seed=seed,
+            variant=variant,
             gpus_per_node=gpus_per_node,
-            capacity_bytes=capacity_bytes or A100_BYTES,
+            tile_shape=tile_shape,
+            sweep_period=sweep_period,
+            decomposition=decomposition,
+            seed_gids=seed_gids,
+            structure_gids=structure_gids,
+            capacity_bytes=capacity_bytes,
         )
-        self.exchanger = HaloExchanger(
-            self.decomp, on_message=self.cluster.halo_message_hook()
-        )
-        self.blocks = [
-            VoxelBlock(self.spec, self.decomp.boxes[d]) for d in range(num_devices)
-        ]
-        self.intents = [kernels.IntentArrays(b.shape) for b in self.blocks]
-        self._scratch = [
-            (np.zeros_like(b.virions), np.zeros_like(b.chemokine))
-            for b in self.blocks
-        ]
-        # Register every buffer against the device's memory capacity — the
-        # §4.2 sizing constraint ("approximately the number of voxels that
-        # fit into the A100s' available memory") enforced for real.
-        for d, (block, intents, scratch) in enumerate(
-            zip(self.blocks, self.intents, self._scratch)
-        ):
-            device = self.cluster.devices[d]
-            for name in VoxelBlock.STATE_FIELDS + ("epi_timer", "gid"):
-                device.adopt(name, getattr(block, name))
-            for name in (
-                kernels.IntentArrays.REPLACE_FIELDS
-                + kernels.IntentArrays.MAX_FIELDS
-            ):
-                device.adopt(f"intent_{name}", getattr(intents, name))
-            device.adopt("scratch_virions", scratch[0])
-            device.adopt("scratch_chemokine", scratch[1])
-        if tile_shape is None:
-            tile_shape = tuple(
-                min(8, s) for s in self.decomp.boxes[0].shape
-            )
-        domain = self.spec.domain
-        self.tiles = []
-        for d in range(num_devices):
-            box = self.decomp.boxes[d]
-            # Only sides facing another device carry ghost traffic and need
-            # their tile shell pinned (§3.2).
-            pin = [
-                (box.lo[a] > domain.lo[a], box.hi[a] < domain.hi[a])
-                for a in range(self.spec.ndim)
-            ]
-            self.tiles.append(
-                TileGrid(
-                    box.shape,
-                    tuple(min(t, s) for t, s in zip(tile_shape, box.shape)),
-                    ghost=1,
-                    pin_sides=pin,
-                )
-            )
-        if variant.use_tiling:
-            max_period = min(tg.max_sweep_period() for tg in self.tiles)
-            self.sweep_period = (
-                min(sweep_period, max_period) if sweep_period else max_period
-            )
-        else:
-            # No tiling: every tile is permanently active, no sweeps.
-            for tg in self.tiles:
-                tg.activate_all()
-            self.sweep_period = 0
-        if structure_gids is not None:
-            from repro.core.structure import apply_structure
-
-            for b in self.blocks:
-                apply_structure(b, structure_gids)
-        if seed_gids is None:
-            seed_gids = seed_infections(params, self.rng)
-        self.seed_gids = np.asarray(seed_gids, dtype=np.int64)
-        for b in self.blocks:
-            apply_seeds(b, self.seed_gids)
-        self.pool = 0.0
-        self.step_num = 0
-        self.series = TimeSeries()
-        #: Per-step ledger deltas for the performance model.
-        self.step_work: list[dict] = []
-
-    # -- tiled kernel launching --------------------------------------------------
-
-    def _regions(self, d: int) -> list[tuple[slice, ...]]:
-        """Padded-array regions of device ``d``'s active tiles."""
-        g = self.blocks[d].ghost
-        return [
-            tuple(slice(s.start + g, s.stop + g) for s in sl)
-            for sl in self.tiles[d].active_tile_slices()
-        ]
-
-    def _active_voxels(self, d: int) -> int:
-        return self.tiles[d].active_voxel_count()
-
-    def _launch_tiled(self, d: int, category: KernelCategory, fn) -> None:
-        """One kernel launch covering the active tiles of device ``d``.
-
-        The real code launches a single grid over the active-tile list; we
-        run ``fn(region)`` per tile but count one launch with the active
-        voxel total.
-        """
-        device = self.cluster.devices[d]
-
-        def body():
-            for region in self._regions(d):
-                fn(region)
-
-        device.launch(category, self._active_voxels(d), body)
-
-    # -- halo waves -------------------------------------------------------------
-
-    def _exchange(self, fields: tuple[str, ...], mode: MergeMode) -> None:
-        for name in fields:
-            self.exchanger.exchange(
-                [getattr(b, name) for b in self.blocks], mode
-            )
-
-    def _exchange_intents(self) -> None:
-        """Halo wave B: the single tiebreak exchange of §3.1."""
-        for name in kernels.IntentArrays.REPLACE_FIELDS:
-            self.exchanger.exchange(
-                [getattr(i, name) for i in self.intents], MergeMode.REPLACE
-            )
-        for name in kernels.IntentArrays.MAX_FIELDS:
-            self.exchanger.exchange(
-                [getattr(i, name) for i in self.intents], MergeMode.MAX
-            )
-
-    # -- statistics ------------------------------------------------------------------
-
-    def _device_stats(self, d: int) -> np.ndarray:
-        """One device's stats partials, via the variant's reduction scheme.
-
-        Both schemes sweep *every* owned voxel (§3.3: reducing over the full
-        space beats scattering atomics through the update kernels); they
-        differ in how values are accumulated.
-        """
-        block = self.blocks[d]
-        device = self.cluster.devices[d]
-        sl = block.interior
-        state = block.epi_state[sl]
-        fields = [
-            (state == EpiState.HEALTHY),
-            (state == EpiState.INCUBATING),
-            (state == EpiState.EXPRESSING),
-            (state == EpiState.APOPTOTIC),
-            (state == EpiState.DEAD),
-            (block.tcell[sl] != 0),
-            block.virions[sl],
-            block.chemokine[sl],
-        ]
-        n = state.size
-        out = np.empty(len(fields), dtype=np.float64)
-
-        def body():
-            for i, f in enumerate(fields):
-                arr = np.asarray(f, dtype=np.float64)
-                if self.variant.use_tree_reduction:
-                    out[i] = tree_reduce_device(device, arr)
-                else:
-                    out[i] = atomic_reduce(device, arr)
-
-        device.launch(
-            KernelCategory.REDUCE_STATS, n * len(fields), body, bytes_per_voxel=8
-        )
-        return out
-
-    # -- the step ------------------------------------------------------------------------
-
-    def step(self) -> StepStats:
-        p = self.params
-        t = self.step_num
-        nd = self.cluster.num_devices
-        ledger_before = self.cluster.ledger.snapshot()
-
-        # Replicated pool update + global attempt schedule.
-        if t >= p.tcell_initial_delay:
-            self.pool += p.tcell_generation_rate
-        self.pool -= self.pool / p.tcell_vascular_period
-        attempts = kernels.extravasation_attempts(p, self.rng, t, self.pool)
-
-        # Kernels: age + extravasate.
-        extr_local = [0] * nd
-        moves_local = [0] * nd
-        binds_local = [0] * nd
-        for d in range(nd):
-            self._launch_tiled(
-                d, KernelCategory.UPDATE_AGENTS,
-                lambda region, d=d: kernels.tcell_age(self.blocks[d], region),
-            )
-            device = self.cluster.devices[d]
-            extr_local[d] = device.launch(
-                KernelCategory.UPDATE_AGENTS,
-                attempts["gid"].size,
-                lambda d=d: kernels.apply_extravasation(p, self.blocks[d], attempts),
-            )
-
-        # Halo wave A: boundary state.
-        self._exchange(_WAVE_A, MergeMode.REPLACE)
-
-        # Kernels: choose direction + bids.
-        for d in range(nd):
-            self.intents[d].clear()
-            self._launch_tiled(
-                d, KernelCategory.UPDATE_AGENTS,
-                lambda region, d=d: kernels.tcell_intents(
-                    p, self.rng, t, self.blocks[d], self.intents[d], region
-                ),
-            )
-
-        # Halo wave B: the single tiebreak exchange.
-        self._exchange_intents()
-
-        # Kernels: assign winners ("set flips"), then move agents (Fig 2).
-        # Two separate launches so every tile's winners are computed against
-        # pristine state before any tile commits — on hardware, the kernel
-        # boundary is the synchronization point.
-        for d in range(nd):
-            movesets: list[kernels.MoveSet] = []
-            self._launch_tiled(
-                d, KernelCategory.UPDATE_AGENTS,
-                lambda region, d=d, ms=movesets: ms.append(
-                    kernels.compute_moves(self.blocks[d], self.intents[d], region)
-                ),
-            )
-
-            def move_and_bind(region, d=d, ms=movesets):
-                for m in ms:
-                    if m.region == region:
-                        moves_local[d] += kernels.commit_moves(self.blocks[d], m)
-                binds_local[d] += kernels.resolve_binds(
-                    p, self.rng, t, self.blocks[d], self.intents[d], region
-                )
-
-            self._launch_tiled(d, KernelCategory.UPDATE_AGENTS, move_and_bind)
-
-        # Kernels: epithelial update + production.
-        for d in range(nd):
-            def epi(region, d=d):
-                kernels.epithelial_update(p, self.rng, t, self.blocks[d], region)
-                kernels.production_update(p, self.blocks[d], region, step=t)
-
-            self._launch_tiled(d, KernelCategory.UPDATE_AGENTS, epi)
-
-        # Halo wave C: concentrations; diffusion kernels.
-        self._exchange(_WAVE_C, MergeMode.REPLACE)
-        for d in range(nd):
-            kernels.mirror_fields(self.blocks[d])
-            sv, sc = self._scratch[d]
-            regions = self._regions(d)
-
-            def diffuse(region, d=d, sv=sv, sc=sc):
-                kernels.concentration_update(p, self.blocks[d], region, sv, sc)
-
-            self._launch_tiled(d, KernelCategory.UPDATE_AGENTS, diffuse)
-            kernels.concentration_commit(p, self.blocks[d], regions, sv, sc, step=t)
-
-        # Statistics: per-device reduction, then cross-device reduce.
-        partials = [self._device_stats(d) for d in range(nd)]
-        reduced = np.zeros(len(REDUCED_FIELDS), dtype=np.float64)
-        for i in range(len(REDUCED_FIELDS)):
-            reduced[i] = self.cluster.reduce_scalar([v[i] for v in partials])
-        extr = int(self.cluster.reduce_scalar([float(e) for e in extr_local]))
-        binds = int(self.cluster.reduce_scalar([float(b) for b in binds_local]))
-        moves = int(self.cluster.reduce_scalar([float(m) for m in moves_local]))
-        self.pool = max(0.0, self.pool - extr)
-
-        # Periodic tile-activation sweep (§3.2).  Boundary tiles are pinned
-        # and buffered inside TileGrid.sweep, so activity arriving from
-        # neighbor devices is always covered.
-        if self.variant.use_tiling and (t + 1) % self.sweep_period == 0:
-            for d in range(nd):
-                device = self.cluster.devices[d]
-                block = self.blocks[d]
-                device.launch(
-                    KernelCategory.TILE_SWEEP,
-                    block.owned.size,
-                    lambda d=d, block=block: self.tiles[d].sweep(
-                        block.activity_mask_padded(p.min_chemokine), padded=True
-                    ),
-                )
-
-        stats = StepStats.from_vector(
-            t, reduced, pool=self.pool,
-            extravasations=extr, binds=binds, moves=moves,
-        )
-        self.series.append(stats)
-        self.step_work.append(
-            {
-                "step": t,
-                "active_per_device": [self._active_voxels(d) for d in range(nd)],
-                "ledger": self.cluster.ledger.minus(ledger_before),
-            }
-        )
-        self.step_num += 1
-        return stats
-
-    def run(self, num_steps: int | None = None) -> TimeSeries:
-        n = num_steps if num_steps is not None else self.params.num_steps
-        for _ in range(n):
-            self.step()
-        return self.series
+        self._init_engine(backend)
+        self.variant = backend.variant
+        self.decomp = backend.decomp
+        self.cluster = backend.cluster
+        self.exchanger = backend.exchanger
+        self.blocks = backend.blocks
+        self.intents = backend.intents
+        self.tiles = backend.tiles
+        self.sweep_period = backend.sweep_period
 
     # -- inspection ------------------------------------------------------------------
 
-    def gather_field(self, name: str) -> np.ndarray:
-        return self.exchanger.gather_global([getattr(b, name) for b in self.blocks])
-
     def active_fraction(self) -> float:
-        total = sum(b.owned.size for b in self.blocks)
-        active = sum(self._active_voxels(d) for d in range(len(self.blocks)))
-        return active / total
+        return self.backend.active_fraction()

@@ -1,0 +1,101 @@
+"""Unit tests for the StepEngine, metrics hooks and driver facade."""
+
+import pytest
+
+from repro.core.model import SequentialSimCov
+from repro.core.params import SimCovParams
+from repro.engine import PhaseMetrics, SequentialBackend, StepEngine, kernel
+
+
+def small_params(steps=5):
+    return SimCovParams.fast_test(dim=(12, 12), num_infections=2,
+                                  num_steps=steps)
+
+
+class TestPhaseMetrics:
+    def test_record_and_summary(self):
+        m = PhaseMetrics()
+        m.record("reduce", 0.25)
+        m.record("reduce", 0.75)
+        m.record("tile_sweep", 0.0, skipped=True)
+        assert m.seconds["reduce"] == pytest.approx(1.0)
+        assert m.calls["reduce"] == 2
+        assert m.skips["tile_sweep"] == 1
+        assert m.total_seconds() == pytest.approx(1.0)
+        row = m.summary()["reduce"]
+        assert row["mean_seconds"] == pytest.approx(0.5)
+        skipped = m.summary()["tile_sweep"]
+        assert skipped == {"seconds": 0.0, "calls": 0, "skips": 1,
+                           "mean_seconds": 0.0}
+
+    def test_format_is_a_table(self):
+        m = PhaseMetrics()
+        m.record("diffuse", 0.125)
+        text = m.format()
+        assert "diffuse" in text and "0.1250" in text
+
+
+class TestStepEngine:
+    def test_skipped_phases_counted_not_timed(self):
+        engine = StepEngine(SequentialBackend(small_params(), seed=3))
+        engine.run(4)
+        m = engine.metrics
+        # The sequential backend skips every exchange barrier + tile_sweep.
+        for name in ("open_exchange", "boundary_exchange", "tile_sweep"):
+            assert m.skips[name] == 4
+            assert name not in m.calls
+        for name in ("intents", "resolve", "reduce"):
+            assert m.calls[name] == 4
+        # step_work's per-step timings only include executed phases.
+        for rec in engine.step_work:
+            assert "open_exchange" not in rec["phase_seconds"]
+            assert "reduce" in rec["phase_seconds"]
+
+    def test_missing_reduce_raises(self):
+        class NoReduce(SequentialBackend):
+            def phase_reduce(self, ctx):
+                return False  # never sets ctx.reduced
+
+        engine = StepEngine(NoReduce(small_params(), seed=3))
+        with pytest.raises(RuntimeError, match="did not set"):
+            engine.step()
+
+    def test_missing_handler_counts_as_skip(self):
+        class NoSweepHandler(SequentialBackend):
+            phase_tile_sweep = None
+
+        backend = NoSweepHandler(small_params(), seed=3)
+        # getattr(backend, "phase_tile_sweep") is None -> engine skips it.
+        engine = StepEngine(backend)
+        engine.step()
+        assert engine.metrics.skips["tile_sweep"] == 1
+
+    def test_custom_schedule_validated(self):
+        backend = SequentialBackend(small_params(), seed=3)
+        with pytest.raises(ValueError, match="missing required"):
+            StepEngine(backend, schedule=(kernel("reduce"),))
+
+    def test_run_defaults_to_params_num_steps(self):
+        engine = StepEngine(SequentialBackend(small_params(steps=3), seed=3))
+        series = engine.run()
+        assert len(series) == 3 and engine.step_num == 3
+
+
+class TestEngineDriverFacade:
+    def test_checkpoint_scalars_are_settable(self):
+        sim = SequentialSimCov(small_params(), seed=3)
+        sim.run(2)
+        sim.pool = 12.5
+        sim.step_num = 40
+        assert sim.engine.pool == 12.5
+        assert sim.engine.step_num == 40
+        # And reads delegate back out.
+        assert sim.pool == 12.5 and sim.step_num == 40
+
+    def test_facade_views_are_engine_state(self):
+        sim = SequentialSimCov(small_params(), seed=3)
+        sim.run(3)
+        assert sim.series is sim.engine.series
+        assert sim.step_work is sim.engine.step_work
+        assert sim.phase_metrics is sim.engine.metrics
+        assert sim.schedule is sim.engine.schedule

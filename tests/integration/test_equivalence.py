@@ -152,3 +152,80 @@ class TestCpuGpuAgainstEachOther:
             np.testing.assert_array_equal(
                 cpu.gather_field(name), gpu.gather_field(name), err_msg=name
             )
+
+
+class TestEngineUnification:
+    """All three drivers execute through the shared phase-pipeline engine
+    (repro.engine) and stay bitwise identical when driven through it."""
+
+    ENGINE_STEPS = 40  # > tcell_initial_delay at fast_test compression
+
+    def _drivers_2d(self):
+        p = SimCovParams.fast_test(dim=(16, 16), num_infections=3,
+                                   num_steps=self.ENGINE_STEPS)
+        return p, [
+            SequentialSimCov(p, seed=5),
+            SimCovCPU(p, nranks=4, seed=5),
+            SimCovGPU(p, num_devices=4, seed=5, tile_shape=(4, 4)),
+        ]
+
+    def test_all_drivers_share_the_step_engine(self):
+        from repro.engine import (
+            PHASE_ORDER,
+            ExecutionBackend,
+            StepEngine,
+            validate_schedule,
+        )
+
+        _, sims = self._drivers_2d()
+        for sim in sims:
+            assert isinstance(sim.engine, StepEngine)
+            assert isinstance(sim.backend, ExecutionBackend)
+            assert sim.engine.backend is sim.backend
+            # The declared schedule is a valid subsequence of the canonical
+            # phase order.
+            validate_schedule(sim.schedule)
+            names = [ph.name for ph in sim.schedule]
+            assert set(names) <= set(PHASE_ORDER)
+            # Stepping goes through the engine: state advances in lockstep.
+            sim.step()
+            assert sim.step_num == sim.engine.step_num == 1
+
+    def test_engine_equivalence_2d(self):
+        _, sims = self._drivers_2d()
+        seq, cpu, gpu = sims
+        for sim in sims:
+            sim.engine.run(self.ENGINE_STEPS)
+        for i in range(self.ENGINE_STEPS):
+            assert_stats_match(seq.series[i], cpu.series[i], f"engine-cpu {i}")
+            assert_stats_match(seq.series[i], gpu.series[i], f"engine-gpu {i}")
+        assert_fields_match(seq, cpu, "engine-cpu")
+        assert_fields_match(seq, gpu, "engine-gpu")
+
+    def test_engine_equivalence_3d(self):
+        steps = 30
+        p = SimCovParams.fast_test(dim=(8, 8, 8), num_infections=2,
+                                   num_steps=steps)
+        seq = SequentialSimCov(p, seed=13)
+        cpu = SimCovCPU(p, nranks=4, seed=13)
+        gpu = SimCovGPU(p, num_devices=8, seed=13, tile_shape=(4, 4, 4))
+        for sim in (seq, cpu, gpu):
+            sim.engine.run(steps)
+        for i in range(steps):
+            assert_stats_match(seq.series[i], cpu.series[i], f"3d-cpu {i}")
+            assert_stats_match(seq.series[i], gpu.series[i], f"3d-gpu {i}")
+        assert_fields_match(seq, cpu, "3d-cpu")
+        assert_fields_match(seq, gpu, "3d-gpu")
+
+    def test_every_phase_reports_time_and_counts(self):
+        _, sims = self._drivers_2d()
+        for sim in sims:
+            sim.run(10)
+            summary = sim.phase_metrics.summary()
+            for ph in sim.schedule:
+                row = summary[ph.name]
+                assert row["calls"] + row["skips"] == 10, ph.name
+                assert row["seconds"] >= 0.0
+            # Executed phases surface per-step wall time in step_work too.
+            for rec in sim.step_work:
+                assert set(rec["phase_seconds"]) <= {p.name for p in sim.schedule}

@@ -5,15 +5,15 @@ Each runs in a subprocess with the repo's interpreter (they are all
 self-contained and take seconds to a couple of minutes).
 """
 
+import os
 import pathlib
 import subprocess
 import sys
 
 import pytest
 
-EXAMPLES = sorted(
-    (pathlib.Path(__file__).resolve().parents[2] / "examples").glob("*.py")
-)
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+EXAMPLES = sorted((REPO_ROOT / "examples").glob("*.py"))
 
 
 def test_all_examples_discovered():
@@ -30,12 +30,20 @@ def test_all_examples_discovered():
 
 @pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
 def test_example_runs(script, tmp_path):
+    # Propagate the repo's src/ on PYTHONPATH so the subprocess can import
+    # repro from a clean checkout (no install, any cwd).
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = os.pathsep.join(
+        [src, env["PYTHONPATH"]] if env.get("PYTHONPATH") else [src]
+    )
     result = subprocess.run(
         [sys.executable, str(script)],
         capture_output=True,
         text=True,
         timeout=900,
         cwd=tmp_path,  # examples write results/ relative to cwd
+        env=env,
     )
     assert result.returncode == 0, (
         f"{script.name} failed:\n{result.stderr[-2000:]}"
