@@ -6,9 +6,22 @@ pytest-benchmark timing).  Benchmarks run on scaled-down workloads — see
 EXPERIMENTS.md for the scaled-vs-paper mapping.
 """
 
+import pathlib
+
 import pytest
 
 from repro.core.params import SimCovParams
+from repro.testing import subprocess_env
+
+BENCH_DIR = pathlib.Path(__file__).resolve().parent
+
+
+@pytest.fixture(scope="session")
+def bench_env():
+    """Environment for benchmark subprocesses (the entry-point regression
+    test): os.environ with ``src/`` on PYTHONPATH, via the same helper the
+    example smoke tests use (repro.testing.subprocess_env)."""
+    return subprocess_env()
 
 
 @pytest.fixture(scope="session")

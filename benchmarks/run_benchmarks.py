@@ -1,0 +1,130 @@
+#!/usr/bin/env python
+"""Step-engine benchmark runner: activity gating vs whole-domain baseline.
+
+Measures steps/sec and per-phase seconds (via
+:class:`~repro.engine.metrics.PhaseMetrics`) for the canonical small and
+medium 2D configurations, running each once gated (the §3.2 periodic
+tile sweep) and once force-ungated, and writes ``BENCH_step_engine.json``
+at the repo root.  Every run pair is also checked for bitwise identity —
+a benchmark that drifted from the ground truth is reported as failed,
+not merely slow.
+
+Usage (from the repo root, no install needed)::
+
+    python benchmarks/run_benchmarks.py            # all configs
+    python benchmarks/run_benchmarks.py --config small_2d
+    python benchmarks/run_benchmarks.py --steps 40 --out /tmp/bench.json
+
+The configs are fixed-seed and deterministic: the recorded stats (active
+fractions, bitwise identity) are repeatable; only the timings vary run
+to run.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+import numpy as np
+
+from repro.core.model import SequentialSimCov
+from repro.core.params import SimCovParams
+from repro.testing import repo_root
+
+#: Canonical benchmark configs.  ``small_2d`` is the early-infection
+#: regime the ≥2× acceptance gate applies to: one focus of infection in a
+#: 256² domain stays spatially confined for the whole run, so gating has
+#: quiescent space to skip.  ``medium_2d`` grows the domain to show the
+#: gap widening with scale.
+CONFIGS = {
+    "small_2d": {"dim": (256, 256), "num_infections": 1, "steps": 100, "seed": 11},
+    "medium_2d": {"dim": (384, 384), "num_infections": 1, "steps": 120, "seed": 11},
+}
+
+#: Voxel fields compared for the bitwise-identity check.
+STATE_FIELDS = (
+    "epi_state", "epi_timer", "virions", "chemokine",
+    "tcell", "tcell_tissue_time", "tcell_bound_time",
+)
+
+
+def _run_once(params, seed, steps, active_gating):
+    t0 = time.perf_counter()
+    sim = SequentialSimCov(params, seed=seed, active_gating=active_gating)
+    sim.run(steps)
+    wall = time.perf_counter() - t0
+    return sim, {
+        "wall_seconds": round(wall, 4),
+        "steps_per_sec": round(steps / wall, 2),
+        "phase_seconds": {
+            name: round(sec, 4) for name, sec in sim.phase_metrics.seconds.items()
+        },
+    }
+
+
+def _identical(gated, ungated):
+    for name in STATE_FIELDS:
+        if not np.array_equal(getattr(gated.block, name), getattr(ungated.block, name)):
+            return False
+    if len(gated.series) != len(ungated.series):
+        return False
+    return all(gated.series[i] == ungated.series[i] for i in range(len(gated.series)))
+
+
+def run_config(name, spec, steps_override=None):
+    steps = steps_override or spec["steps"]
+    params = SimCovParams.fast_test(
+        dim=spec["dim"], num_infections=spec["num_infections"], num_steps=steps,
+    )
+    gated, gated_rec = _run_once(params, spec["seed"], steps, active_gating=True)
+    ungated, ungated_rec = _run_once(params, spec["seed"], steps, active_gating=False)
+
+    voxels = int(np.prod(spec["dim"]))
+    active = [w["active_voxels"] / voxels for w in gated.step_work]
+    result = {
+        "dim": list(spec["dim"]),
+        "num_infections": spec["num_infections"],
+        "steps": steps,
+        "seed": spec["seed"],
+        "gated": gated_rec,
+        "ungated": ungated_rec,
+        "speedup": round(gated_rec["steps_per_sec"] / ungated_rec["steps_per_sec"], 3),
+        "mean_active_fraction": round(float(np.mean(active)), 4),
+        "final_active_fraction": round(active[-1], 4),
+        "bitwise_identical": _identical(gated, ungated),
+    }
+    print(
+        f"{name}: {result['speedup']}x "
+        f"(gated {gated_rec['steps_per_sec']} steps/s, "
+        f"ungated {ungated_rec['steps_per_sec']} steps/s, "
+        f"mean active {100 * result['mean_active_fraction']:.1f}%, "
+        f"bitwise_identical={result['bitwise_identical']})"
+    )
+    return result
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--config", choices=[*CONFIGS, "all"], default="all")
+    ap.add_argument("--steps", type=int, default=None,
+                    help="override step count (smoke/CI use)")
+    ap.add_argument("--out", type=pathlib.Path,
+                    default=repo_root() / "BENCH_step_engine.json")
+    args = ap.parse_args(argv)
+
+    names = list(CONFIGS) if args.config == "all" else [args.config]
+    payload = {
+        "benchmark": "step_engine_activity_gating",
+        "metric": "steps_per_sec (sequential driver, gated vs ungated)",
+        "configs": {n: run_config(n, CONFIGS[n], args.steps) for n in names},
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0 if all(c["bitwise_identical"] for c in payload["configs"].values()) else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,47 @@
+"""Regression test for the step-engine benchmark entry point.
+
+Runs ``benchmarks/run_benchmarks.py`` the way a user would (a subprocess
+from a clean checkout) on a shortened workload and checks the contract:
+it writes well-formed ``BENCH_step_engine.json`` content, the gated and
+ungated runs are bitwise identical, and a speedup is recorded for every
+canonical config.  The timing numbers themselves are machine-dependent
+and deliberately not asserted here — the committed
+``BENCH_step_engine.json`` records the full-length measurement.
+"""
+
+import json
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+BENCH_DIR = pathlib.Path(__file__).resolve().parent
+
+pytestmark = pytest.mark.slow
+
+
+def test_entry_point_writes_bench_json(bench_env, tmp_path):
+    out = tmp_path / "bench.json"
+    result = subprocess.run(
+        [
+            sys.executable, str(BENCH_DIR / "run_benchmarks.py"),
+            "--steps", "30", "--out", str(out),
+        ],
+        capture_output=True, text=True, timeout=600,
+        cwd=tmp_path, env=bench_env,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+
+    payload = json.loads(out.read_text())
+    assert payload["benchmark"] == "step_engine_activity_gating"
+    assert set(payload["configs"]) == {"small_2d", "medium_2d"}
+    for name, cfg in payload["configs"].items():
+        assert cfg["bitwise_identical"], f"{name}: gated run drifted from baseline"
+        assert cfg["speedup"] > 0
+        for variant in ("gated", "ungated"):
+            rec = cfg[variant]
+            assert rec["steps_per_sec"] > 0
+            assert "diffuse" in rec["phase_seconds"]
+        # The gated run sweeps periodically; the ungated one never does.
+        assert "tile_sweep" in cfg["gated"]["phase_seconds"]

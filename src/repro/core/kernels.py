@@ -45,6 +45,17 @@ def _shift(region: tuple[slice, ...], offset) -> tuple[slice, ...]:
     )
 
 
+def _slab_union(
+    a: tuple[slice, ...] | None, b: tuple[slice, ...] | None
+) -> tuple[slice, ...] | None:
+    """Bounding slab of two bounded slice tuples (None = the whole array)."""
+    if a is None or b is None:
+        return None
+    return tuple(
+        slice(min(x.start, y.start), max(x.stop, y.stop)) for x, y in zip(a, b)
+    )
+
+
 # ---------------------------------------------------------------------------
 # Phase 1-2: T-cell aging and extravasation
 # ---------------------------------------------------------------------------
@@ -92,6 +103,7 @@ def apply_extravasation(
     params: SimCovParams,
     block: VoxelBlock,
     attempts: dict[str, np.ndarray],
+    region: tuple[slice, ...] | None = None,
 ) -> int:
     """Apply the attempts landing in this block's owned region.
 
@@ -100,11 +112,17 @@ def apply_extravasation(
     no T cell yet.  Attempts are processed in attempt order so that two
     attempts on one voxel resolve identically everywhere.  Returns the
     number of successful entries (for the pool debit).
+
+    ``region`` (default: the whole interior) restricts the search to an
+    active sub-box.  That is bitwise-equivalent provided the region covers
+    every voxel with signal >= ``min_chemokine``: an attempt outside it
+    would land where the signal is sub-threshold and be rejected anyway,
+    and no randomness is consumed here.
     """
     gids = attempts["gid"]
     if gids.size == 0:
         return 0
-    sl = block.interior
+    sl = block.interior if region is None else region
     gid_interior = block.gid[sl]
     shape = gid_interior.shape
     # Map attempt gids to owned-local flat positions (interior is a slab of
@@ -154,13 +172,39 @@ class IntentArrays:
         self.move_bid = np.zeros(shape, dtype=np.uint64)
         #: Max bid placed on this voxel's epithelial cell as a *bind* target.
         self.bind_bid = np.zeros(shape, dtype=np.uint64)
+        #: The slab holding every non-sentinel entry (None = whole array).
+        self._dirty: tuple[slice, ...] | None = None
 
-    def clear(self) -> None:
-        self.move_dir[...] = -1
-        self.bind_dir[...] = -1
-        self.bid_self[...] = 0
-        self.move_bid[...] = 0
-        self.bind_bid[...] = 0
+    def clear(self, region: tuple[slice, ...] | None = None) -> None:
+        """Reset to the no-intent state.
+
+        With ``region`` (padded-array slices of this step's active box),
+        only the slab that can hold stale data is cleared: the region
+        grown by one voxel (intents scatter bids one voxel outward),
+        unioned with the previous step's slab in case the active box
+        shrank.  Readers outside the slab always see sentinels, so
+        full-array scans (e.g. remote-intent extraction) stay correct.
+        An empty tuple marks an idle step — nothing will be written, so
+        only the previous slab is wiped.
+        """
+        shape = self.move_dir.shape
+        if region is None:
+            target = None
+        elif len(region) == 0:
+            target = tuple(slice(0, 0) for _ in shape)
+        else:
+            target = tuple(
+                slice(max(0, s.start - 1), min(n, s.stop + 1))
+                for s, n in zip(region, shape)
+            )
+        wipe = _slab_union(self._dirty, target)
+        sl = tuple(slice(None) for _ in self.move_dir.shape) if wipe is None else wipe
+        self.move_dir[sl] = -1
+        self.bind_dir[sl] = -1
+        self.bid_self[sl] = 0
+        self.move_bid[sl] = 0
+        self.bind_bid[sl] = 0
+        self._dirty = target
 
     #: Fields exchanged with REPLACE semantics (per-source-voxel data).
     REPLACE_FIELDS = ("move_dir", "bind_dir", "bid_self")

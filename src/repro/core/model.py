@@ -36,6 +36,11 @@ class SequentialSimCov(EngineDriver):
     structure_gids:
         Optional airway/structural voxels left without epithelium (§2.2;
         see :mod:`repro.core.structure`).
+    active_gating, tile_shape, sweep_period:
+        Activity-gate controls (see
+        :class:`~repro.engine.sequential.SequentialBackend`): gated runs
+        skip quiescent space via the periodic §3.2 sweep and stay bitwise
+        identical to ``active_gating=False`` whole-domain runs.
     """
 
     def __init__(
@@ -44,13 +49,19 @@ class SequentialSimCov(EngineDriver):
         seed: int = 0,
         seed_gids: np.ndarray | None = None,
         structure_gids: np.ndarray | None = None,
+        active_gating: bool = True,
+        tile_shape: tuple[int, ...] | None = None,
+        sweep_period: int | None = None,
     ):
         backend = SequentialBackend(
-            params, seed=seed, seed_gids=seed_gids, structure_gids=structure_gids
+            params, seed=seed, seed_gids=seed_gids,
+            structure_gids=structure_gids, active_gating=active_gating,
+            tile_shape=tile_shape, sweep_period=sweep_period,
         )
         self._init_engine(backend)
         self.block = backend.block
         self.intents = backend.intents
+        self.gate = backend.gate
 
     # -- inspection ---------------------------------------------------------------
 

@@ -8,6 +8,7 @@ PGAS or GPU-cluster — timing every phase.  The historical drivers are
 thin shims over this machinery (see :mod:`repro.engine.driver`).
 """
 
+from repro.engine.activity import ActivityGate
 from repro.engine.backend import ExecutionBackend
 from repro.engine.driver import EngineDriver
 from repro.engine.engine import StepContext, StepEngine
@@ -32,6 +33,7 @@ __all__ = [
     "PHASE_KINDS",
     "PHASE_ORDER",
     "REQUIRED_PHASES",
+    "ActivityGate",
     "EngineDriver",
     "ExecutionBackend",
     "FieldSet",

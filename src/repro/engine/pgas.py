@@ -26,9 +26,9 @@ from repro.engine.phases import FieldSet, Phase, exchange, kernel
 from repro.grid.decomposition import Decomposition, DecompositionKind
 from repro.grid.halo import HaloExchanger, MergeMode
 from repro.grid.spec import moore_offsets
+from repro.engine.activity import ActivityGate
 from repro.pgas.reductions import ReduceOp
 from repro.pgas.runtime import PgasRuntime
-from repro.simcov_cpu.active_region import ActiveRegion
 
 
 class PgasBackend(ExecutionBackend):
@@ -45,6 +45,11 @@ class PgasBackend(ExecutionBackend):
         Block (default) or linear, Fig 1B.
     ranks_per_node:
         For inter- vs intra-node RPC accounting.
+    active_gating:
+        Skip quiescent space via per-rank activity gates refreshed each
+        step after the start-of-step ghost exchange (the CPU active-list
+        of §2.2).  ``False`` forces whole-interior processing; results
+        are bitwise identical either way.
     """
 
     name = "pgas"
@@ -58,6 +63,7 @@ class PgasBackend(ExecutionBackend):
         ranks_per_node: int = 128,
         seed_gids: np.ndarray | None = None,
         structure_gids: np.ndarray | None = None,
+        active_gating: bool = True,
     ):
         self._init_common(params, seed)
         self.decomp = Decomposition.make(self.spec, nranks, decomposition)
@@ -68,7 +74,9 @@ class PgasBackend(ExecutionBackend):
         ]
         self.intents = [kernels.IntentArrays(b.shape) for b in self.blocks]
         self.active = [
-            ActiveRegion(b, params.min_chemokine) for b in self.blocks
+            ActivityGate(b, params.min_chemokine, sweep_period=1,
+                         enabled=active_gating)
+            for b in self.blocks
         ]
         self._scratch = [
             (np.zeros_like(b.virions), np.zeros_like(b.chemokine))
@@ -243,9 +251,12 @@ class PgasBackend(ExecutionBackend):
             region = self.active[r].region()
             if region is not None:
                 kernels.tcell_age(self.blocks[r], region)
-            self._extr_local[r] = kernels.apply_extravasation(
-                self.params, self.blocks[r], ctx.attempts
-            )
+                # Attempts only succeed where signal >= min_chemokine,
+                # which the freshly-refreshed region covers — restricting
+                # the gid lookup is bitwise-invisible.
+                self._extr_local[r] = kernels.apply_extravasation(
+                    self.params, self.blocks[r], ctx.attempts, region
+                )
 
         self.runtime.phase(fn, progress=False)
 
@@ -257,14 +268,24 @@ class PgasBackend(ExecutionBackend):
             r = rc.rank
             block = self.blocks[r]
             intents = self.intents[r]
-            intents.clear()
             region = self.active[r].region()
+            # An idle rank passes () so only the previous step's slab is
+            # wiped — full-interior readers must never see stale intents.
+            intents.clear(region if region is not None else ())
             if region is not None:
                 kernels.tcell_intents(
                     self.params, self.rng, ctx.step, block, intents, region
                 )
-            self._pending_moves[r] = self._extract_remote_intents(r, kind="move")
-            self._pending_binds[r] = self._extract_remote_intents(r, kind="bind")
+                self._pending_moves[r] = self._extract_remote_intents(
+                    r, kind="move", region=region
+                )
+                self._pending_binds[r] = self._extract_remote_intents(
+                    r, kind="bind", region=region
+                )
+            else:
+                empty = {"src_gid": np.array([], dtype=np.int64)}
+                self._pending_moves[r] = empty
+                self._pending_binds[r] = dict(empty)
 
         self.runtime.phase(fn, progress=False)
 
@@ -355,18 +376,28 @@ class PgasBackend(ExecutionBackend):
 
     # -- tiebreak plumbing ----------------------------------------------------------
 
-    def _extract_remote_intents(self, rank: int, kind: str) -> dict:
+    def _extract_remote_intents(
+        self, rank: int, kind: str, region: tuple[slice, ...] | None = None
+    ) -> dict:
         """Find owned T cells targeting ghost voxels; ship them to owners and
-        withhold them from local resolution.  Returns the pending record."""
+        withhold them from local resolution.  Returns the pending record.
+
+        ``region`` restricts the scan to this step's active box (intents
+        are only ever written inside it); ``None`` scans the interior.
+        """
         block = self.blocks[rank]
         intents = self.intents[rank]
-        interior = block.interior
+        if region is None:
+            region = block.interior
+        g = block.ghost
+        # Owned-relative coordinate of the scanned window's [0, 0, ...].
+        window_lo = np.array([s.start - g for s in region])
         if kind == "move":
-            dirs = intents.move_dir[interior]
+            dirs = intents.move_dir[region]
             stencil = moore_offsets(self.spec.ndim)
             base = 0
         else:
-            dirs = intents.bind_dir[interior]
+            dirs = intents.bind_dir[region]
             stencil = kernels.bind_stencil(self.spec.ndim)
             base = 0
         owned_box = block.owned
@@ -376,7 +407,7 @@ class PgasBackend(ExecutionBackend):
             mask = dirs == (k + base)
             if not mask.any():
                 continue
-            src_local = np.argwhere(mask)  # owned-relative coords
+            src_local = np.argwhere(mask) + window_lo  # owned-relative coords
             src_global = src_local + np.array(owned_box.lo)
             tgt_global = src_global + off
             outside = ~owned_box.contains(tgt_global)

@@ -6,6 +6,12 @@ canonical schedule maps to a no-op because a single
 ghosts only ever mirror the no-flux boundary.  Both parallel backends
 must reproduce its per-step state exactly (see tests/integration),
 because all randomness is keyed by global voxel id.
+
+Kernel phases run over the :class:`~repro.engine.activity.ActivityGate`
+region — the active bounding box re-derived by a periodic ``tile_sweep``
+(§3.2) — instead of the whole domain.  Gating is bitwise-invisible (the
+gate's contract); construct with ``active_gating=False`` to force the
+whole-domain baseline the benchmark harness compares against.
 """
 
 from __future__ import annotations
@@ -16,12 +22,27 @@ from repro.core import kernels
 from repro.core.params import SimCovParams
 from repro.core.state import VoxelBlock
 from repro.core.stats import stats_vector
+from repro.engine.activity import ActivityGate
 from repro.engine.backend import ExecutionBackend
 from repro.engine.phases import Phase, exchange, kernel
 
 
 class SequentialBackend(ExecutionBackend):
-    """Whole-domain updates in canonical phase order."""
+    """Whole-domain semantics, active-region execution, canonical order.
+
+    Parameters
+    ----------
+    params, seed, seed_gids, structure_gids:
+        As before.
+    active_gating:
+        Skip quiescent space via the §3.2 periodic sweep (default).
+        ``False`` processes the whole domain every step (the reference
+        baseline; results are bitwise identical either way).
+    tile_shape, sweep_period:
+        Activity-gate tuning, as for the GPU backend: tile extents
+        (default 8 per dimension) and steps between sweeps (default and
+        maximum sound value: the smallest tile side).
+    """
 
     name = "sequential"
 
@@ -31,6 +52,9 @@ class SequentialBackend(ExecutionBackend):
         seed: int = 0,
         seed_gids: np.ndarray | None = None,
         structure_gids: np.ndarray | None = None,
+        active_gating: bool = True,
+        tile_shape: tuple[int, ...] | None = None,
+        sweep_period: int | None = None,
     ):
         self._init_common(params, seed)
         self.block = VoxelBlock(self.spec, self.spec.domain)
@@ -38,6 +62,13 @@ class SequentialBackend(ExecutionBackend):
         self.intents = kernels.IntentArrays(self.block.shape)
         self._scratch_v = np.zeros_like(self.block.virions)
         self._scratch_c = np.zeros_like(self.block.chemokine)
+        self.gate = ActivityGate(
+            self.block,
+            params.min_chemokine,
+            sweep_period=sweep_period,
+            tile_shape=tile_shape,
+            enabled=active_gating,
+        )
 
     # -- schedule ------------------------------------------------------------
 
@@ -56,57 +87,74 @@ class SequentialBackend(ExecutionBackend):
             exchange("concentration_exchange", doc="no-op: single block"),
             kernel("diffuse"),
             kernel("reduce"),
-            kernel("tile_sweep", doc="no-op: no tiling"),
+            kernel("tile_sweep", doc="periodic active-region sweep (§3.2)"),
         )
 
     # -- kernel phases -------------------------------------------------------
 
-    def phase_age_extravasate(self, ctx) -> None:
-        kernels.tcell_age(self.block, self.block.interior)
+    def phase_age_extravasate(self, ctx):
+        region = self.gate.region()
+        if region is None:
+            return False
+        kernels.tcell_age(self.block, region)
         ctx.extravasations = kernels.apply_extravasation(
-            self.params, self.block, ctx.attempts
+            self.params, self.block, ctx.attempts, region
         )
 
-    def phase_intents(self, ctx) -> None:
-        self.intents.clear()
+    def phase_intents(self, ctx):
+        region = self.gate.region()
+        if region is None:
+            return False
+        self.intents.clear(region)
         kernels.tcell_intents(
-            self.params, self.rng, ctx.step, self.block, self.intents,
-            self.block.interior,
+            self.params, self.rng, ctx.step, self.block, self.intents, region
         )
 
-    def phase_resolve(self, ctx) -> None:
-        interior = self.block.interior
-        ctx.moves = kernels.resolve_moves(self.block, self.intents, interior)
+    def phase_resolve(self, ctx):
+        region = self.gate.region()
+        if region is None:
+            return False
+        ctx.moves = kernels.resolve_moves(self.block, self.intents, region)
         ctx.binds = kernels.resolve_binds(
-            self.params, self.rng, ctx.step, self.block, self.intents, interior
+            self.params, self.rng, ctx.step, self.block, self.intents, region
         )
 
     def phase_apply_results(self, ctx):
         return False
 
-    def phase_epithelial(self, ctx) -> None:
-        interior = self.block.interior
+    def phase_epithelial(self, ctx):
+        region = self.gate.region()
+        if region is None:
+            return False
         kernels.epithelial_update(
-            self.params, self.rng, ctx.step, self.block, interior
+            self.params, self.rng, ctx.step, self.block, region
         )
-        kernels.production_update(self.params, self.block, interior, step=ctx.step)
+        kernels.production_update(self.params, self.block, region, step=ctx.step)
 
-    def phase_diffuse(self, ctx) -> None:
-        interior = self.block.interior
+    def phase_diffuse(self, ctx):
+        region = self.gate.region()
+        if region is None:
+            return False
         kernels.mirror_fields(self.block)
         kernels.concentration_update(
-            self.params, self.block, interior, self._scratch_v, self._scratch_c
+            self.params, self.block, region, self._scratch_v, self._scratch_c
         )
         kernels.concentration_commit(
-            self.params, self.block, [interior], self._scratch_v,
+            self.params, self.block, [region], self._scratch_v,
             self._scratch_c, step=ctx.step,
         )
 
     def phase_reduce(self, ctx) -> None:
+        # Statistics sweep the full space regardless of gating (§3.3).
         ctx.reduced = stats_vector(self.block)
 
     def phase_tile_sweep(self, ctx):
-        return False
+        if not self.gate.due(ctx.step):
+            return False
+        self.gate.sweep()
+
+    def step_record(self, ctx) -> dict:
+        return {"active_voxels": self.gate.count}
 
     # -- inspection ----------------------------------------------------------
 

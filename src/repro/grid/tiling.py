@@ -79,10 +79,12 @@ class TileGrid:
 
     def active_voxel_count(self) -> int:
         """Total voxels inside active tiles (perf-model input)."""
-        count = 0
-        for idx in zip(*np.nonzero(self.active)):
-            count += self.tile_box(idx).size
-        return count
+        vol = np.ones((), dtype=np.int64)
+        for n, t, s in zip(self.tiles_per_dim, self.tile_shape, self.owned_shape):
+            edges = np.arange(n, dtype=np.int64) * t
+            sizes = np.minimum(edges + t, s) - edges
+            vol = np.multiply.outer(vol, sizes)
+        return int(vol[self.active].sum())
 
     def tile_box(self, tile_idx) -> Box:
         """Owned-region-relative box of one tile (edge tiles clipped)."""
@@ -156,21 +158,17 @@ class TileGrid:
             raise ValueError(
                 f"mask shape {activity_mask.shape} != owned {self.owned_shape}"
             )
-        raw = np.zeros(self.tiles_per_dim, dtype=bool)
-        for idx in np.ndindex(*self.tiles_per_dim):
-            box = self.tile_box(idx)
-            if padded:
-                # Tile box in padded coords, grown one voxel to see the
-                # ghost ring (and be conservative at tile seams).
-                g = self.ghost
-                sl = tuple(
-                    slice(max(0, l + g - 1), h + g + 1)
-                    for l, h in zip(box.lo, box.hi)
-                )
-            else:
-                sl = box.slices_from((0,) * self.ndim)
-            if activity_mask[sl].any():
-                raw[idx] = True
+        if padded:
+            # A tile is raw-active iff any voxel within one voxel of it is
+            # active (ghost ring included, conservative at tile seams):
+            # equivalently, dilate the padded mask by one voxel and reduce
+            # over the tile proper.
+            g = self.ghost
+            crop = tuple(slice(g, g + s) for s in self.owned_shape)
+            mask = _dilate(activity_mask)[crop]
+        else:
+            mask = activity_mask
+        raw = _tile_any(mask, self.tile_shape, self.tiles_per_dim)
         self.active = _dilate(raw)
         self._pin_boundary_tiles()
         return int(np.prod(self.owned_shape))
@@ -180,10 +178,10 @@ class TileGrid:
 
     def voxel_mask(self) -> np.ndarray:
         """Per-voxel boolean mask of active-tile membership (owned shape)."""
-        mask = np.zeros(self.owned_shape, dtype=bool)
-        for sl in self.active_tile_slices():
-            mask[sl] = True
-        return mask
+        mask = self.active
+        for d, t in enumerate(self.tile_shape):
+            mask = mask.repeat(t, axis=d)
+        return mask[tuple(slice(0, s) for s in self.owned_shape)].copy()
 
     def max_sweep_period(self) -> int:
         """Longest sound sweep period: the smallest tile side (§3.2)."""
@@ -191,19 +189,34 @@ class TileGrid:
 
 
 def _dilate(mask: np.ndarray) -> np.ndarray:
-    """Moore-neighborhood binary dilation by one cell (no scipy dependency in
-    the hot path; shifts are cheap on the small tile grid)."""
+    """Moore-neighborhood binary dilation by one cell (no scipy dependency).
+
+    Box dilation is separable: dilating by one along each axis in turn
+    equals the full Moore dilation, at 2·ndim shifted ORs instead of
+    3**ndim - 1."""
     out = mask.copy()
-    ndim = mask.ndim
-    for offset in np.ndindex(*(3,) * ndim):
-        off = tuple(o - 1 for o in offset)
-        if not any(off):
+    for d in range(mask.ndim):
+        if mask.shape[d] < 2:
             continue
-        src = tuple(
-            slice(max(0, -o), mask.shape[d] - max(0, o)) for d, o in enumerate(off)
-        )
-        dst = tuple(
-            slice(max(0, o), mask.shape[d] - max(0, -o)) for d, o in enumerate(off)
-        )
-        out[dst] |= mask[src]
+        prev = out.copy()
+        lo = [slice(None)] * mask.ndim
+        hi = [slice(None)] * mask.ndim
+        lo[d], hi[d] = slice(None, -1), slice(1, None)
+        out[tuple(hi)] |= prev[tuple(lo)]
+        out[tuple(lo)] |= prev[tuple(hi)]
     return out
+
+
+def _tile_any(mask: np.ndarray, tile_shape, tiles_per_dim) -> np.ndarray:
+    """Per-tile ``any`` reduction of an owned-shape mask (ragged edge tiles
+    padded with False so the array reshapes into (tiles, tile, ...) blocks)."""
+    full_shape = tuple(n * t for n, t in zip(tiles_per_dim, tile_shape))
+    if full_shape != mask.shape:
+        full = np.zeros(full_shape, dtype=bool)
+        full[tuple(slice(0, s) for s in mask.shape)] = mask
+        mask = full
+    blocked: list[int] = []
+    for n, t in zip(tiles_per_dim, tile_shape):
+        blocked += [n, t]
+    axes = tuple(range(1, 2 * len(tile_shape), 2))
+    return mask.reshape(blocked).any(axis=axes)

@@ -7,66 +7,30 @@ diffuses faster than that) and executes kernels over its bounding box —
 a vectorization-friendly equivalent with identical semantics.  The *count*
 of active voxels is what the performance model charges per step, matching
 the original's per-voxel iteration cost.
+
+The implementation now lives in :class:`repro.engine.activity.ActivityGate`
+(shared with the sequential backend's periodic §3.2 sweep); this class is
+the every-step refresh configuration under its historical name.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.core.state import VoxelBlock
-from repro.grid.tiling import _dilate
+from repro.engine.activity import ActivityGate
 
 
-class ActiveRegion:
-    """Tracks which owned voxels a rank must process this step."""
+class ActiveRegion(ActivityGate):
+    """Tracks which owned voxels a rank must process this step.
+
+    :meth:`refresh` recomputes the active set from current state (ghosts
+    included) every step: the padded activity mask is dilated by one voxel
+    so neighbors of active voxels (possible infection/diffusion/move
+    targets) are included, then cropped to the owned region.  Because
+    ghost strips are exchanged at the start of the step, activity
+    approaching from a neighbor rank activates the receiving boundary
+    voxels in time — the role RPC-time active-list updates play in the
+    original.  Must be called after the step's boundary-state exchange.
+    """
 
     def __init__(self, block: VoxelBlock, min_chemokine: float):
-        self.block = block
-        self.min_chemokine = min_chemokine
-        self._mask = np.ones(block.owned.shape, dtype=bool)
-        self._count = int(self._mask.sum())
-
-    def refresh(self) -> None:
-        """Recompute the active set from current state (ghosts included).
-
-        The padded activity mask is dilated by one voxel so neighbors of
-        active voxels (possible infection/diffusion/move targets) are
-        included, then cropped to the owned region.  Because ghost strips
-        are exchanged at the start of the step, activity approaching from a
-        neighbor rank activates the receiving boundary voxels in time —
-        the role RPC-time active-list updates play in the original.
-
-        Must be called after the step's boundary-state exchange.
-        """
-        raw = self.block.activity_mask_padded(self.min_chemokine)
-        g = self.block.ghost
-        dilated = _dilate(raw)
-        crop = tuple(slice(g, s - g) for s in dilated.shape)
-        self._mask = dilated[crop]
-        self._count = int(self._mask.sum())
-
-    @property
-    def count(self) -> int:
-        """Active voxels this step (the perf model's work unit)."""
-        return self._count
-
-    @property
-    def mask(self) -> np.ndarray:
-        return self._mask
-
-    def region(self) -> tuple[slice, ...] | None:
-        """Padded-array slices of the active bounding box (None if idle).
-
-        Kernels run over this box; voxels inside the box but outside the
-        mask are provably no-ops, so semantics equal full-domain execution.
-        """
-        if not self._mask.any():
-            return None
-        g = self.block.ghost
-        sls = []
-        for axis in range(self._mask.ndim):
-            other = tuple(a for a in range(self._mask.ndim) if a != axis)
-            proj = self._mask.any(axis=other)
-            idx = np.nonzero(proj)[0]
-            sls.append(slice(int(idx[0]) + g, int(idx[-1]) + 1 + g))
-        return tuple(sls)
+        super().__init__(block, min_chemokine, sweep_period=1)

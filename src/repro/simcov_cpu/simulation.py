@@ -56,6 +56,7 @@ class SimCovCPU(EngineDriver):
         ranks_per_node: int = 128,
         seed_gids: np.ndarray | None = None,
         structure_gids: np.ndarray | None = None,
+        active_gating: bool = True,
     ):
         # Deferred: repro.engine.pgas itself imports from this package.
         from repro.engine.pgas import PgasBackend
@@ -68,6 +69,7 @@ class SimCovCPU(EngineDriver):
             ranks_per_node=ranks_per_node,
             seed_gids=seed_gids,
             structure_gids=structure_gids,
+            active_gating=active_gating,
         )
         self._init_engine(backend)
         self.decomp = backend.decomp

@@ -1,0 +1,164 @@
+"""Unit tests for the activity-gating layer (repro.engine.activity) and
+the vectorized TileGrid sweep machinery it builds on.
+
+The vectorized tile reductions (`_dilate`, `_tile_any`, `voxel_mask`,
+`active_voxel_count`) are each checked against a brute-force reference
+on randomized masks, since the whole gating contract rests on them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.model import SequentialSimCov
+from repro.core.params import SimCovParams
+from repro.engine.activity import ActivityGate
+from repro.grid.tiling import TileGrid, _dilate, _tile_any
+
+
+def _brute_dilate(mask):
+    """Reference Moore dilation by one cell (all 3**ndim - 1 offsets)."""
+    out = mask.copy()
+    for offset in np.ndindex(*(3,) * mask.ndim):
+        off = tuple(o - 1 for o in offset)
+        if not any(off):
+            continue
+        src = tuple(
+            slice(max(0, -o), mask.shape[d] - max(0, o)) for d, o in enumerate(off)
+        )
+        dst = tuple(
+            slice(max(0, o), mask.shape[d] - max(0, -o)) for d, o in enumerate(off)
+        )
+        out[dst] |= mask[src]
+    return out
+
+
+class TestTileGridVectorization:
+    @pytest.mark.parametrize("shape", [(7,), (9, 13), (1, 8), (5, 6, 7)])
+    def test_dilate_matches_brute_force(self, shape):
+        rng = np.random.default_rng(3)
+        for density in (0.0, 0.05, 0.5, 1.0):
+            mask = rng.random(shape) < density
+            np.testing.assert_array_equal(_dilate(mask), _brute_dilate(mask))
+
+    @pytest.mark.parametrize(
+        "owned,tile", [((16, 16), (4, 4)), ((17, 13), (4, 5)), ((12, 12, 12), (4, 4, 4))]
+    )
+    def test_tile_any_matches_per_tile_loop(self, owned, tile):
+        rng = np.random.default_rng(7)
+        grid = TileGrid(owned, tile)
+        mask = rng.random(owned) < 0.02
+        got = _tile_any(mask, grid.tile_shape, grid.tiles_per_dim)
+        for idx in np.ndindex(*grid.tiles_per_dim):
+            sl = grid.tile_box(idx).slices_from((0,) * len(owned))
+            assert got[idx] == mask[sl].any(), idx
+
+    @pytest.mark.parametrize("owned,tile", [((16, 16), (4, 4)), ((17, 13), (4, 5))])
+    def test_padded_sweep_matches_windowed_loop(self, owned, tile):
+        """The dilate-then-reduce padded sweep equals the definitional rule:
+        a tile is raw-active iff any voxel within one voxel of it (ghost
+        ring included) is active."""
+        rng = np.random.default_rng(11)
+        ghost = 1
+        padded = rng.random(tuple(s + 2 * ghost for s in owned)) < 0.03
+
+        grid = TileGrid(owned, tile, ghost=ghost)
+        grid.sweep(padded, padded=True)
+
+        ref = np.zeros(grid.tiles_per_dim, dtype=bool)
+        for idx in np.ndindex(*grid.tiles_per_dim):
+            box = grid.tile_box(idx)
+            window = tuple(
+                slice(max(0, lo + ghost - 1), hi + ghost + 1)
+                for lo, hi in zip(box.lo, box.hi)
+            )
+            ref[idx] = padded[window].any()
+        expected = _brute_dilate(ref)
+        expected |= grid._boundary_mask()
+        np.testing.assert_array_equal(grid.active, expected)
+
+    def test_voxel_mask_matches_slice_fill(self):
+        grid = TileGrid((17, 13), (4, 5))
+        rng = np.random.default_rng(5)
+        grid.active = rng.random(grid.tiles_per_dim) < 0.4
+        ref = np.zeros(grid.owned_shape, dtype=bool)
+        for sl in grid.active_tile_slices():
+            ref[sl] = True
+        np.testing.assert_array_equal(grid.voxel_mask(), ref)
+
+    def test_active_voxel_count_matches_boxes(self):
+        grid = TileGrid((17, 13), (4, 5))
+        rng = np.random.default_rng(9)
+        grid.active = rng.random(grid.tiles_per_dim) < 0.4
+        ref = sum(grid.tile_box(i).size for i in grid.active_tile_indices())
+        assert grid.active_voxel_count() == ref
+
+
+class TestActivityGate:
+    def _gate(self, dim=(24, 24), **kw):
+        p = SimCovParams.fast_test(dim=dim, num_infections=1, num_steps=20)
+        sim = SequentialSimCov(p, seed=3, **kw)
+        return sim, sim.gate
+
+    def test_starts_all_active(self):
+        sim, gate = self._gate()
+        assert gate.region() == sim.block.interior
+        assert gate.count == 24 * 24
+        assert gate.fraction() == 1.0
+
+    def test_sweep_shrinks_to_active_neighborhood(self):
+        sim, gate = self._gate(dim=(64, 64))
+        sim.run(gate.sweep_period)  # first due sweep has run
+        region = gate.region()
+        assert region is not None and region != sim.block.interior
+        # Every raw-active voxel (with its one-voxel motion margin) must
+        # stay inside the tracked mask, else the gate could miss writes.
+        raw = sim.block.activity_mask(sim.params.min_chemokine)
+        margin = _brute_dilate(raw)
+        assert not (margin & ~gate.mask).any()
+
+    def test_due_schedule(self):
+        _, gate = self._gate()
+        period = gate.sweep_period
+        assert period > 1
+        due = [s for s in range(4 * period) if gate.due(s)]
+        assert due == [period - 1, 2 * period - 1, 3 * period - 1, 4 * period - 1]
+
+    def test_disabled_gate_is_whole_interior(self):
+        sim, gate = self._gate(active_gating=False)
+        sim.run(10)
+        assert gate.region() == sim.block.interior
+        assert gate.count == 24 * 24
+        assert gate.sweep() == 0
+
+    def test_refresh_mode_dilates_raw_mask(self):
+        sim, gate = self._gate(sweep_period=1, tile_shape=(1, 1))
+        sim.run(5)
+        raw = sim.block.activity_mask_padded(sim.params.min_chemokine)
+        g = sim.block.ghost
+        crop = tuple(slice(g, s - g) for s in raw.shape)
+        np.testing.assert_array_equal(gate.mask, _brute_dilate(raw)[crop])
+
+    def test_idle_domain_region_is_none(self):
+        p = SimCovParams.fast_test(dim=(16, 16), num_infections=0, num_steps=10)
+        sim = SequentialSimCov(p, seed=1)
+        sim.run(sim.gate.sweep_period)
+        assert sim.gate.region() is None
+        assert sim.gate.count == 0
+
+    def test_unsound_period_rejected(self):
+        p = SimCovParams.fast_test(dim=(24, 24), num_infections=1, num_steps=10)
+        with pytest.raises(ValueError, match="sweep_period"):
+            SequentialSimCov(p, seed=0, tile_shape=(4, 4), sweep_period=5)
+        with pytest.raises(ValueError, match="sweep_period"):
+            SequentialSimCov(p, seed=0, sweep_period=0)
+
+    def test_gate_with_pinned_sides_keeps_boundary_active(self):
+        p = SimCovParams.fast_test(dim=(24, 24), num_infections=0, num_steps=10)
+        sim = SequentialSimCov(p, seed=1)
+        pins = np.zeros((2, 2), dtype=bool)
+        pins[0, 0] = True
+        gate = ActivityGate(sim.block, p.min_chemokine, tile_shape=(4, 4),
+                            pin_sides=pins)
+        gate.sweep()
+        assert gate.mask[0, :].all()  # pinned low-x shell stays active
+        assert not gate.mask[-1, :].any()

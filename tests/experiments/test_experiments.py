@@ -3,6 +3,8 @@
 import numpy as np
 import pytest
 
+pytestmark = pytest.mark.slow
+
 from repro.core.params import SimCovParams
 from repro.experiments.configs import TABLE1, format_table1
 from repro.experiments.correctness import format_table2, run_correctness

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Regenerate the golden time-series fixtures.
+
+Run from the repo root after an *intentional* model-behavior change::
+
+    PYTHONPATH=src python tests/golden/regen_traces.py
+
+and commit the rewritten ``trace_*.json`` alongside the change that
+justifies it.  The fixtures pin the full per-step time series of the
+canonical 2D and 3D configs; ``test_golden_traces.py`` asserts every
+driver still reproduces them, so unintentional drift (from perf work
+like activity gating) fails loudly instead of silently shifting the
+science.
+"""
+
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[2] / "src"))
+
+from repro.core.model import SequentialSimCov
+from repro.core.params import SimCovParams
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parent
+
+#: Canonical configs.  Small enough to run in seconds, long enough to
+#: cover infection growth, T-cell arrival, movement conflicts and binds.
+CONFIGS = {
+    "trace_2d": {"dim": (32, 32), "num_infections": 2, "steps": 40, "seed": 42},
+    "trace_3d": {"dim": (12, 12, 12), "num_infections": 1, "steps": 30, "seed": 7},
+}
+
+
+def build_trace(spec):
+    params = SimCovParams.fast_test(
+        dim=spec["dim"], num_infections=spec["num_infections"],
+        num_steps=spec["steps"],
+    )
+    sim = SequentialSimCov(params, seed=spec["seed"])
+    sim.run(spec["steps"])
+    # json round-trips float64 exactly (repr-based), so "exactly equal to
+    # the fixture" is the same contract as "bitwise equal to the run".
+    return {"config": {k: list(v) if isinstance(v, tuple) else v
+                       for k, v in spec.items()},
+            "series": sim.series.to_rows()}
+
+
+def main():
+    for name, spec in CONFIGS.items():
+        path = GOLDEN_DIR / f"{name}.json"
+        path.write_text(json.dumps(build_trace(spec), indent=1) + "\n")
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+"""Golden-trace regression tests.
+
+The committed ``trace_2d.json`` / ``trace_3d.json`` fixtures pin the
+per-step time series of two canonical configurations (see
+``regen_traces.py``).  All three drivers must reproduce them: the
+sequential driver (gated and force-ungated) **exactly** — JSON round-
+trips float64 exactly, so equality here is bitwise — and the PGAS / GPU
+drivers exactly on integer statistics with the repo-standard 1e-12
+relative tolerance on float reductions (their reduction order differs).
+
+If one of these fails after an intentional model change, regenerate with
+``PYTHONPATH=src python tests/golden/regen_traces.py`` and commit the
+new fixtures with the change.  A perf-only PR must never need to.
+"""
+
+import json
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.core.model import SequentialSimCov
+from repro.core.params import SimCovParams
+from repro.simcov_cpu.simulation import SimCovCPU
+from repro.simcov_gpu.simulation import SimCovGPU
+
+GOLDEN_DIR = pathlib.Path(__file__).resolve().parent
+TRACES = ("trace_2d", "trace_3d")
+
+INT_STATS = (
+    "step", "healthy", "incubating", "expressing", "apoptotic", "dead",
+    "tcells_tissue", "extravasations", "binds", "moves",
+)
+FLOAT_STATS = ("virions_total", "chemokine_total", "tcells_vasculature")
+
+
+def load_trace(name):
+    payload = json.loads((GOLDEN_DIR / f"{name}.json").read_text())
+    return payload["config"], payload["series"]
+
+
+def make_params(config):
+    return SimCovParams.fast_test(
+        dim=tuple(config["dim"]), num_infections=config["num_infections"],
+        num_steps=config["steps"],
+    )
+
+
+def assert_exact(series, golden, label):
+    assert len(series) == len(golden), label
+    for i, ref in enumerate(golden):
+        rows = {f: getattr(series[i], f) for f in ref}
+        assert rows == ref, f"{label}: step {i} diverged from golden trace"
+
+
+def assert_tolerant(series, golden, label):
+    assert len(series) == len(golden), label
+    for i, ref in enumerate(golden):
+        for f in INT_STATS:
+            assert getattr(series[i], f) == ref[f], f"{label}: {f} at step {i}"
+        for f in FLOAT_STATS:
+            assert np.isclose(getattr(series[i], f), ref[f], rtol=1e-12), (
+                f"{label}: {f} at step {i}"
+            )
+
+
+@pytest.mark.parametrize("name", TRACES)
+def test_sequential_reproduces_golden_trace(name):
+    config, golden = load_trace(name)
+    sim = SequentialSimCov(make_params(config), seed=config["seed"])
+    sim.run(config["steps"])
+    assert_exact(sim.series, golden, f"{name}/sequential-gated")
+
+
+@pytest.mark.parametrize("name", TRACES)
+def test_ungated_sequential_reproduces_golden_trace(name):
+    config, golden = load_trace(name)
+    sim = SequentialSimCov(make_params(config), seed=config["seed"],
+                           active_gating=False)
+    sim.run(config["steps"])
+    assert_exact(sim.series, golden, f"{name}/sequential-ungated")
+
+
+@pytest.mark.parametrize("name", TRACES)
+def test_pgas_reproduces_golden_trace(name):
+    config, golden = load_trace(name)
+    sim = SimCovCPU(make_params(config), nranks=3, seed=config["seed"])
+    sim.run(config["steps"])
+    assert_tolerant(sim.series, golden, f"{name}/pgas")
+
+
+@pytest.mark.parametrize("name", TRACES)
+def test_gpu_reproduces_golden_trace(name):
+    config, golden = load_trace(name)
+    tile = (4, 4) if len(config["dim"]) == 2 else (3, 3, 3)
+    sim = SimCovGPU(make_params(config), num_devices=4, seed=config["seed"],
+                    tile_shape=tile)
+    sim.run(config["steps"])
+    assert_tolerant(sim.series, golden, f"{name}/gpu")

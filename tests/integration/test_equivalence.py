@@ -10,6 +10,8 @@ count, any optimization variant) produce bitwise-identical voxel state.
 import numpy as np
 import pytest
 
+pytestmark = pytest.mark.slow
+
 from repro.core.model import SequentialSimCov
 from repro.core.params import SimCovParams
 from repro.grid.decomposition import DecompositionKind

@@ -5,15 +5,18 @@ Each runs in a subprocess with the repo's interpreter (they are all
 self-contained and take seconds to a couple of minutes).
 """
 
-import os
 import pathlib
 import subprocess
 import sys
 
 import pytest
 
+from repro.testing import subprocess_env
+
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
 EXAMPLES = sorted((REPO_ROOT / "examples").glob("*.py"))
+
+pytestmark = pytest.mark.slow
 
 
 def test_all_examples_discovered():
@@ -32,11 +35,7 @@ def test_all_examples_discovered():
 def test_example_runs(script, tmp_path):
     # Propagate the repo's src/ on PYTHONPATH so the subprocess can import
     # repro from a clean checkout (no install, any cwd).
-    env = dict(os.environ)
-    src = str(REPO_ROOT / "src")
-    env["PYTHONPATH"] = os.pathsep.join(
-        [src, env["PYTHONPATH"]] if env.get("PYTHONPATH") else [src]
-    )
+    env = subprocess_env()
     result = subprocess.run(
         [sys.executable, str(script)],
         capture_output=True,

@@ -106,6 +106,44 @@ class TestResumeExactness:
             control.block.tcell[control.block.interior],
         )
 
+    def test_resume_through_gated_path(self, tmp_path):
+        """Resume works through the active-region fast path: the gate is
+        not checkpointed (a resumed gate starts all-active and the next
+        periodic sweep re-derives the true active set), so a gated run
+        saved mid-run — deliberately *between* sweeps — must still match
+        both the uninterrupted gated run and the ungated ground truth."""
+        total = 50
+        p = SimCovParams.fast_test(dim=(96, 96), num_infections=1,
+                                   num_steps=total)
+        sim = SequentialSimCov(p, seed=9)
+        period = sim.gate.sweep_period
+        assert period > 1
+        save_at = 2 * period + 3  # mid sweep interval
+        sim.run(save_at)
+        assert sim.gate.region() != sim.block.interior  # gating engaged
+        path = str(tmp_path / "gated.npz")
+        save_checkpoint(path, sim)
+
+        control = SequentialSimCov(p, seed=9)
+        control.run(total)
+        ungated = SequentialSimCov(p, seed=9, active_gating=False)
+        ungated.run(total)
+
+        resumed = load_checkpoint(path)
+        assert resumed.gate.region() == resumed.block.interior  # all-active
+        last = self._finish(resumed, total - save_at)
+        assert last == control.series[total - 1]
+        assert last == ungated.series[total - 1]
+        for name in CHECKPOINT_FIELDS:
+            np.testing.assert_array_equal(
+                getattr(resumed.block, name), getattr(control.block, name),
+                err_msg=name,
+            )
+            np.testing.assert_array_equal(
+                getattr(resumed.block, name), getattr(ungated.block, name),
+                err_msg=name,
+            )
+
     def test_gpu_checkpoint_resumes_sequentially(self, tmp_path):
         """Checkpoints are implementation-independent in both directions."""
         p = SimCovParams.fast_test(dim=(16, 16), num_infections=1,

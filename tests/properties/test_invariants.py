@@ -6,6 +6,7 @@ each implementation, asserting the model's structural invariants
 """
 
 import numpy as np
+import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.core.model import SequentialSimCov
@@ -13,6 +14,8 @@ from repro.core.params import SimCovParams
 from repro.core.state import EpiState
 from repro.simcov_gpu.simulation import SimCovGPU
 from repro.simcov_gpu.variants import GpuVariant
+
+pytestmark = pytest.mark.slow
 
 SLOW = settings(
     max_examples=12,
