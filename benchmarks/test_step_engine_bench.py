@@ -26,7 +26,7 @@ def test_entry_point_writes_bench_json(bench_env, tmp_path):
     result = subprocess.run(
         [
             sys.executable, str(BENCH_DIR / "run_benchmarks.py"),
-            "--steps", "30", "--out", str(out),
+            "--steps", "30", "--dist-nranks", "2", "--out", str(out),
         ],
         capture_output=True, text=True, timeout=600,
         cwd=tmp_path, env=bench_env,
@@ -45,3 +45,12 @@ def test_entry_point_writes_bench_json(bench_env, tmp_path):
             assert "diffuse" in rec["phase_seconds"]
         # The gated run sweeps periodically; the ungated one never does.
         assert "tile_sweep" in cfg["gated"]["phase_seconds"]
+        # The dist record carries honest multi-process numbers and its
+        # own bitwise gate against the gated sequential reference.
+        dist = cfg["dist"]
+        assert dist["nranks"] == 2
+        assert dist["bitwise_identical"], f"{name}: dist run drifted"
+        assert dist["steps_per_sec"] > 0
+        assert dist["speedup_vs_gated"] > 0
+        assert "diffuse" in dist["worker_phase_seconds"]
+    assert payload["cpu_count"] >= 1

@@ -38,6 +38,7 @@ _LAZY = {
     "SimCovCPU": ("repro.simcov_cpu.simulation", "SimCovCPU"),
     "SimCovGPU": ("repro.simcov_gpu.simulation", "SimCovGPU"),
     "GpuVariant": ("repro.simcov_gpu.variants", "GpuVariant"),
+    "DistSimCov": ("repro.dist.driver", "DistSimCov"),
 }
 
 __all__ = sorted(_LAZY) + ["__version__"]

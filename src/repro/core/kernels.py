@@ -161,6 +161,16 @@ def apply_extravasation(
 class IntentArrays:
     """Scratch arrays for one block's T-cell tiebreak round."""
 
+    #: Dtype of every intent field; shared-memory arenas size segments
+    #: from this.  Direction fields use -1 as the "no intent" sentinel.
+    FIELD_DTYPES = {
+        "move_dir": np.int8,
+        "bind_dir": np.int8,
+        "bid_self": np.uint64,
+        "move_bid": np.uint64,
+        "bind_bid": np.uint64,
+    }
+
     def __init__(self, shape: tuple[int, ...]):
         #: Chosen movement direction index into moore_offsets, -1 = none.
         self.move_dir = np.full(shape, -1, dtype=np.int8)
@@ -174,6 +184,33 @@ class IntentArrays:
         self.bind_bid = np.zeros(shape, dtype=np.uint64)
         #: The slab holding every non-sentinel entry (None = whole array).
         self._dirty: tuple[slice, ...] | None = None
+
+    @classmethod
+    def from_arrays(
+        cls, arrays: dict[str, np.ndarray], fresh: bool = True
+    ) -> "IntentArrays":
+        """Wrap caller-provided storage (e.g. shared-memory views).
+
+        ``fresh=True`` resets every field to the no-intent sentinels (the
+        buffers may arrive zero-filled, but the direction sentinel is -1);
+        ``fresh=False`` adopts the contents as-is.
+        """
+        self = cls.__new__(cls)
+        shape = None
+        for name, dtype in cls.FIELD_DTYPES.items():
+            arr = arrays[name]
+            if shape is None:
+                shape = arr.shape
+            if arr.shape != shape or arr.dtype != np.dtype(dtype):
+                raise ValueError(
+                    f"intent field {name!r}: got {arr.dtype}{arr.shape}, "
+                    f"need {np.dtype(dtype)}{shape}"
+                )
+            setattr(self, name, arr)
+        self._dirty = None
+        if fresh:
+            self.clear()
+        return self
 
     def clear(self, region: tuple[slice, ...] | None = None) -> None:
         """Reset to the no-intent state.

@@ -69,16 +69,30 @@ class VoxelBlock:
     gid: np.ndarray = field(init=False)
     in_domain: np.ndarray = field(init=False)
 
+    #: Dtype of every allocated (checkpointable + exchangeable) field, in
+    #: canonical order.  Shared-memory arenas size their segments from this.
+    FIELD_DTYPES = {
+        "epi_state": np.int8,
+        "epi_timer": np.int32,
+        "virions": np.float64,
+        "chemokine": np.float64,
+        "tcell": np.int8,
+        "tcell_tissue_time": np.int32,
+        "tcell_bound_time": np.int32,
+    }
+
     def __post_init__(self):
         shape = tuple(s + 2 * self.ghost for s in self.owned.shape)
-        self.epi_state = np.zeros(shape, dtype=np.int8)
-        self.epi_timer = np.zeros(shape, dtype=np.int32)
-        self.virions = np.zeros(shape, dtype=np.float64)
-        self.chemokine = np.zeros(shape, dtype=np.float64)
-        self.tcell = np.zeros(shape, dtype=np.int8)
-        self.tcell_tissue_time = np.zeros(shape, dtype=np.int32)
-        self.tcell_bound_time = np.zeros(shape, dtype=np.int32)
-        # Global voxel ids over the padded block; -1 outside the domain.
+        for name, dtype in self.FIELD_DTYPES.items():
+            setattr(self, name, np.zeros(shape, dtype=dtype))
+        self._derive_geometry()
+        # Tissue: every in-domain voxel starts with a healthy epithelial
+        # cell (the paper evaluates full 2D tissue slices).
+        self.epi_state[self.in_domain] = EpiState.HEALTHY
+
+    def _derive_geometry(self) -> None:
+        """Global voxel ids over the padded block; -1 outside the domain."""
+        shape = tuple(s + 2 * self.ghost for s in self.owned.shape)
         ext = self.owned.expand(self.ghost)
         coords = ext.coords().reshape(shape + (self.spec.ndim,))
         inside = self.spec.in_bounds(coords)
@@ -86,9 +100,46 @@ class VoxelBlock:
         gid[inside] = self.spec.ravel(coords[inside])
         self.gid = gid
         self.in_domain = inside
-        # Tissue: every in-domain voxel starts with a healthy epithelial
-        # cell (the paper evaluates full 2D tissue slices).
-        self.epi_state[inside] = EpiState.HEALTHY
+
+    @classmethod
+    def from_arrays(
+        cls,
+        spec: GridSpec,
+        owned: Box,
+        arrays: dict[str, np.ndarray],
+        ghost: int = 1,
+        fresh: bool = True,
+    ) -> "VoxelBlock":
+        """Build a block whose field storage is caller-provided.
+
+        ``arrays`` maps every :attr:`FIELD_DTYPES` name to a padded-shape
+        array (e.g. views into a ``multiprocessing.shared_memory``
+        segment).  With ``fresh=True`` the storage is initialized like a
+        normal construction (zeroed, healthy tissue); ``fresh=False``
+        adopts the contents as-is — the attach path for processes joining
+        a segment another process already initialized.  Geometry arrays
+        (``gid``/``in_domain``) are always derived locally, so they never
+        occupy shared storage.
+        """
+        block = cls.__new__(cls)
+        block.spec = spec
+        block.owned = owned
+        block.ghost = int(ghost)
+        shape = tuple(s + 2 * block.ghost for s in owned.shape)
+        for name, dtype in cls.FIELD_DTYPES.items():
+            arr = arrays[name]
+            if arr.shape != shape or arr.dtype != np.dtype(dtype):
+                raise ValueError(
+                    f"field {name!r}: got {arr.dtype}{arr.shape}, "
+                    f"need {np.dtype(dtype)}{shape}"
+                )
+            setattr(block, name, arr)
+        block._derive_geometry()
+        if fresh:
+            for name in cls.FIELD_DTYPES:
+                getattr(block, name)[...] = 0
+            block.epi_state[block.in_domain] = EpiState.HEALTHY
+        return block
 
     # -- geometry ------------------------------------------------------------
 

@@ -1,0 +1,32 @@
+"""repro.dist — a real multi-process distributed runtime.
+
+Runs StepEngine ranks as OS processes with every rank's field arrays in
+``multiprocessing.shared_memory``, so halo strips and §3.1 bid waves are
+zero-copy reads of neighbor blocks, coordinated by a versioned barrier
+protocol.  Bitwise identical to the sequential reference for any rank
+count (tests/dist/test_dist_golden.py).
+"""
+
+from repro.dist.backend import DistBackend
+from repro.dist.control import (
+    BarrierTimeoutError,
+    DistAborted,
+    DistError,
+    WorkerFailedError,
+)
+from repro.dist.driver import DistSimCov
+from repro.dist.runtime import DistRuntime
+from repro.dist.worker import FaultSpec, WorkerSpec, dist_schedule
+
+__all__ = [
+    "BarrierTimeoutError",
+    "DistAborted",
+    "DistBackend",
+    "DistError",
+    "DistRuntime",
+    "DistSimCov",
+    "FaultSpec",
+    "WorkerSpec",
+    "WorkerFailedError",
+    "dist_schedule",
+]

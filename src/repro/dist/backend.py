@@ -1,0 +1,167 @@
+"""The distributed execution backend (multi-process shared-memory).
+
+Unlike the PGAS and GPU-cluster backends — which *simulate* their
+substrate inside one process — this backend runs each rank as a real OS
+process.  The coordinator process (where the
+:class:`~repro.engine.engine.StepEngine` lives) owns no kernel: every
+phase body executes inside the workers (:mod:`repro.dist.worker`), in
+lock step via shared-memory barriers, against field arrays allocated in
+``multiprocessing.shared_memory`` so halo strips and §3.1 bid waves are
+zero-copy reads of neighbor blocks.
+
+The engine still drives the canonical schedule on the coordinator:
+``begin_step`` publishes ``(step, pool)`` and releases the workers; the
+intermediate phases are no-ops here (the workers run them behind the
+same phase names); ``phase_reduce`` meets the workers at the step-end
+barrier, sums the integer totals exactly, and recomputes the float
+statistics over a coordinator-side full-domain block so the reduction
+follows the *identical* code path (and numpy summation order) as the
+sequential backend — that, plus counter-based RNG and owner-computes
+winner resolution, is the determinism argument (DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.params import SimCovParams
+from repro.core.state import VoxelBlock
+from repro.core.stats import stats_vector
+from repro.dist.control import (
+    RES_ACTIVE,
+    RES_BINDS,
+    RES_EXTRAVASATIONS,
+    RES_MOVES,
+)
+from repro.dist.runtime import DistRuntime
+from repro.dist.worker import FaultSpec, dist_schedule
+from repro.engine.backend import ExecutionBackend
+from repro.engine.phases import Phase
+from repro.grid.decomposition import Decomposition, DecompositionKind
+from repro.grid.halo import HaloExchanger
+
+#: The fields the statistics reduction reads.
+_STATS_FIELDS = ("epi_state", "tcell", "virions", "chemokine")
+
+
+class DistBackend(ExecutionBackend):
+    """Rank-per-process SIMCoV over shared-memory halo exchange.
+
+    Parameters
+    ----------
+    params, seed:
+        As for the other backends; identical seeds give bitwise identical
+        simulations on any rank count.
+    nranks:
+        Worker processes (one per subdomain).
+    decomposition:
+        Block (default) or linear.
+    active_gating:
+        Per-rank every-step activity gating (bitwise invisible).
+    barrier_timeout:
+        Seconds the coordinator waits at a step barrier before raising a
+        diagnostic :class:`~repro.dist.control.BarrierTimeoutError`.
+    start_method:
+        ``multiprocessing`` start method; default fork where available
+        (cheapest), spawn otherwise.  Worker specs are picklable, so both
+        work.
+    fault:
+        Optional :class:`~repro.dist.worker.FaultSpec` injected into the
+        workers (robustness tests).
+    """
+
+    name = "dist"
+
+    def __init__(
+        self,
+        params: SimCovParams,
+        nranks: int,
+        seed: int = 0,
+        decomposition: DecompositionKind = DecompositionKind.BLOCK,
+        seed_gids: np.ndarray | None = None,
+        structure_gids: np.ndarray | None = None,
+        active_gating: bool = True,
+        barrier_timeout: float = 60.0,
+        start_method: str | None = None,
+        fault: FaultSpec | None = None,
+    ):
+        self._init_common(params, seed)
+        self.decomp = Decomposition.make(self.spec, nranks, decomposition)
+        self.exchanger = HaloExchanger(self.decomp)
+        self.runtime = DistRuntime(
+            self.spec,
+            self.decomp,
+            self.exchanger,
+            params,
+            seed,
+            active_gating=active_gating,
+            barrier_timeout=barrier_timeout,
+            start_method=start_method,
+            fault=fault,
+        )
+        #: Shared-memory-backed per-rank blocks (coordinator views).
+        self.blocks = self.runtime.blocks
+        # Seed through the shared pages *before* the workers spawn, so
+        # rank 0's first gate refresh already sees the infection sites.
+        self._seed_blocks(self.blocks, seed_gids, structure_gids)
+        #: Private full-domain block the reduction sweeps — same memory
+        #: layout as the sequential backend's single block, so the float
+        #: sums are bitwise identical to the reference.
+        self._stats_block = VoxelBlock(self.spec, self.spec.domain)
+        self._active_counts: list[int] = []
+        self.runtime.start()
+
+    # -- schedule ------------------------------------------------------------
+
+    def schedule(self) -> tuple[Phase, ...]:
+        return dist_schedule()
+
+    # -- engine protocol -----------------------------------------------------
+
+    def begin_step(self, ctx) -> None:
+        self.runtime.start_step(ctx.step, ctx.pool)
+
+    def exchange(self, phase, ctx):
+        # Exchanges happen inside the workers, sequenced by phase barriers.
+        return False
+
+    def phase_reduce(self, ctx) -> None:
+        """Step-end barrier, then the coordinator-side reduction."""
+        self.runtime.finish_step()
+        res = self.runtime.ctrl.results
+        ctx.extravasations = int(res[:, RES_EXTRAVASATIONS].sum())
+        ctx.moves = int(res[:, RES_MOVES].sum())
+        ctx.binds = int(res[:, RES_BINDS].sum())
+        self._active_counts = [int(v) for v in res[:, RES_ACTIVE]]
+        sb = self._stats_block
+        for rank, block in enumerate(self.blocks):
+            src = self.exchanger.owned_slices(rank)
+            dst = self.decomp.boxes[rank].slices_from(sb.origin)
+            for name in _STATS_FIELDS:
+                getattr(sb, name)[dst] = getattr(block, name)[src]
+        ctx.reduced = stats_vector(sb)
+
+    def step_record(self, ctx) -> dict:
+        return {"active_per_rank": list(self._active_counts)}
+
+    # -- inspection ----------------------------------------------------------
+
+    def gather_field(self, name: str) -> np.ndarray:
+        return self.exchanger.gather_global(
+            [getattr(b, name) for b in self.blocks]
+        )
+
+    def worker_phase_metrics(self):
+        """Merged per-phase wall-time counters from every worker."""
+        return self.runtime.worker_metrics()
+
+    # -- teardown ------------------------------------------------------------
+
+    def close(self) -> None:
+        self.runtime.close()
+
+    def __enter__(self) -> "DistBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,195 @@
+"""The distributed runtime's control plane.
+
+One small shared-memory segment carries everything the coordinator and
+the workers use to run the versioned barrier protocol:
+
+- ``flags``  — [abort] (any process sets it to wake every barrier waiter);
+- ``command`` — [step] published by the coordinator before releasing the
+  step-start barrier (−1 = shut down), plus the float64 ``pool`` value the
+  extravasation-attempt schedule is derived from;
+- ``step_bar`` — arrival epochs of the step-start/step-end barrier
+  (parties: every worker + the coordinator);
+- ``phase_bar`` — arrival epochs of the intra-step exchange barriers
+  (parties: workers only);
+- ``status``  — per-rank (step, phase index, error code) + a float64
+  heartbeat timestamp, the diagnostic surface a barrier timeout dumps;
+- ``results`` — per-rank per-step integer totals (extravasations, moves,
+  binds, active voxels);
+- ``metrics_*`` — per-rank cumulative :class:`PhaseMetrics` counters.
+
+The barrier is a *versioned arrival vector*: party ``i`` bumps its own
+epoch slot, then waits until every slot reaches that epoch.  Slots only
+grow, so consecutive barriers reuse one vector without a reset phase
+(a fast party already at epoch ``e+1`` trivially satisfies waiters at
+``e``).  Waiting is sleepy polling — short yields first, then sub-ms
+sleeps — because ranks may share cores with each other and the
+coordinator.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.dist.shm import ShmSegment
+
+#: ``flags`` slot indices.
+FLAG_ABORT = 0
+#: ``command`` slot indices.
+CMD_STEP = 0
+#: ``status`` integer columns.
+STATUS_STEP, STATUS_PHASE, STATUS_ERROR = 0, 1, 2
+#: ``results`` columns.
+RES_EXTRAVASATIONS, RES_MOVES, RES_BINDS, RES_ACTIVE = 0, 1, 2, 3
+#: Sentinel published as CMD_STEP to request worker shutdown.
+SHUTDOWN_STEP = -1
+
+
+class DistError(RuntimeError):
+    """Base class for distributed-runtime failures."""
+
+
+class DistAborted(DistError):
+    """The abort flag was raised while waiting (peer failure or shutdown)."""
+
+
+class BarrierTimeoutError(DistError):
+    """A barrier did not complete within the configured timeout."""
+
+
+class WorkerFailedError(DistError):
+    """A worker process exited while the coordinator was waiting on it."""
+
+
+def control_layout(nranks: int, nphases: int):
+    """Layout of the control segment (see module docstring)."""
+    return [
+        ("flags", (1,), np.dtype(np.int64)),
+        ("command", (1,), np.dtype(np.int64)),
+        ("pool", (1,), np.dtype(np.float64)),
+        ("step_bar", (nranks + 1,), np.dtype(np.int64)),
+        ("phase_bar", (nranks,), np.dtype(np.int64)),
+        ("status", (nranks, 3), np.dtype(np.int64)),
+        ("heartbeat", (nranks,), np.dtype(np.float64)),
+        ("results", (nranks, 4), np.dtype(np.int64)),
+        ("metrics_seconds", (nranks, nphases), np.dtype(np.float64)),
+        ("metrics_calls", (nranks, nphases), np.dtype(np.int64)),
+        ("metrics_skips", (nranks, nphases), np.dtype(np.int64)),
+    ]
+
+
+class ControlBlock:
+    """Typed accessor over the control segment's arrays."""
+
+    def __init__(self, segment: ShmSegment, nranks: int, phase_names: tuple[str, ...]):
+        self.segment = segment
+        self.nranks = nranks
+        self.phase_names = tuple(phase_names)
+        a = segment.arrays
+        self.flags = a["flags"]
+        self.command = a["command"]
+        self.pool = a["pool"]
+        self.step_bar = a["step_bar"]
+        self.phase_bar = a["phase_bar"]
+        self.status = a["status"]
+        self.heartbeat = a["heartbeat"]
+        self.results = a["results"]
+        self.metrics_seconds = a["metrics_seconds"]
+        self.metrics_calls = a["metrics_calls"]
+        self.metrics_skips = a["metrics_skips"]
+
+    # -- abort flag ----------------------------------------------------------
+
+    @property
+    def aborted(self) -> bool:
+        return bool(self.flags[FLAG_ABORT])
+
+    def abort(self) -> None:
+        self.flags[FLAG_ABORT] = 1
+
+    # -- per-rank status -----------------------------------------------------
+
+    def set_status(self, rank: int, step: int, phase: int) -> None:
+        self.status[rank, STATUS_STEP] = step
+        self.status[rank, STATUS_PHASE] = phase
+        self.heartbeat[rank] = time.monotonic()
+
+    def phase_name(self, index: int) -> str:
+        if 0 <= index < len(self.phase_names):
+            return self.phase_names[index]
+        return f"phase#{index}"
+
+    def describe_rank(self, rank: int) -> str:
+        step = int(self.status[rank, STATUS_STEP])
+        phase = self.phase_name(int(self.status[rank, STATUS_PHASE]))
+        age = time.monotonic() - float(self.heartbeat[rank])
+        return (
+            f"rank {rank}: phase {phase!r} at step {step} "
+            f"(last heartbeat {age:.1f}s ago)"
+        )
+
+
+class ShmBarrier:
+    """One party's handle on a versioned arrival-vector barrier.
+
+    ``slots`` is the shared epoch vector; ``party`` is this process's
+    slot.  Every participant must call :meth:`wait` the same number of
+    times, in the same order relative to the other barriers it shares
+    epochs with — which the lock-step phase schedule guarantees.
+    """
+
+    def __init__(self, slots: np.ndarray, party: int, ctrl: ControlBlock,
+                 label: str = "barrier"):
+        self.slots = slots
+        self.party = int(party)
+        self.ctrl = ctrl
+        self.label = label
+        self.epoch = 0
+
+    def wait(self, timeout: float, poll=None, heartbeat=None) -> None:
+        """Arrive and block until every party reaches this epoch.
+
+        ``poll()`` (optional) runs every iteration — the coordinator uses
+        it to watch worker liveness and may raise.  ``heartbeat()``
+        (optional) lets a healthy-but-blocked worker keep its heartbeat
+        fresh so timeout diagnostics single out the genuinely stalled
+        rank.  Raises :class:`DistAborted` if the abort flag goes up and
+        :class:`BarrierTimeoutError` with a per-rank dump on timeout.
+        """
+        self.epoch += 1
+        self.slots[self.party] = self.epoch
+        deadline = time.monotonic() + timeout
+        spins = 0
+        while True:
+            if (self.slots >= self.epoch).all():
+                return
+            if self.ctrl.aborted:
+                raise DistAborted(
+                    f"{self.label}: aborted while waiting (epoch {self.epoch})"
+                )
+            if poll is not None:
+                poll()
+            if heartbeat is not None:
+                heartbeat()
+            if time.monotonic() > deadline:
+                raise BarrierTimeoutError(self._timeout_message(timeout))
+            # Sleepy polling: yield for a while, then back off to short
+            # sleeps — ranks typically share cores.
+            spins += 1
+            time.sleep(0 if spins < 200 else 0.0002)
+
+    def _timeout_message(self, timeout: float) -> str:
+        pending = [
+            p for p in range(len(self.slots)) if self.slots[p] < self.epoch
+        ]
+        lines = [
+            f"{self.label} timed out after {timeout:.1f}s at epoch "
+            f"{self.epoch}: {len(pending)} part{'y' if len(pending) == 1 else 'ies'} missing"
+        ]
+        for p in pending:
+            if p < self.ctrl.nranks:
+                lines.append("  missing " + self.ctrl.describe_rank(p))
+            else:
+                lines.append(f"  missing party {p} (coordinator)")
+        return "\n".join(lines)

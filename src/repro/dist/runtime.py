@@ -1,0 +1,286 @@
+"""Process + shared-memory orchestration for the distributed backend.
+
+:class:`DistRuntime` owns everything that exists *outside* the simulation
+math: the per-rank data segments and the control segment, the coordinator
+side of the step barrier, worker process lifecycle (spawn, liveness,
+join, terminate), failure diagnosis, and teardown.  The coordinator never
+computes a phase — it publishes ``(step, pool)``, releases the step-start
+barrier, and meets the workers again at the step-end barrier.
+
+Robustness model:
+
+- every barrier wait carries a timeout; on expiry the coordinator raises
+  :class:`~repro.dist.control.BarrierTimeoutError` with a per-rank dump
+  (rank / phase / step / heartbeat age) and flips the abort flag so every
+  healthy worker unblocks and exits cleanly;
+- the coordinator polls worker liveness while it waits, so a killed
+  worker surfaces as :class:`~repro.dist.control.WorkerFailedError`
+  naming the rank instead of a timeout-shaped hang;
+- :meth:`DistRuntime.close` is idempotent, runs from ``atexit``/context
+  managers, and always unlinks the shared-memory segments it created —
+  an interrupted run never leaks ``/dev/shm`` entries.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing as mp
+import os
+
+import numpy as np
+
+from repro.core.params import SimCovParams
+from repro.core.state import VoxelBlock
+from repro.dist.control import (
+    CMD_STEP,
+    STATUS_ERROR,
+    SHUTDOWN_STEP,
+    BarrierTimeoutError,
+    ControlBlock,
+    DistAborted,
+    DistError,
+    ShmBarrier,
+    WorkerFailedError,
+    control_layout,
+)
+from repro.dist.shm import ShmSegment, block_layout, make_segment_name
+from repro.dist.worker import FaultSpec, WorkerSpec, dist_schedule, worker_main
+from repro.engine.metrics import PhaseMetrics
+from repro.grid.decomposition import Decomposition
+from repro.grid.halo import HaloExchanger
+from repro.grid.spec import GridSpec
+
+#: Distinguishes segment families when one process hosts several runtimes.
+_RUNTIME_IDS = itertools.count()
+
+
+class DistRuntime:
+    """One distributed run: segments, workers, and the coordinator's
+    barrier handles."""
+
+    def __init__(
+        self,
+        spec: GridSpec,
+        decomp: Decomposition,
+        exchanger: HaloExchanger,
+        params: SimCovParams,
+        seed: int,
+        *,
+        active_gating: bool = True,
+        barrier_timeout: float = 60.0,
+        start_method: str | None = None,
+        fault: FaultSpec | None = None,
+    ):
+        self.spec = spec
+        self.decomp = decomp
+        self.exchanger = exchanger
+        self.params = params
+        self.seed = seed
+        self.nranks = decomp.nranks
+        self.active_gating = active_gating
+        self.barrier_timeout = float(barrier_timeout)
+        self.start_method = start_method
+        self.fault = fault
+        self.phase_names = tuple(p.name for p in dist_schedule())
+        self._procs: list[mp.process.BaseProcess] = []
+        self._closed = False
+
+        run_id = next(_RUNTIME_IDS)
+        self._segments: list[ShmSegment] = []
+        ctrl_seg = ShmSegment.create(
+            make_segment_name(f"{run_id}_ctrl"),
+            control_layout(self.nranks, len(self.phase_names)),
+        )
+        self._segments.append(ctrl_seg)
+        self.ctrl = ControlBlock(ctrl_seg, self.nranks, self.phase_names)
+        self.segment_names: list[str] = []
+        #: Coordinator-side views of every rank's fields, backed by the
+        #: same pages the workers mutate — gather/checkpoint/seeding all
+        #: read and write through these.
+        self.blocks: list[VoxelBlock] = []
+        for rank in range(self.nranks):
+            name = make_segment_name(f"{run_id}_r{rank}")
+            seg = ShmSegment.create(
+                name, block_layout(exchanger.local_shape(rank))
+            )
+            self._segments.append(seg)
+            self.segment_names.append(name)
+            self.blocks.append(
+                VoxelBlock.from_arrays(
+                    spec, decomp.boxes[rank], seg.arrays, ghost=1, fresh=True
+                )
+            )
+        # The coordinator is barrier party ``nranks``.
+        self.step_bar = ShmBarrier(
+            self.ctrl.step_bar, self.nranks, self.ctrl, label="step barrier"
+        )
+
+    # -- worker lifecycle ----------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn one worker process per rank (after the blocks are seeded)."""
+        method = self.start_method or "fork"
+        if method not in mp.get_all_start_methods():
+            method = "spawn"
+        ctx = mp.get_context(method)
+        if method != "fork":
+            self._ensure_importable()
+        for rank in range(self.nranks):
+            spec = WorkerSpec(
+                rank=rank,
+                nranks=self.nranks,
+                params=self.params,
+                seed=self.seed,
+                boxes=tuple((b.lo, b.hi) for b in self.decomp.boxes),
+                plan=self.exchanger.pull_plan(rank),
+                segment_names=tuple(self.segment_names),
+                ctrl_name=self.ctrl.segment.name,
+                phase_names=self.phase_names,
+                active_gating=self.active_gating,
+                barrier_timeout=self.barrier_timeout,
+                fault=self.fault,
+            )
+            proc = ctx.Process(
+                target=worker_main,
+                args=(spec,),
+                name=f"repro-dist-rank{rank}",
+                daemon=True,
+            )
+            proc.start()
+            self._procs.append(proc)
+
+    @staticmethod
+    def _ensure_importable() -> None:
+        """Under spawn the children re-exec the interpreter; make sure the
+        package's root is on their PYTHONPATH even when the parent got it
+        via sys.path manipulation."""
+        import repro
+
+        root = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        existing = os.environ.get("PYTHONPATH", "")
+        if root not in existing.split(os.pathsep):
+            os.environ["PYTHONPATH"] = (
+                root + os.pathsep + existing if existing else root
+            )
+
+    # -- step protocol -------------------------------------------------------
+
+    def start_step(self, step: int, pool: float) -> None:
+        """Publish the step command and release the step-start barrier."""
+        self.ctrl.command[CMD_STEP] = step
+        self.ctrl.pool[0] = float(pool)
+        self._step_wait()
+
+    def finish_step(self) -> None:
+        """Meet the workers at the step-end barrier; afterwards every
+        per-rank result row and field array is quiescent and readable."""
+        self._step_wait()
+
+    def _step_wait(self) -> None:
+        try:
+            self.step_bar.wait(self.barrier_timeout, poll=self._check_liveness)
+        except BarrierTimeoutError:
+            self.ctrl.abort()  # unblock healthy workers before propagating
+            raise
+        except DistAborted:
+            # A worker raised the flag: find out who and why.
+            self._raise_worker_error()
+            raise
+
+    def _check_liveness(self) -> None:
+        for rank, proc in enumerate(self._procs):
+            if proc.exitcode is not None:
+                self.ctrl.abort()
+                raise WorkerFailedError(
+                    f"worker process for rank {rank} exited with code "
+                    f"{proc.exitcode} while the coordinator was waiting; "
+                    f"last status: {self.ctrl.describe_rank(rank)}"
+                )
+
+    def _raise_worker_error(self) -> None:
+        failed = [
+            r
+            for r in range(self.nranks)
+            if self.ctrl.status[r, STATUS_ERROR]
+        ]
+        if failed:
+            details = "; ".join(self.ctrl.describe_rank(r) for r in failed)
+            raise WorkerFailedError(f"worker rank(s) failed: {details}")
+
+    # -- metrics -------------------------------------------------------------
+
+    def worker_metrics(self) -> PhaseMetrics:
+        """All ranks' cumulative per-phase counters, merged."""
+        merged = PhaseMetrics()
+        for rank in range(self.nranks):
+            merged.merge(self._rank_metrics(rank))
+        return merged
+
+    def per_rank_metrics(self) -> list[PhaseMetrics]:
+        return [self._rank_metrics(r) for r in range(self.nranks)]
+
+    def _rank_metrics(self, rank: int) -> PhaseMetrics:
+        m = PhaseMetrics()
+        for i, name in enumerate(self.phase_names):
+            calls = int(self.ctrl.metrics_calls[rank, i])
+            skips = int(self.ctrl.metrics_skips[rank, i])
+            if calls:
+                m.calls[name] = calls
+                m.seconds[name] = float(self.ctrl.metrics_seconds[rank, i])
+            if skips:
+                m.skips[name] = skips
+        return m
+
+    def results_row(self, column: int) -> np.ndarray:
+        """One column of the per-rank result table (copy)."""
+        return self.ctrl.results[:, column].copy()
+
+    # -- teardown ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop the workers and release every shared-memory segment.
+
+        Safe to call repeatedly and from any failure path: after an abort
+        or timeout it skips the polite shutdown and goes straight to
+        join/terminate, and segment unlinking runs regardless.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            live = [p for p in self._procs if p.is_alive()]
+            if live and not self.ctrl.aborted:
+                # Polite shutdown: workers are parked at the step-start
+                # barrier; publish the sentinel and release them.
+                self.ctrl.command[CMD_STEP] = SHUTDOWN_STEP
+                try:
+                    self.step_bar.wait(min(5.0, self.barrier_timeout))
+                except DistError:
+                    self.ctrl.abort()
+            elif live:
+                self.ctrl.abort()
+            for proc in self._procs:
+                proc.join(timeout=5.0)
+            for proc in self._procs:
+                if proc.is_alive():
+                    proc.terminate()
+            for proc in self._procs:
+                if proc.is_alive():
+                    proc.join(timeout=2.0)
+        finally:
+            self.blocks = []
+            for seg in self._segments:
+                seg.close()
+            self._segments = []
+
+    def __enter__(self) -> "DistRuntime":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self):  # defensive: tests should use close()/context manager
+        try:
+            self.close()
+        except Exception:
+            pass

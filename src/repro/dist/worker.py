@@ -1,0 +1,466 @@
+"""The per-rank worker process of the distributed runtime.
+
+Each worker owns one subdomain: its :class:`~repro.core.state.VoxelBlock`
+and :class:`~repro.core.kernels.IntentArrays` fields are views into its
+shared-memory segment, and the segments of its halo neighbors are mapped
+read-mostly, so every exchange phase is a direct strip copy between
+address spaces — no serialization, no message queue.
+
+The worker executes the same declarative :func:`dist_schedule` the
+coordinator validates, in lock step with its peers via the control
+segment's phase barriers (see :mod:`repro.dist.control`).  The schedule
+is the GPU backend's single-wave §3.1 tiebreak (REPLACE intents + MAX
+bids at ``tiebreak_exchange``; ``result_exchange`` is a structural no-op)
+combined with the PGAS backend's start-of-step ghost refresh, which
+feeds the per-rank every-step :class:`~repro.engine.activity.ActivityGate`.
+
+Barrier placement per step (W = workers-only phase barrier, S = the
+step barrier shared with the coordinator)::
+
+    S  step start        coordinator published (step, pool)
+       open_exchange     pull ghost strips          ──►  W  (copies done)
+       age_extravasate   gate refresh + kernels
+    W  boundary_exchange (peers done mutating)      ──►  pull T-cell strips
+       intents
+    W  tiebreak_exchange (intents done)  ──►  pull REPLACE strips +
+                                              snapshot MAX strips
+    W                    (snapshots done) ──►  apply MAX merges
+       resolve / epithelial
+    W  concentration_exchange (production done) ──► pull strips ──► W
+       diffuse, publish per-step results
+    S  step end          coordinator reduces statistics
+
+The two unlabeled edges of each REPLACE wave need no barrier: a reader
+that advances past its copy only mutates the copied fields after a later
+barrier that the writer must also have passed (verified per phase in
+DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from time import perf_counter
+
+import numpy as np
+
+from repro.core import kernels
+from repro.core.params import SimCovParams
+from repro.core.state import VoxelBlock
+from repro.dist.control import (
+    CMD_STEP,
+    RES_ACTIVE,
+    RES_BINDS,
+    RES_EXTRAVASATIONS,
+    RES_MOVES,
+    SHUTDOWN_STEP,
+    STATUS_ERROR,
+    ControlBlock,
+    DistAborted,
+    ShmBarrier,
+    control_layout,
+)
+from repro.dist.shm import ShmSegment, block_layout
+from repro.engine.activity import ActivityGate
+from repro.engine.metrics import PhaseMetrics
+from repro.engine.phases import FieldSet, Phase, PhaseKind, exchange, kernel
+from repro.grid.box import Box
+from repro.grid.halo import MergeMode, RankPullPlan
+from repro.grid.spec import GridSpec
+from repro.rng.streams import VoxelRNG
+
+#: Start-of-step ghost refresh: activity-gate + bind-stencil inputs (the
+#: PGAS open wave).  ``epi_state`` is not mutated again before ``intents``
+#: reads its ghosts, so it rides here instead of in the boundary wave.
+OPEN_FIELDS = ("epi_state", "virions", "chemokine", "tcell")
+#: Post-extravasation occupancy + move payload (the GPU wave A remainder).
+BOUNDARY_FIELDS = ("tcell", "tcell_tissue_time", "tcell_bound_time")
+#: Post-production concentrations (wave C).
+CONCENTRATION_FIELDS = ("virions", "chemokine")
+
+
+def dist_schedule() -> tuple[Phase, ...]:
+    """The multi-process schedule: PGAS-style open wave + GPU-style
+    single-wave tiebreak, no tile_sweep (gating is every-step refresh)."""
+    return (
+        exchange(
+            "open_exchange",
+            FieldSet("state", OPEN_FIELDS, MergeMode.REPLACE),
+            doc="start-of-step ghost strips: gate + bind-stencil input",
+        ),
+        kernel("age_extravasate"),
+        exchange(
+            "boundary_exchange",
+            FieldSet("state", BOUNDARY_FIELDS, MergeMode.REPLACE),
+            doc="post-extravasation occupancy + move payload",
+        ),
+        kernel("intents"),
+        exchange(
+            "tiebreak_exchange",
+            FieldSet(
+                "intent", kernels.IntentArrays.REPLACE_FIELDS, MergeMode.REPLACE
+            ),
+            FieldSet("intent", kernels.IntentArrays.MAX_FIELDS, MergeMode.MAX),
+            doc="the single tiebreak wave of §3.1 (snapshot, barrier, merge)",
+        ),
+        kernel("resolve"),
+        exchange("result_exchange", doc="no-op: single-wave tiebreak"),
+        kernel("apply_results", doc="no-op: winners resolved locally"),
+        kernel("epithelial"),
+        exchange(
+            "concentration_exchange",
+            FieldSet("state", CONCENTRATION_FIELDS, MergeMode.REPLACE),
+            doc="post-production concentration strips",
+        ),
+        kernel("diffuse"),
+        kernel("reduce", doc="publish per-rank totals; coordinator reduces"),
+    )
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Fault injection for robustness tests: at the start of ``phase`` in
+    ``step``, rank ``rank`` either stalls until aborted or dies hard."""
+
+    rank: int
+    step: int
+    phase: str
+    mode: str  # "stall" | "die"
+
+    def __post_init__(self):
+        if self.mode not in ("stall", "die"):
+            raise ValueError(f"unknown fault mode {self.mode!r}")
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Everything a worker needs, picklable for any start method."""
+
+    rank: int
+    nranks: int
+    params: SimCovParams
+    seed: int
+    boxes: tuple[tuple[tuple[int, ...], tuple[int, ...]], ...]
+    plan: RankPullPlan
+    segment_names: tuple[str, ...]
+    ctrl_name: str
+    phase_names: tuple[str, ...]
+    active_gating: bool = True
+    barrier_timeout: float = 60.0
+    fault: FaultSpec | None = None
+
+
+def worker_main(spec: WorkerSpec) -> None:
+    """Process entry point: run the step loop until shutdown or abort."""
+    worker = None
+    try:
+        worker = _RankWorker(spec)
+        worker.run()
+        code = 0
+    except DistAborted:
+        code = 0
+    except BaseException:
+        import traceback
+
+        traceback.print_exc()
+        if worker is not None and worker.ctrl is not None:
+            worker.ctrl.status[spec.rank, STATUS_ERROR] = 1
+            worker.ctrl.abort()
+        code = 1
+    finally:
+        if worker is not None:
+            worker.close()
+    # Skip atexit/GC teardown races on the interpreter's way out — all
+    # segments are already closed and the parent owns unlinking.
+    os._exit(code)
+
+
+class _RankWorker:
+    """One rank's state + step loop."""
+
+    def __init__(self, spec: WorkerSpec):
+        self.spec = spec
+        self.rank = spec.rank
+        self.params = spec.params
+        self.rng = VoxelRNG(spec.seed)
+        self.grid = GridSpec(spec.params.dim)
+        self.plan = spec.plan
+        self.schedule = dist_schedule()
+        assert tuple(p.name for p in self.schedule) == spec.phase_names
+        self.metrics = PhaseMetrics()
+        self.ctrl: ControlBlock | None = None
+        self._segments: list[ShmSegment] = []
+
+        boxes = [Box(lo, hi) for lo, hi in spec.boxes]
+        # Attach the control segment and the data segments of self + every
+        # halo neighbor; build zero-copy views.
+        ctrl_seg = ShmSegment.attach(
+            spec.ctrl_name, control_layout(spec.nranks, len(spec.phase_names))
+        )
+        self._segments.append(ctrl_seg)
+        self.ctrl = ControlBlock(ctrl_seg, spec.nranks, spec.phase_names)
+        self.arrays: dict[int, dict[str, np.ndarray]] = {}
+        for r in {self.rank, *self.plan.neighbor_ranks}:
+            shape = tuple(s + 2 for s in boxes[r].shape)
+            seg = ShmSegment.attach(spec.segment_names[r], block_layout(shape))
+            self._segments.append(seg)
+            self.arrays[r] = seg.arrays
+        mine = self.arrays[self.rank]
+        # The coordinator created + initialized (zero, tissue, seeds) the
+        # field storage, so adopt it as-is; intents are worker scratch and
+        # start at their sentinels.
+        self.block = VoxelBlock.from_arrays(
+            self.grid, boxes[self.rank], mine, ghost=1, fresh=False
+        )
+        self.intents = kernels.IntentArrays.from_arrays(
+            {
+                name: mine[f"intent_{name}"]
+                for name in kernels.IntentArrays.FIELD_DTYPES
+            },
+            fresh=True,
+        )
+        self.gate = ActivityGate(
+            self.block,
+            spec.params.min_chemokine,
+            sweep_period=1,
+            enabled=spec.active_gating,
+        )
+        self._scratch_v = np.zeros_like(self.block.virions)
+        self._scratch_c = np.zeros_like(self.block.chemokine)
+        self.step_bar = ShmBarrier(
+            self.ctrl.step_bar, self.rank, self.ctrl, label="step barrier"
+        )
+        self.phase_bar = ShmBarrier(
+            self.ctrl.phase_bar, self.rank, self.ctrl, label="phase barrier"
+        )
+        # Let the coordinator win every timeout-reporting race: workers
+        # blocked on a stalled peer must outlast the coordinator's wait.
+        self.timeout = spec.barrier_timeout * 2 + 5.0
+        # Per-step counters.
+        self._extr = 0
+        self._moves = 0
+        self._binds = 0
+        self._active = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def run(self) -> None:
+        hb = lambda: self.ctrl.set_status(
+            self.rank,
+            int(self.ctrl.status[self.rank, 0]),
+            int(self.ctrl.status[self.rank, 1]),
+        )
+        while True:
+            self.step_bar.wait(self.timeout, heartbeat=hb)
+            step = int(self.ctrl.command[CMD_STEP])
+            if step == SHUTDOWN_STEP:
+                return
+            self._run_step(step, float(self.ctrl.pool[0]))
+            self.step_bar.wait(self.timeout, heartbeat=hb)
+
+    def close(self) -> None:
+        for seg in self._segments:
+            seg.close()
+        self._segments.clear()
+
+    # -- one step ------------------------------------------------------------
+
+    def _run_step(self, step: int, pool: float) -> None:
+        # Recompute the global attempt schedule locally: it is a pure
+        # function of (seed, step, pool), all of which the coordinator
+        # published, so every rank derives the identical arrays.
+        attempts = kernels.extravasation_attempts(
+            self.params, self.rng, step, pool
+        )
+        self._extr = self._moves = self._binds = 0
+        for index, phase in enumerate(self.schedule):
+            self.ctrl.set_status(self.rank, step, index)
+            self._maybe_fault(step, phase.name)
+            start = perf_counter()
+            ran = self._execute(phase, step, attempts)
+            self.metrics.record(
+                phase.name, perf_counter() - start, skipped=ran is False
+            )
+        self._publish(step)
+
+    def _execute(self, phase: Phase, step: int, attempts):
+        if phase.kind is PhaseKind.EXCHANGE:
+            return self._exchange(phase)
+        handler = getattr(self, f"phase_{phase.name}", None)
+        if handler is None:
+            return False
+        return handler(step, attempts)
+
+    def _maybe_fault(self, step: int, phase_name: str) -> None:
+        fault = self.spec.fault
+        if (
+            fault is None
+            or fault.rank != self.rank
+            or fault.step != step
+            or fault.phase != phase_name
+        ):
+            return
+        if fault.mode == "die":
+            os._exit(13)
+        while not self.ctrl.aborted:  # stall (status stays frozen here)
+            time.sleep(0.005)
+        raise DistAborted(f"aborted while stalled in {phase_name!r}")
+
+    def _publish(self, step: int) -> None:
+        """Per-step totals + cumulative metrics, read by the coordinator
+        after the step-end barrier."""
+        row = self.ctrl.results[self.rank]
+        row[RES_EXTRAVASATIONS] = self._extr
+        row[RES_MOVES] = self._moves
+        row[RES_BINDS] = self._binds
+        row[RES_ACTIVE] = self._active
+        for i, name in enumerate(self.spec.phase_names):
+            self.ctrl.metrics_seconds[self.rank, i] = self.metrics.seconds.get(name, 0.0)
+            self.ctrl.metrics_calls[self.rank, i] = self.metrics.calls.get(name, 0)
+            self.ctrl.metrics_skips[self.rank, i] = self.metrics.skips.get(name, 0)
+
+    # -- exchange phases -----------------------------------------------------
+
+    def _exchange(self, phase: Phase):
+        if not phase.exchanges:
+            return False
+        barrier = lambda: self.phase_bar.wait(self.timeout)
+        if phase.name == "open_exchange":
+            # Peers finished their previous step (step barrier); copy, then
+            # fence so nobody mutates state another rank is still reading.
+            self._pull_replace(phase, (fs for fs in phase.exchanges
+                                       if fs.merge is MergeMode.REPLACE))
+            barrier()
+        elif phase.name == "tiebreak_exchange":
+            # Halo wave B: everyone's intents are written (entry barrier);
+            # REPLACE-copy neighbor intents into ghosts and snapshot the
+            # bid strips, fence, then max-merge the snapshots — the exact
+            # "send pre-exchange values" semantics of HaloExchanger.
+            barrier()
+            self._pull_replace(phase, (fs for fs in phase.exchanges
+                                       if fs.merge is MergeMode.REPLACE))
+            snaps = self._snapshot_max(phase)
+            barrier()
+            self._apply_max(snaps)
+        elif phase.name == "concentration_exchange":
+            # Production done everywhere (entry); copies done (exit) before
+            # any rank's diffusion commit overwrites its owned strips.
+            barrier()
+            self._pull_replace(phase, phase.exchanges)
+            barrier()
+        else:  # boundary_exchange
+            # Entry barrier only: peers are done mutating T-cell fields;
+            # the next mutation (resolve) sits behind the tiebreak
+            # barriers, which every reader passes first.
+            barrier()
+            self._pull_replace(phase, phase.exchanges)
+        return True
+
+    def _keys(self, fs: FieldSet) -> list[str]:
+        prefix = "intent_" if fs.scope == "intent" else ""
+        return [prefix + name for name in fs.fields]
+
+    def _pull_replace(self, phase: Phase, field_sets) -> None:
+        mine = self.arrays[self.rank]
+        keys = [k for fs in field_sets for k in self._keys(fs)]
+        for route in self.plan.replace:
+            src = self.arrays[route.src]
+            ssl = self.plan.src_slices(route)
+            dsl = self.plan.dst_slices(route)
+            for key in keys:
+                mine[key][dsl] = src[key][ssl]
+
+    def _snapshot_max(self, phase: Phase):
+        snaps = []
+        keys = [
+            k
+            for fs in phase.exchanges
+            if fs.merge is MergeMode.MAX
+            for k in self._keys(fs)
+        ]
+        for route in self.plan.max_merge:
+            src = self.arrays[route.src]
+            ssl = self.plan.src_slices(route)
+            dsl = self.plan.dst_slices(route)
+            for key in keys:
+                snaps.append((key, dsl, src[key][ssl].copy()))
+        return snaps
+
+    def _apply_max(self, snaps) -> None:
+        mine = self.arrays[self.rank]
+        for key, dsl, payload in snaps:
+            view = mine[key][dsl]
+            np.maximum(view, payload, out=view)
+
+    # -- kernel phases (mirror the PGAS backend's per-rank bodies) -----------
+
+    def phase_age_extravasate(self, step: int, attempts):
+        self.gate.refresh()
+        self._active = self.gate.count
+        region = self.gate.region()
+        if region is None:
+            return False
+        kernels.tcell_age(self.block, region)
+        # Attempts only succeed where signal >= min_chemokine, which the
+        # freshly-refreshed region covers (same argument as PGAS).
+        self._extr = kernels.apply_extravasation(
+            self.params, self.block, attempts, region
+        )
+
+    def phase_intents(self, step: int, attempts):
+        region = self.gate.region()
+        # Full clear, not the dirty-slab fast path: the tiebreak copies
+        # write ghost strips behind IntentArrays' tracking, and a stale
+        # merged bid *anywhere* in this array would leak into every
+        # neighbor's next max-merge snapshot (the GPU backend clears
+        # fully for the same reason).
+        self.intents.clear()
+        if region is None:
+            return False
+        kernels.tcell_intents(
+            self.params, self.rng, step, self.block, self.intents, region
+        )
+
+    def phase_resolve(self, step: int, attempts):
+        # Purely local: ghost intents + merged bids make the winner
+        # computation identical on both sides of every boundary.  An idle
+        # region is sound — any inbound mover was visible in this rank's
+        # padded activity mask at refresh time.
+        region = self.gate.region()
+        if region is None:
+            return False
+        self._moves = kernels.resolve_moves(self.block, self.intents, region)
+        self._binds = kernels.resolve_binds(
+            self.params, self.rng, step, self.block, self.intents, region
+        )
+
+    def phase_apply_results(self, step: int, attempts):
+        return False
+
+    def phase_epithelial(self, step: int, attempts):
+        region = self.gate.region()
+        if region is None:
+            return False
+        kernels.epithelial_update(
+            self.params, self.rng, step, self.block, region
+        )
+        kernels.production_update(self.params, self.block, region, step=step)
+
+    def phase_diffuse(self, step: int, attempts):
+        region = self.gate.region()
+        if region is None:
+            return False
+        kernels.mirror_fields(self.block)
+        kernels.concentration_update(
+            self.params, self.block, region, self._scratch_v, self._scratch_c
+        )
+        kernels.concentration_commit(
+            self.params, self.block, [region], self._scratch_v,
+            self._scratch_c, step=step,
+        )
+
+    def phase_reduce(self, step: int, attempts):
+        # The coordinator owns the reduction; per-rank totals go out in
+        # _publish after the phase loop.
+        return None

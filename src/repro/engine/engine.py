@@ -33,6 +33,10 @@ class StepContext:
     step: int
     #: The global, decomposition-independent extravasation-attempt schedule.
     attempts: dict
+    #: The vascular-pool value the attempt schedule was computed from
+    #: (post-update, pre-debit).  Remote backends publish it so detached
+    #: workers can recompute the identical schedule locally.
+    pool: float = 0.0
     #: Set by the ``reduce`` phase: the REDUCED_FIELDS vector.
     reduced: np.ndarray | None = None
     #: Set by the ``reduce`` phase (or locally on one block): step totals.
@@ -79,7 +83,7 @@ class StepEngine:
         self.pool -= self.pool / p.tcell_vascular_period
         attempts = kernels.extravasation_attempts(p, self.rng, t, self.pool)
 
-        ctx = StepContext(step=t, attempts=attempts)
+        ctx = StepContext(step=t, attempts=attempts, pool=self.pool)
         self.backend.begin_step(ctx)
 
         phase_seconds: dict[str, float] = {}

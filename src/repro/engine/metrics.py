@@ -31,6 +31,22 @@ class PhaseMetrics:
         self.seconds[name] = self.seconds.get(name, 0.0) + float(seconds)
         self.calls[name] = self.calls.get(name, 0) + 1
 
+    def merge(self, other: "PhaseMetrics") -> "PhaseMetrics":
+        """Accumulate another instance's counters into this one.
+
+        The aggregation primitive for multi-rank runs: each rank times its
+        own phases, and the coordinator merges the per-rank objects into
+        one metrics surface (seconds and counts sum per phase).  Returns
+        ``self`` so merges chain.
+        """
+        for name, sec in other.seconds.items():
+            self.seconds[name] = self.seconds.get(name, 0.0) + float(sec)
+        for name, n in other.calls.items():
+            self.calls[name] = self.calls.get(name, 0) + int(n)
+        for name, n in other.skips.items():
+            self.skips[name] = self.skips.get(name, 0) + int(n)
+        return self
+
     # -- inspection ---------------------------------------------------------
 
     def total_seconds(self) -> float:

@@ -2,6 +2,12 @@
 
 Regenerates any table/figure of the paper and writes CSV under
 ``results/``.  ``simcov-repro all`` runs everything.
+
+``simcov-repro run`` instead executes a single simulation on a chosen
+backend (``sequential``, ``cpu``, ``gpu``, or the multi-process ``dist``
+runtime) and prints the final step's statistics, e.g.::
+
+    simcov-repro run --backend dist --nranks 4 --dim 64 64 --steps 50
 """
 
 from __future__ import annotations
@@ -142,6 +148,46 @@ def _cmd_report(outdir: str) -> None:
     print(f"report written to {path}")
 
 
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.core.params import SimCovParams
+
+    params = SimCovParams.fast_test(
+        dim=tuple(args.dim),
+        num_infections=args.num_infections,
+        num_steps=args.steps,
+    )
+    if args.backend == "sequential":
+        from repro.core.model import SequentialSimCov
+
+        sim = SequentialSimCov(params, seed=args.seed)
+    elif args.backend == "cpu":
+        from repro.simcov_cpu.simulation import SimCovCPU
+
+        sim = SimCovCPU(params, nranks=args.nranks, seed=args.seed)
+    elif args.backend == "gpu":
+        from repro.simcov_gpu.simulation import SimCovGPU
+
+        sim = SimCovGPU(params, num_devices=args.nranks, seed=args.seed)
+    else:  # dist: real worker processes + shared-memory halo exchange
+        from repro.dist import DistSimCov
+
+        sim = DistSimCov(params, nranks=args.nranks, seed=args.seed)
+    try:
+        sim.run(args.steps)
+        for i in range(len(sim.series)):
+            stats = sim.series[i]
+            if (i + 1) % max(1, args.steps // 10) == 0 or i == args.steps - 1:
+                print(f"step {i + 1:>5}: {stats}")
+        print(
+            f"done: backend={args.backend} nranks={args.nranks} "
+            f"dim={tuple(args.dim)} steps={args.steps} seed={args.seed}"
+        )
+    finally:
+        if hasattr(sim, "close"):
+            sim.close()
+    return 0
+
+
 COMMANDS = {
     "table1": _cmd_table1,
     "fig4": _cmd_fig4,
@@ -157,16 +203,35 @@ COMMANDS = {
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="simcov-repro",
-        description="Regenerate the SIMCoV-GPU paper's tables and figures.",
+        description="Regenerate the SIMCoV-GPU paper's tables and figures, "
+        "or run a single simulation ('run').",
     )
     parser.add_argument(
-        "experiment", choices=sorted(COMMANDS) + ["all"],
-        help="which table/figure to regenerate",
+        "experiment", choices=sorted(COMMANDS) + ["all", "run"],
+        help="which table/figure to regenerate, or 'run' for one simulation",
     )
     parser.add_argument(
         "--outdir", default="results", help="CSV output directory"
     )
+    run_group = parser.add_argument_group("run options")
+    run_group.add_argument(
+        "--backend", choices=["sequential", "cpu", "gpu", "dist"],
+        default="sequential",
+    )
+    run_group.add_argument(
+        "--nranks", type=int, default=4,
+        help="ranks (cpu/dist) or devices (gpu); ignored by sequential",
+    )
+    run_group.add_argument(
+        "--dim", type=int, nargs="+", default=[64, 64],
+        help="domain shape, 2 or 3 ints",
+    )
+    run_group.add_argument("--steps", type=int, default=50)
+    run_group.add_argument("--seed", type=int, default=0)
+    run_group.add_argument("--num-infections", type=int, default=2)
     args = parser.parse_args(argv)
+    if args.experiment == "run":
+        return _cmd_run(args)
     try:
         if args.experiment == "all":
             for name in ("table1", "fig4", "fig5", "table2",

@@ -20,6 +20,7 @@ including the diagonal corner strips.
 from __future__ import annotations
 
 import enum
+from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
@@ -31,6 +32,55 @@ from repro.grid.decomposition import Decomposition
 class MergeMode(enum.Enum):
     REPLACE = "replace"
     MAX = "max"
+
+
+@dataclass(frozen=True)
+class PullRoute:
+    """One incoming message of a rank's halo plan, in pull form.
+
+    ``region`` is the global box the receiver reads from ``src``'s local
+    array and writes (REPLACE) or max-merges (MAX) into its own.  Plain
+    tuples of ints only, so plans pickle cheaply across process spawns.
+    """
+
+    src: int
+    region_lo: tuple[int, ...]
+    region_hi: tuple[int, ...]
+
+    @property
+    def region(self) -> Box:
+        return Box(self.region_lo, self.region_hi)
+
+
+@dataclass(frozen=True)
+class RankPullPlan:
+    """Everything one rank needs to run its side of every exchange wave
+    without the :class:`HaloExchanger` (or any other rank's Python
+    objects) in its address space — the serialized route table a detached
+    worker process receives once at spawn.
+
+    ``origins[r]`` is the global coordinate of rank ``r``'s padded-array
+    element ``[0, 0, ...]``; combined with a route's region it yields the
+    source and destination slices of the copy.
+    """
+
+    rank: int
+    origins: tuple[tuple[int, ...], ...]
+    replace: tuple[PullRoute, ...]
+    max_merge: tuple[PullRoute, ...]
+
+    def src_slices(self, route: PullRoute) -> tuple[slice, ...]:
+        return route.region.slices_from(self.origins[route.src])
+
+    def dst_slices(self, route: PullRoute) -> tuple[slice, ...]:
+        return route.region.slices_from(self.origins[self.rank])
+
+    @property
+    def neighbor_ranks(self) -> tuple[int, ...]:
+        """Every rank this plan reads from (segment-attach list)."""
+        return tuple(
+            sorted({r.src for r in self.replace} | {r.src for r in self.max_merge})
+        )
 
 
 class HaloExchanger:
@@ -95,6 +145,29 @@ class HaloExchanger:
         where region = dst's ghost voxels owned by src.  SIMCoV-CPU uses the
         same geometry for its batched boundary-strip RPCs."""
         return list(self._replace_routes)
+
+    def pull_plan(self, rank: int) -> RankPullPlan:
+        """Serialize ``rank``'s side of every wave as a picklable pull plan.
+
+        The plan carries the same REPLACE and MAX route geometry
+        :meth:`exchange` executes, restricted to routes terminating at
+        ``rank`` — a detached worker holding (shared-memory views of) the
+        per-rank arrays can reproduce the exchange without this object.
+        """
+        return RankPullPlan(
+            rank=rank,
+            origins=tuple(self.origins),
+            replace=tuple(
+                PullRoute(src, region.lo, region.hi)
+                for src, dst, region in self._replace_routes
+                if dst == rank
+            ),
+            max_merge=tuple(
+                PullRoute(src, region.lo, region.hi)
+                for src, dst, region in self._max_routes
+                if dst == rank
+            ),
+        )
 
     # -- array helpers -----------------------------------------------------
 

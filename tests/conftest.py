@@ -1,0 +1,23 @@
+"""Repo-wide fixtures.
+
+The shared-memory leak check runs around *every* test: any segment the
+distributed runtime creates must be gone from ``/dev/shm`` by teardown,
+even when the test failed mid-run.  The check is one directory listing,
+so non-dist tests pay essentially nothing.
+"""
+
+import pytest
+
+from repro.dist import shm
+
+
+@pytest.fixture(autouse=True)
+def _no_shm_leaks():
+    before = shm.live_segment_names()
+    yield
+    # Defensive sweep first: a test that failed mid-run may still track
+    # open segments; close (and, for owned ones, unlink) them so one
+    # failure doesn't cascade leak-assertions through the whole session.
+    shm.release_all()
+    leaked = shm.live_segment_names() - before
+    assert not leaked, f"leaked shared-memory segments: {sorted(leaked)}"

@@ -1,0 +1,15 @@
+"""Fixtures for the distributed-runtime tests.
+
+``nranks`` parametrizes over worker counts; the CI ``dist`` job pins a
+single count per matrix entry via ``REPRO_DIST_NRANKS`` (comma-separated
+values are accepted).
+"""
+
+import os
+
+
+def pytest_generate_tests(metafunc):
+    if "nranks" in metafunc.fixturenames:
+        env = os.environ.get("REPRO_DIST_NRANKS")
+        values = [int(v) for v in env.split(",")] if env else [1, 2, 4]
+        metafunc.parametrize("nranks", values)

@@ -1,0 +1,93 @@
+"""Checkpoint/restore through the distributed backend.
+
+Mirrors the gated-checkpoint exactness test: a checkpoint written by the
+coordinator (rank 0's process) from the shared-memory blocks must resume
+bitwise identically — into another distributed run, or into the
+sequential reference — because restore writes straight through the
+coordinator's shared-memory views and the workers' next ``open_exchange``
+refreshes every ghost."""
+
+import numpy as np
+
+from repro.core.model import SequentialSimCov
+from repro.core.params import SimCovParams
+from repro.dist import DistSimCov
+from repro.io.checkpoint import CHECKPOINT_FIELDS, load_checkpoint, save_checkpoint
+
+TOTAL = 30
+SAVE_AT = 13  # deliberately mid-run, not on any period boundary
+
+
+def _setup(tmp_path):
+    params = SimCovParams.fast_test(
+        dim=(24, 24), num_infections=2, num_steps=TOTAL
+    )
+    control = SequentialSimCov(params, seed=77)
+    control.run(TOTAL)
+    path = str(tmp_path / "dist.npz")
+    with DistSimCov(params, nranks=2, seed=77) as sim:
+        sim.run(SAVE_AT)
+        save_checkpoint(path, sim)
+    return params, control, path
+
+
+def test_dist_checkpoint_resumes_distributed(tmp_path):
+    _, control, path = _setup(tmp_path)
+    resumed = load_checkpoint(
+        path,
+        make_sim=lambda p, s, g: DistSimCov(p, nranks=4, seed=s, seed_gids=g),
+    )
+    try:
+        assert resumed.step_num == SAVE_AT
+        last = None
+        for _ in range(TOTAL - SAVE_AT):
+            last = resumed.step()
+        assert last == control.series[TOTAL - 1]
+        for name in CHECKPOINT_FIELDS:
+            np.testing.assert_array_equal(
+                resumed.gather_field(name),
+                control.gather_field(name),
+                err_msg=name,
+            )
+    finally:
+        resumed.close()
+
+
+def test_dist_checkpoint_resumes_sequentially(tmp_path):
+    _, control, path = _setup(tmp_path)
+    resumed = load_checkpoint(path)
+    for _ in range(TOTAL - SAVE_AT):
+        last = resumed.step()
+    assert last == control.series[TOTAL - 1]
+    np.testing.assert_array_equal(
+        resumed.block.epi_state, control.block.epi_state
+    )
+
+
+def test_sequential_checkpoint_resumes_distributed(tmp_path):
+    """The other direction: a reference checkpoint resumes on workers."""
+    params = SimCovParams.fast_test(
+        dim=(24, 24), num_infections=2, num_steps=TOTAL
+    )
+    control = SequentialSimCov(params, seed=77)
+    control.run(SAVE_AT)
+    path = str(tmp_path / "seq.npz")
+    save_checkpoint(path, control)
+    control.run(TOTAL - SAVE_AT)
+
+    resumed = load_checkpoint(
+        path,
+        make_sim=lambda p, s, g: DistSimCov(p, nranks=2, seed=s, seed_gids=g),
+    )
+    try:
+        for _ in range(TOTAL - SAVE_AT):
+            last = resumed.step()
+        assert last == control.series[TOTAL - 1]
+        for name in ("epi_state", "tcell", "virions", "epi_timer"):
+            np.testing.assert_array_equal(
+                resumed.gather_field(name),
+                control.gather_field(name),
+                err_msg=name,
+            )
+    finally:
+        resumed.close()

@@ -1,0 +1,77 @@
+"""Determinism of the multi-process backend.
+
+The non-negotiable property of ISSUE 3: :class:`DistSimCov` must
+reproduce the committed golden traces **bitwise** — including the float
+reductions, which the other parallel backends only match to tolerance —
+for every rank count, because the coordinator reruns the reduction over
+a full-domain block through the exact sequential code path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.model import SequentialSimCov
+from repro.dist import DistSimCov
+
+from tests.golden.test_golden_traces import (
+    TRACES,
+    assert_exact,
+    load_trace,
+    make_params,
+)
+
+
+@pytest.mark.parametrize("name", TRACES)
+def test_dist_reproduces_golden_trace_bitwise(name, nranks):
+    config, golden = load_trace(name)
+    with DistSimCov(
+        make_params(config), nranks=nranks, seed=config["seed"]
+    ) as sim:
+        sim.run(config["steps"])
+        assert_exact(sim.series, golden, f"{name}/dist-{nranks}")
+
+
+def test_dist_fields_match_sequential_bitwise(nranks):
+    """Beyond the reduced series: every voxel field is identical."""
+    config, _ = load_trace("trace_2d")
+    params = make_params(config)
+    ref = SequentialSimCov(params, seed=config["seed"])
+    ref.run(config["steps"])
+    with DistSimCov(params, nranks=nranks, seed=config["seed"]) as sim:
+        sim.run(config["steps"])
+        for name in (
+            "epi_state", "epi_timer", "virions", "chemokine",
+            "tcell", "tcell_tissue_time", "tcell_bound_time",
+        ):
+            np.testing.assert_array_equal(
+                sim.gather_field(name),
+                ref.gather_field(name),
+                err_msg=f"{name} (nranks={nranks})",
+            )
+
+
+def test_dist_ungated_matches_gated(nranks):
+    """Activity gating in the workers is bitwise invisible, as on every
+    other backend."""
+    config, golden = load_trace("trace_3d")
+    params = make_params(config)
+    with DistSimCov(
+        params, nranks=nranks, seed=config["seed"], active_gating=False
+    ) as sim:
+        sim.run(config["steps"])
+        assert_exact(sim.series, golden, f"trace_3d/dist-ungated-{nranks}")
+
+
+def test_dist_linear_decomposition_matches(nranks):
+    """Strip (linear) decomposition produces the same bits as block."""
+    from repro.grid.decomposition import DecompositionKind
+
+    config, golden = load_trace("trace_2d")
+    with DistSimCov(
+        make_params(config),
+        nranks=nranks,
+        seed=config["seed"],
+        decomposition=DecompositionKind.LINEAR,
+    ) as sim:
+        sim.run(config["steps"])
+        assert_exact(sim.series, golden, f"trace_2d/dist-linear-{nranks}")

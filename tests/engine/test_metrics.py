@@ -1,0 +1,50 @@
+"""PhaseMetrics counter semantics, including the multi-rank merge."""
+
+from repro.engine.metrics import PhaseMetrics
+
+
+def _metrics(entries):
+    m = PhaseMetrics()
+    for name, seconds, skipped in entries:
+        m.record(name, seconds, skipped=skipped)
+    return m
+
+
+class TestRecord:
+    def test_executed_and_skipped_counted_separately(self):
+        m = _metrics([("a", 0.5, False), ("a", 0.25, False), ("b", 1.0, True)])
+        assert m.calls == {"a": 2}
+        assert m.seconds == {"a": 0.75}
+        assert m.skips == {"b": 1}
+        assert m.phase_names() == ("a", "b")
+
+
+class TestMerge:
+    def test_merge_sums_per_phase(self):
+        a = _metrics([("x", 1.0, False), ("y", 0.5, False), ("z", 0.0, True)])
+        b = _metrics([("x", 2.0, False), ("z", 0.0, True), ("w", 0.25, False)])
+        a.merge(b)
+        assert a.seconds == {"x": 3.0, "y": 0.5, "w": 0.25}
+        assert a.calls == {"x": 2, "y": 1, "w": 1}
+        assert a.skips == {"z": 2}
+
+    def test_merge_returns_self_for_chaining(self):
+        total = PhaseMetrics()
+        parts = [_metrics([("p", 1.0, False)]) for _ in range(3)]
+        result = total.merge(parts[0]).merge(parts[1]).merge(parts[2])
+        assert result is total
+        assert total.seconds["p"] == 3.0
+        assert total.calls["p"] == 3
+
+    def test_merge_empty_is_identity(self):
+        a = _metrics([("x", 1.0, False)])
+        before = (dict(a.seconds), dict(a.calls), dict(a.skips))
+        a.merge(PhaseMetrics())
+        assert (a.seconds, a.calls, a.skips) == before
+
+    def test_merge_does_not_mutate_source(self):
+        a = PhaseMetrics()
+        b = _metrics([("x", 1.0, False)])
+        a.merge(b)
+        assert b.seconds == {"x": 1.0}
+        assert b.calls == {"x": 1}
