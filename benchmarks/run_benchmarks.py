@@ -92,6 +92,13 @@ def _run_dist(params, seed, steps, nranks):
                 name: round(sec, 4)
                 for name, sec in sim.phase_metrics.seconds.items()
             },
+            "worker_phase_calls": dict(sim.phase_metrics.calls),
+            # Per-rank breakdown (the load-balance view): one
+            # {phase: seconds} dict per rank, in rank order.
+            "per_rank_phase_seconds": [
+                {name: round(sec, 4) for name, sec in m.seconds.items()}
+                for m in sim.backend.runtime.per_rank_metrics()
+            ],
         }
         fields = {name: sim.gather_field(name) for name in STATE_FIELDS}
         series = [sim.series[i] for i in range(len(sim.series))]

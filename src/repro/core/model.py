@@ -41,6 +41,9 @@ class SequentialSimCov(EngineDriver):
         :class:`~repro.engine.sequential.SequentialBackend`): gated runs
         skip quiescent space via the periodic §3.2 sweep and stay bitwise
         identical to ``active_gating=False`` whole-domain runs.
+    tracer:
+        Optional :class:`~repro.telemetry.tracer.Tracer`; phase spans and
+        gating gauges flow to its sinks.  Default: telemetry off.
     """
 
     def __init__(
@@ -52,13 +55,14 @@ class SequentialSimCov(EngineDriver):
         active_gating: bool = True,
         tile_shape: tuple[int, ...] | None = None,
         sweep_period: int | None = None,
+        tracer=None,
     ):
         backend = SequentialBackend(
             params, seed=seed, seed_gids=seed_gids,
             structure_gids=structure_gids, active_gating=active_gating,
             tile_shape=tile_shape, sweep_period=sweep_period,
         )
-        self._init_engine(backend)
+        self._init_engine(backend, tracer=tracer)
         self.block = backend.block
         self.intents = backend.intents
         self.gate = backend.gate

@@ -22,6 +22,8 @@ winner resolution, is the determinism argument (DESIGN.md).
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.core.params import SimCovParams
@@ -39,9 +41,16 @@ from repro.engine.backend import ExecutionBackend
 from repro.engine.phases import Phase
 from repro.grid.decomposition import Decomposition, DecompositionKind
 from repro.grid.halo import HaloExchanger
+from repro.telemetry.events import GAUGE, Event
+from repro.telemetry.tracer import NULL_TRACER
 
 #: The fields the statistics reduction reads.
 _STATS_FIELDS = ("epi_state", "tcell", "virions", "chemokine")
+
+#: Per-rank telemetry-ring capacity when tracing is on.  Rings are
+#: drained every step, so this only needs to hold one step's records
+#: (a few dozen per rank); sized with two orders of headroom.
+_TELEMETRY_RING_CAPACITY = 4096
 
 
 class DistBackend(ExecutionBackend):
@@ -68,6 +77,13 @@ class DistBackend(ExecutionBackend):
     fault:
         Optional :class:`~repro.dist.worker.FaultSpec` injected into the
         workers (robustness tests).
+    tracer:
+        Optional :class:`~repro.telemetry.tracer.Tracer`.  When enabled,
+        the coordinator traces on the ``rank == -1`` lane, each worker
+        records phase/barrier spans and comm counters into its
+        shared-memory ring, and the coordinator drains the rings in the
+        per-step quiescent window and forwards the decoded events —
+        original ranks and timestamps intact — into the tracer's sinks.
     """
 
     name = "dist"
@@ -84,8 +100,14 @@ class DistBackend(ExecutionBackend):
         barrier_timeout: float = 60.0,
         start_method: str | None = None,
         fault: FaultSpec | None = None,
+        tracer=None,
     ):
         self._init_common(params, seed)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        if self.tracer.enabled:
+            # The coordinator owns the negative control-plane lane;
+            # workers trace as their own ranks 0..nranks-1.
+            self.tracer.rank = -1
         self.decomp = Decomposition.make(self.spec, nranks, decomposition)
         self.exchanger = HaloExchanger(self.decomp)
         self.runtime = DistRuntime(
@@ -98,6 +120,9 @@ class DistBackend(ExecutionBackend):
             barrier_timeout=barrier_timeout,
             start_method=start_method,
             fault=fault,
+            telemetry_capacity=(
+                _TELEMETRY_RING_CAPACITY if self.tracer.enabled else 0
+            ),
         )
         #: Shared-memory-backed per-rank blocks (coordinator views).
         self.blocks = self.runtime.blocks
@@ -110,6 +135,11 @@ class DistBackend(ExecutionBackend):
         self._stats_block = VoxelBlock(self.spec, self.spec.domain)
         self._active_counts: list[int] = []
         self.runtime.start()
+        if self.tracer:
+            for role, nbytes in self.runtime.segment_sizes().items():
+                self.tracer.gauge(
+                    "shm_segment_bytes", nbytes, cat="shm", role=role
+                )
 
     # -- schedule ------------------------------------------------------------
 
@@ -119,7 +149,15 @@ class DistBackend(ExecutionBackend):
     # -- engine protocol -----------------------------------------------------
 
     def begin_step(self, ctx) -> None:
+        if not self.tracer:
+            self.runtime.start_step(ctx.step, ctx.pool)
+            return
+        start = time.perf_counter()
         self.runtime.start_step(ctx.step, ctx.pool)
+        self.tracer.emit_span(
+            "step_start", start, time.perf_counter() - start,
+            cat="barrier", step=ctx.step,
+        )
 
     def exchange(self, phase, ctx):
         # Exchanges happen inside the workers, sequenced by phase barriers.
@@ -127,7 +165,18 @@ class DistBackend(ExecutionBackend):
 
     def phase_reduce(self, ctx) -> None:
         """Step-end barrier, then the coordinator-side reduction."""
-        self.runtime.finish_step()
+        if self.tracer:
+            start = time.perf_counter()
+            self.runtime.finish_step()
+            # Unlike the workers' step_end (between phases), this wait
+            # runs inside the coordinator's reduce phase span; in_phase
+            # tells the report to subtract it from busy time.
+            self.tracer.emit_span(
+                "step_end", start, time.perf_counter() - start,
+                cat="barrier", step=ctx.step, in_phase=True,
+            )
+        else:
+            self.runtime.finish_step()
         res = self.runtime.ctrl.results
         ctx.extravasations = int(res[:, RES_EXTRAVASATIONS].sum())
         ctx.moves = int(res[:, RES_MOVES].sum())
@@ -140,6 +189,26 @@ class DistBackend(ExecutionBackend):
             for name in _STATS_FIELDS:
                 getattr(sb, name)[dst] = getattr(block, name)[src]
         ctx.reduced = stats_vector(sb)
+        if self.tracer:
+            self._drain_telemetry(ctx.step)
+
+    def _drain_telemetry(self, step: int) -> None:
+        """Forward this step's worker events; sample liveness gauges.
+
+        Runs in the quiescent window :meth:`phase_reduce` opened — every
+        worker is parked at the next step-start barrier, so the ring
+        count resets race with nothing.
+        """
+        for ev in self.runtime.drain_telemetry():
+            self.tracer.emit(ev)
+        now = time.monotonic()
+        for rank, age in enumerate(self.runtime.heartbeat_ages(now)):
+            self.tracer.emit(
+                Event(
+                    GAUGE, "heartbeat_age", now, value=age, cat="liveness",
+                    rank=rank, step=step,
+                )
+            )
 
     def step_record(self, ctx) -> dict:
         return {"active_per_rank": list(self._active_counts)}

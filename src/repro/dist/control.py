@@ -15,7 +15,11 @@ the workers use to run the versioned barrier protocol:
   heartbeat timestamp, the diagnostic surface a barrier timeout dumps;
 - ``results`` — per-rank per-step integer totals (extravasations, moves,
   binds, active voxels);
-- ``metrics_*`` — per-rank cumulative :class:`PhaseMetrics` counters.
+- ``metrics_*`` — per-rank cumulative :class:`PhaseMetrics` counters;
+- ``tel_*`` — per-rank fixed-record telemetry rings (phase/barrier spans
+  and counters encoded by :mod:`repro.telemetry.shmring`), present only
+  when the runtime was built with ``telemetry_capacity > 0``; the
+  coordinator drains them in the per-step quiescent window.
 
 The barrier is a *versioned arrival vector*: party ``i`` bumps its own
 epoch slot, then waits until every slot reaches that epoch.  Slots only
@@ -62,8 +66,17 @@ class WorkerFailedError(DistError):
     """A worker process exited while the coordinator was waiting on it."""
 
 
-def control_layout(nranks: int, nphases: int):
-    """Layout of the control segment (see module docstring)."""
+def control_layout(nranks: int, nphases: int, telemetry_capacity: int = 0):
+    """Layout of the control segment (see module docstring).
+
+    ``telemetry_capacity`` is the per-rank telemetry-ring record count;
+    0 (telemetry off) lays the rings out with zero rows so the layout —
+    and therefore the segment size both sides compute — stays in lock
+    step between coordinator and workers.
+    """
+    from repro.telemetry.shmring import RECORD_WIDTH
+
+    cap = int(telemetry_capacity)
     return [
         ("flags", (1,), np.dtype(np.int64)),
         ("command", (1,), np.dtype(np.int64)),
@@ -76,6 +89,9 @@ def control_layout(nranks: int, nphases: int):
         ("metrics_seconds", (nranks, nphases), np.dtype(np.float64)),
         ("metrics_calls", (nranks, nphases), np.dtype(np.int64)),
         ("metrics_skips", (nranks, nphases), np.dtype(np.int64)),
+        ("tel_data", (nranks, cap, RECORD_WIDTH), np.dtype(np.float64)),
+        ("tel_count", (nranks,), np.dtype(np.int64)),
+        ("tel_dropped", (nranks,), np.dtype(np.int64)),
     ]
 
 
@@ -98,6 +114,9 @@ class ControlBlock:
         self.metrics_seconds = a["metrics_seconds"]
         self.metrics_calls = a["metrics_calls"]
         self.metrics_skips = a["metrics_skips"]
+        self.tel_data = a["tel_data"]
+        self.tel_count = a["tel_count"]
+        self.tel_dropped = a["tel_dropped"]
 
     # -- abort flag ----------------------------------------------------------
 

@@ -44,6 +44,7 @@ class DistSimCov(EngineDriver):
         barrier_timeout: float = 60.0,
         start_method: str | None = None,
         fault: FaultSpec | None = None,
+        tracer=None,
     ):
         backend = DistBackend(
             params,
@@ -56,8 +57,9 @@ class DistSimCov(EngineDriver):
             barrier_timeout=barrier_timeout,
             start_method=start_method,
             fault=fault,
+            tracer=tracer,
         )
-        self._init_engine(backend)
+        self._init_engine(backend, tracer=tracer)
         self.nranks = nranks
         #: Coordinator-side shared-memory views of the per-rank blocks —
         #: checkpoint restore writes through these and the parked workers

@@ -44,8 +44,15 @@ from repro.dist.control import (
     control_layout,
 )
 from repro.dist.shm import ShmSegment, block_layout, make_segment_name
-from repro.dist.worker import FaultSpec, WorkerSpec, dist_schedule, worker_main
+from repro.dist.worker import (
+    FaultSpec,
+    WorkerSpec,
+    dist_schedule,
+    telemetry_name_table,
+    worker_main,
+)
 from repro.engine.metrics import PhaseMetrics
+from repro.telemetry.shmring import RingCodec, drain_ring
 from repro.grid.decomposition import Decomposition
 from repro.grid.halo import HaloExchanger
 from repro.grid.spec import GridSpec
@@ -70,6 +77,7 @@ class DistRuntime:
         barrier_timeout: float = 60.0,
         start_method: str | None = None,
         fault: FaultSpec | None = None,
+        telemetry_capacity: int = 0,
     ):
         self.spec = spec
         self.decomp = decomp
@@ -82,6 +90,12 @@ class DistRuntime:
         self.start_method = start_method
         self.fault = fault
         self.phase_names = tuple(p.name for p in dist_schedule())
+        self.telemetry_capacity = int(telemetry_capacity)
+        self._codec = (
+            RingCodec(telemetry_name_table(self.phase_names))
+            if self.telemetry_capacity > 0
+            else None
+        )
         self._procs: list[mp.process.BaseProcess] = []
         self._closed = False
 
@@ -89,7 +103,9 @@ class DistRuntime:
         self._segments: list[ShmSegment] = []
         ctrl_seg = ShmSegment.create(
             make_segment_name(f"{run_id}_ctrl"),
-            control_layout(self.nranks, len(self.phase_names)),
+            control_layout(
+                self.nranks, len(self.phase_names), self.telemetry_capacity
+            ),
         )
         self._segments.append(ctrl_seg)
         self.ctrl = ControlBlock(ctrl_seg, self.nranks, self.phase_names)
@@ -139,6 +155,7 @@ class DistRuntime:
                 active_gating=self.active_gating,
                 barrier_timeout=self.barrier_timeout,
                 fault=self.fault,
+                telemetry_capacity=self.telemetry_capacity,
             )
             proc = ctx.Process(
                 target=worker_main,
@@ -234,6 +251,52 @@ class DistRuntime:
     def results_row(self, column: int) -> np.ndarray:
         """One column of the per-rank result table (copy)."""
         return self.ctrl.results[:, column].copy()
+
+    # -- telemetry -----------------------------------------------------------
+
+    def drain_telemetry(self):
+        """Decode and clear every rank's telemetry ring.
+
+        Only call in the per-step quiescent window — after
+        :meth:`finish_step` returns and before the next
+        :meth:`start_step` — when every worker is parked at the
+        step-start barrier and the count resets race with nothing.
+        Events come back sorted by timestamp (cross-rank comparable:
+        ``perf_counter`` is the system-wide monotonic clock).
+        """
+        if self._codec is None:
+            return []
+        events = []
+        for rank in range(self.nranks):
+            events.extend(
+                drain_ring(
+                    self.ctrl.tel_data[rank],
+                    self.ctrl.tel_count[rank : rank + 1],
+                    self._codec,
+                    rank,
+                )
+            )
+        events.sort(key=lambda e: e.ts)
+        return events
+
+    def telemetry_dropped(self) -> list[int]:
+        """Per-rank count of ring records lost to overflow (0 = none)."""
+        return [int(n) for n in self.ctrl.tel_dropped]
+
+    def heartbeat_ages(self, now: float) -> list[float]:
+        """Seconds since each rank's last heartbeat (liveness gauge)."""
+        return [
+            max(0.0, now - float(self.ctrl.heartbeat[r]))
+            for r in range(self.nranks)
+        ]
+
+    def segment_sizes(self) -> dict[str, int]:
+        """Bytes of every live shared-memory segment, keyed by role."""
+        sizes = {}
+        for i, seg in enumerate(self._segments):
+            role = "control" if i == 0 else f"rank{i - 1}"
+            sizes[role] = int(seg.shm.size)
+        return sizes
 
     # -- teardown ------------------------------------------------------------
 

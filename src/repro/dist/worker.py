@@ -69,6 +69,8 @@ from repro.grid.box import Box
 from repro.grid.halo import MergeMode, RankPullPlan
 from repro.grid.spec import GridSpec
 from repro.rng.streams import VoxelRNG
+from repro.telemetry.shmring import RingCodec, ShmRingSink
+from repro.telemetry.tracer import NULL_TRACER, Tracer
 
 #: Start-of-step ghost refresh: activity-gate + bind-stencil inputs (the
 #: PGAS open wave).  ``epi_state`` is not mutated again before ``intents``
@@ -118,6 +120,23 @@ def dist_schedule() -> tuple[Phase, ...]:
     )
 
 
+def telemetry_name_table(phase_names) -> tuple[str, ...]:
+    """The shared ``"cat:name"`` interning table for the telemetry rings.
+
+    Both the coordinator and every worker derive this tuple from the
+    phase-name list they already agree on, so ring records can carry a
+    small integer instead of a string (see
+    :mod:`repro.telemetry.shmring`).  Order is the id assignment — append
+    only.
+    """
+    names = [f"phase:{n}" for n in phase_names]
+    names += [f"barrier:{n}" for n in phase_names]
+    names += ["barrier:step_start", "barrier:step_end"]
+    names += ["comm:halo_bytes", "counter:bids_won", "counter:bids_lost"]
+    names += ["gating:active_voxels", "step:step"]
+    return tuple(names)
+
+
 @dataclass(frozen=True)
 class FaultSpec:
     """Fault injection for robustness tests: at the start of ``phase`` in
@@ -149,6 +168,8 @@ class WorkerSpec:
     active_gating: bool = True
     barrier_timeout: float = 60.0
     fault: FaultSpec | None = None
+    #: Per-rank telemetry-ring record capacity; 0 = tracing off.
+    telemetry_capacity: int = 0
 
 
 def worker_main(spec: WorkerSpec) -> None:
@@ -196,10 +217,32 @@ class _RankWorker:
         # Attach the control segment and the data segments of self + every
         # halo neighbor; build zero-copy views.
         ctrl_seg = ShmSegment.attach(
-            spec.ctrl_name, control_layout(spec.nranks, len(spec.phase_names))
+            spec.ctrl_name,
+            control_layout(
+                spec.nranks, len(spec.phase_names), spec.telemetry_capacity
+            ),
         )
         self._segments.append(ctrl_seg)
         self.ctrl = ControlBlock(ctrl_seg, spec.nranks, spec.phase_names)
+        if spec.telemetry_capacity > 0:
+            codec = RingCodec(telemetry_name_table(spec.phase_names))
+            self.tracer = Tracer(
+                rank=self.rank,
+                backend="dist",
+                sinks=[
+                    ShmRingSink(
+                        self.ctrl.tel_data[self.rank],
+                        self.ctrl.tel_count[self.rank : self.rank + 1],
+                        self.ctrl.tel_dropped[self.rank : self.rank + 1],
+                        codec,
+                    )
+                ],
+            )
+        else:
+            self.tracer = NULL_TRACER
+        #: Step currently executing (stamped on barrier/comm events
+        #: emitted from helpers that don't receive the step).
+        self._step = 0
         self.arrays: dict[int, dict[str, np.ndarray]] = {}
         for r in {self.rank, *self.plan.neighbor_ranks}:
             shape = tuple(s + 2 for s in boxes[r].shape)
@@ -251,13 +294,33 @@ class _RankWorker:
             int(self.ctrl.status[self.rank, 0]),
             int(self.ctrl.status[self.rank, 1]),
         )
+        pending_end = None  # (start, dur, step) of the last step-end wait
         while True:
+            t0 = perf_counter()
             self.step_bar.wait(self.timeout, heartbeat=hb)
+            t1 = perf_counter()
             step = int(self.ctrl.command[CMD_STEP])
             if step == SHUTDOWN_STEP:
                 return
+            if self.tracer:
+                # Ring-write discipline: the coordinator drains the rings
+                # between the step-end barrier and the next step-start
+                # release, so nothing may be written in that window — the
+                # step-end wait span is therefore emitted one step late,
+                # here, right after the start barrier proves the drain is
+                # over.
+                if pending_end is not None:
+                    self.tracer.emit_span(
+                        "step_end", pending_end[0], pending_end[1],
+                        cat="barrier", step=pending_end[2],
+                    )
+                self.tracer.emit_span(
+                    "step_start", t0, t1 - t0, cat="barrier", step=step
+                )
             self._run_step(step, float(self.ctrl.pool[0]))
+            t2 = perf_counter()
             self.step_bar.wait(self.timeout, heartbeat=hb)
+            pending_end = (t2, perf_counter() - t2, step)
 
     def close(self) -> None:
         for seg in self._segments:
@@ -274,13 +337,25 @@ class _RankWorker:
             self.params, self.rng, step, pool
         )
         self._extr = self._moves = self._binds = 0
+        self._step = step
+        step_start = perf_counter()
         for index, phase in enumerate(self.schedule):
             self.ctrl.set_status(self.rank, step, index)
             self._maybe_fault(step, phase.name)
             start = perf_counter()
             ran = self._execute(phase, step, attempts)
-            self.metrics.record(
-                phase.name, perf_counter() - start, skipped=ran is False
+            elapsed = perf_counter() - start
+            skipped = ran is False
+            self.metrics.record(phase.name, elapsed, skipped=skipped)
+            if self.tracer:
+                self.tracer.emit_span(
+                    phase.name, start, elapsed, cat="phase", step=step,
+                    skipped=skipped,
+                )
+        if self.tracer:
+            self.tracer.emit_span(
+                "step", step_start, perf_counter() - step_start,
+                cat="step", step=step,
             )
         self._publish(step)
 
@@ -322,10 +397,22 @@ class _RankWorker:
 
     # -- exchange phases -----------------------------------------------------
 
+    def _phase_barrier(self, name: str) -> None:
+        """One phase-barrier wait, timed as a ``cat="barrier"`` span."""
+        if not self.tracer:
+            self.phase_bar.wait(self.timeout)
+            return
+        start = perf_counter()
+        self.phase_bar.wait(self.timeout)
+        self.tracer.emit_span(
+            name, start, perf_counter() - start, cat="barrier",
+            step=self._step,
+        )
+
     def _exchange(self, phase: Phase):
         if not phase.exchanges:
             return False
-        barrier = lambda: self.phase_bar.wait(self.timeout)
+        barrier = lambda: self._phase_barrier(phase.name)
         if phase.name == "open_exchange":
             # Peers finished their previous step (step barrier); copy, then
             # fence so nobody mutates state another rank is still reading.
@@ -364,12 +451,20 @@ class _RankWorker:
     def _pull_replace(self, phase: Phase, field_sets) -> None:
         mine = self.arrays[self.rank]
         keys = [k for fs in field_sets for k in self._keys(fs)]
+        nbytes = 0
         for route in self.plan.replace:
             src = self.arrays[route.src]
             ssl = self.plan.src_slices(route)
             dsl = self.plan.dst_slices(route)
             for key in keys:
-                mine[key][dsl] = src[key][ssl]
+                strip = src[key][ssl]
+                mine[key][dsl] = strip
+                nbytes += strip.nbytes
+        if self.tracer and nbytes:
+            self.tracer.counter(
+                "halo_bytes", nbytes, cat="comm", step=self._step,
+                phase=phase.name,
+            )
 
     def _snapshot_max(self, phase: Phase):
         snaps = []
@@ -389,15 +484,31 @@ class _RankWorker:
 
     def _apply_max(self, snaps) -> None:
         mine = self.arrays[self.rank]
+        trace = bool(self.tracer)
+        won = lost = 0
         for key, dsl, payload in snaps:
             view = mine[key][dsl]
+            if trace:
+                # A conflict is a boundary slot both sides bid on; this
+                # rank loses where the incoming bid beats the local one.
+                contested = (payload > 0) & (view > 0)
+                lost_here = int((contested & (payload > view)).sum())
+                lost += lost_here
+                won += int(contested.sum()) - lost_here
             np.maximum(view, payload, out=view)
+        if trace and (won or lost):
+            self.tracer.counter("bids_won", won, step=self._step)
+            self.tracer.counter("bids_lost", lost, step=self._step)
 
     # -- kernel phases (mirror the PGAS backend's per-rank bodies) -----------
 
     def phase_age_extravasate(self, step: int, attempts):
         self.gate.refresh()
         self._active = self.gate.count
+        if self.tracer:
+            self.tracer.gauge(
+                "active_voxels", self._active, cat="gating", step=step
+            )
         region = self.gate.region()
         if region is None:
             return False

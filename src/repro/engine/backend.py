@@ -23,6 +23,7 @@ from repro.core.state import VoxelBlock
 from repro.engine.phases import Phase, PhaseKind
 from repro.grid.spec import GridSpec
 from repro.rng.streams import VoxelRNG
+from repro.telemetry.tracer import NULL_TRACER
 
 
 class ExecutionBackend(abc.ABC):
@@ -30,6 +31,12 @@ class ExecutionBackend(abc.ABC):
 
     #: Short identifier used in logs/records.
     name: str = "backend"
+
+    #: Telemetry spigot; the engine installs its tracer here when tracing
+    #: is on, so backends can emit gating/comm counters and sub-op spans.
+    #: The class default is the shared no-op tracer — ``if self.tracer:``
+    #: is the whole cost when telemetry is off.
+    tracer = NULL_TRACER
 
     params: SimCovParams
     rng: VoxelRNG

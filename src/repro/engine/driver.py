@@ -30,9 +30,10 @@ class EngineDriver:
         self,
         backend: ExecutionBackend,
         schedule: tuple[Phase, ...] | None = None,
+        tracer=None,
     ) -> None:
         self.backend = backend
-        self.engine = StepEngine(backend, schedule)
+        self.engine = StepEngine(backend, schedule, tracer=tracer)
         self.params = backend.params
         self.rng = backend.rng
         self.spec = backend.spec
@@ -81,6 +82,11 @@ class EngineDriver:
     def schedule(self) -> tuple[Phase, ...]:
         """The declarative phase schedule this driver executes."""
         return self.engine.schedule
+
+    @property
+    def tracer(self):
+        """The engine's telemetry tracer (the no-op tracer by default)."""
+        return self.engine.tracer
 
     # -- inspection ----------------------------------------------------------
 

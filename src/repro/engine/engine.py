@@ -23,6 +23,8 @@ from repro.core.stats import StepStats, TimeSeries
 from repro.engine.backend import ExecutionBackend
 from repro.engine.metrics import PhaseMetrics
 from repro.engine.phases import Phase, validate_schedule
+from repro.telemetry.sinks import PhaseMetricsSink
+from repro.telemetry.tracer import NULL_TRACER
 
 
 @dataclass
@@ -54,6 +56,7 @@ class StepEngine:
         self,
         backend: ExecutionBackend,
         schedule: tuple[Phase, ...] | None = None,
+        tracer=None,
     ):
         self.backend = backend
         self.params = backend.params
@@ -62,6 +65,19 @@ class StepEngine:
         validate_schedule(self.schedule)
         #: Cumulative per-phase wall-time and invocation counters.
         self.metrics = PhaseMetrics()
+        #: Structured-telemetry spigot; the no-op tracer unless a caller
+        #: installs a real one.  With tracing on, phase timings flow
+        #: through the tracer and ``metrics`` becomes a sink view of the
+        #: same span stream; the backend sees the tracer too, for
+        #: gating/comm counters.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        if self.tracer.enabled:
+            # Filter by the tracer's own rank so merged-in events from
+            # other ranks (dist workers) don't double-count here.
+            self.tracer.add_sink(
+                PhaseMetricsSink(self.metrics, rank=self.tracer.rank)
+            )
+            backend.tracer = self.tracer
         self.pool = 0.0
         self.step_num = 0
         self.series = TimeSeries()
@@ -86,15 +102,30 @@ class StepEngine:
         ctx = StepContext(step=t, attempts=attempts, pool=self.pool)
         self.backend.begin_step(ctx)
 
+        tracer = self.tracer
+        step_start = perf_counter()
         phase_seconds: dict[str, float] = {}
         for phase in self.schedule:
             start = perf_counter()
             ran = self.backend.execute(phase, ctx)
             elapsed = perf_counter() - start
             skipped = ran is False
-            self.metrics.record(phase.name, elapsed, skipped=skipped)
+            if tracer.enabled:
+                # Metrics update via the PhaseMetricsSink attached at
+                # construction — one span stream feeds both surfaces.
+                tracer.emit_span(
+                    phase.name, start, elapsed, cat="phase", step=t,
+                    skipped=skipped,
+                )
+            else:
+                self.metrics.record(phase.name, elapsed, skipped=skipped)
             if not skipped:
                 phase_seconds[phase.name] = elapsed
+        if tracer.enabled:
+            tracer.emit_span(
+                "step", step_start, perf_counter() - step_start,
+                cat="step", step=t,
+            )
 
         if ctx.reduced is None:
             raise RuntimeError(

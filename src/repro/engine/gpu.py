@@ -239,10 +239,16 @@ class GpuClusterBackend(ExecutionBackend):
                 )
 
     def step_record(self, ctx) -> dict:
+        active = [
+            self._active_voxels(d) for d in range(self.cluster.num_devices)
+        ]
+        if self.tracer:
+            self.tracer.gauge(
+                "active_voxels", sum(active), cat="gating", step=ctx.step,
+                per_device=active, tiling=self.variant.use_tiling,
+            )
         return {
-            "active_per_device": [
-                self._active_voxels(d) for d in range(self.cluster.num_devices)
-            ],
+            "active_per_device": active,
             "ledger": self.cluster.ledger.minus(self._ledger_before),
         }
 

@@ -36,8 +36,11 @@ class PhaseMetrics:
 
         The aggregation primitive for multi-rank runs: each rank times its
         own phases, and the coordinator merges the per-rank objects into
-        one metrics surface (seconds and counts sum per phase).  Returns
-        ``self`` so merges chain.
+        one metrics surface (seconds and counts sum per phase).  After a
+        merge every counter dict is re-keyed in sorted phase order, so the
+        result is deterministic even when ranks saw different phase sets
+        in different orders (an idle rank skips phases a busy one ran).
+        Returns ``self`` so merges chain.
         """
         for name, sec in other.seconds.items():
             self.seconds[name] = self.seconds.get(name, 0.0) + float(sec)
@@ -45,6 +48,9 @@ class PhaseMetrics:
             self.calls[name] = self.calls.get(name, 0) + int(n)
         for name, n in other.skips.items():
             self.skips[name] = self.skips.get(name, 0) + int(n)
+        self.seconds = dict(sorted(self.seconds.items()))
+        self.calls = dict(sorted(self.calls.items()))
+        self.skips = dict(sorted(self.skips.items()))
         return self
 
     # -- inspection ---------------------------------------------------------
@@ -73,9 +79,13 @@ class PhaseMetrics:
     def format(self) -> str:
         """Aligned text table of :meth:`summary` (debugging helper)."""
         rows = self.summary()
-        lines = [f"{'phase':<24}{'calls':>7}{'skips':>7}{'seconds':>12}"]
+        lines = [
+            f"{'phase':<24}{'calls':>7}{'skips':>7}{'seconds':>12}"
+            f"{'mean_seconds':>14}"
+        ]
         for name, r in rows.items():
             lines.append(
-                f"{name:<24}{r['calls']:>7}{r['skips']:>7}{r['seconds']:>12.4f}"
+                f"{name:<24}{r['calls']:>7}{r['skips']:>7}"
+                f"{r['seconds']:>12.4f}{r['mean_seconds']:>14.6f}"
             )
         return "\n".join(lines)

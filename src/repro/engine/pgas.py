@@ -234,9 +234,22 @@ class PgasBackend(ExecutionBackend):
 
     def step_record(self, ctx) -> dict:
         rt = self.runtime
+        comm = rt.comm.delta(rt.comm.snapshot(), self._comm_before)
+        if self.tracer:
+            self.tracer.counter(
+                "halo_bytes", comm.get("rpc_bytes", 0), cat="comm",
+                step=ctx.step,
+            )
+            self.tracer.counter(
+                "rpcs", comm.get("rpcs", 0), cat="comm", step=ctx.step
+            )
+            self.tracer.gauge(
+                "active_voxels", sum(self._active_counts), cat="gating",
+                step=ctx.step, per_rank=list(self._active_counts),
+            )
         return {
             "active_per_rank": list(self._active_counts),
-            "comm": rt.comm.delta(rt.comm.snapshot(), self._comm_before),
+            "comm": comm,
         }
 
     # -- kernel phases -----------------------------------------------------------

@@ -154,6 +154,11 @@ class SequentialBackend(ExecutionBackend):
         self.gate.sweep()
 
     def step_record(self, ctx) -> dict:
+        if self.tracer:
+            self.tracer.gauge(
+                "active_voxels", self.gate.count, cat="gating",
+                step=ctx.step, gated=self.gate.enabled,
+            )
         return {"active_voxels": self.gate.count}
 
     # -- inspection ----------------------------------------------------------

@@ -8,6 +8,15 @@ backend (``sequential``, ``cpu``, ``gpu``, or the multi-process ``dist``
 runtime) and prints the final step's statistics, e.g.::
 
     simcov-repro run --backend dist --nranks 4 --dim 64 64 --steps 50
+
+``--trace PATH`` records structured telemetry (phase/barrier spans,
+comm counters, occupancy gauges) to PATH — ``--trace-format jsonl``
+(default) for the archival event log, ``chrome`` for a Perfetto /
+``chrome://tracing`` timeline with one lane per rank::
+
+    simcov-repro run --backend dist --nranks 4 --trace out.json \
+        --trace-format chrome
+    simcov-repro trace report out.json
 """
 
 from __future__ import annotations
@@ -148,6 +157,20 @@ def _cmd_report(outdir: str) -> None:
     print(f"report written to {path}")
 
 
+def _make_tracer(args: argparse.Namespace):
+    """A tracer writing to ``--trace`` (or None when tracing is off)."""
+    if not args.trace:
+        return None
+    from repro.telemetry import ChromeTraceSink, JsonlSink, Tracer
+
+    sink = (
+        ChromeTraceSink(args.trace)
+        if args.trace_format == "chrome"
+        else JsonlSink(args.trace)
+    )
+    return Tracer(backend=args.backend, sinks=[sink])
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.core.params import SimCovParams
 
@@ -156,22 +179,29 @@ def _cmd_run(args: argparse.Namespace) -> int:
         num_infections=args.num_infections,
         num_steps=args.steps,
     )
+    tracer = _make_tracer(args)
     if args.backend == "sequential":
         from repro.core.model import SequentialSimCov
 
-        sim = SequentialSimCov(params, seed=args.seed)
+        sim = SequentialSimCov(params, seed=args.seed, tracer=tracer)
     elif args.backend == "cpu":
         from repro.simcov_cpu.simulation import SimCovCPU
 
-        sim = SimCovCPU(params, nranks=args.nranks, seed=args.seed)
+        sim = SimCovCPU(
+            params, nranks=args.nranks, seed=args.seed, tracer=tracer
+        )
     elif args.backend == "gpu":
         from repro.simcov_gpu.simulation import SimCovGPU
 
-        sim = SimCovGPU(params, num_devices=args.nranks, seed=args.seed)
+        sim = SimCovGPU(
+            params, num_devices=args.nranks, seed=args.seed, tracer=tracer
+        )
     else:  # dist: real worker processes + shared-memory halo exchange
         from repro.dist import DistSimCov
 
-        sim = DistSimCov(params, nranks=args.nranks, seed=args.seed)
+        sim = DistSimCov(
+            params, nranks=args.nranks, seed=args.seed, tracer=tracer
+        )
     try:
         sim.run(args.steps)
         for i in range(len(sim.series)):
@@ -185,6 +215,25 @@ def _cmd_run(args: argparse.Namespace) -> int:
     finally:
         if hasattr(sim, "close"):
             sim.close()
+        if tracer is not None:
+            tracer.close()
+            print(f"trace written to {args.trace} ({args.trace_format})")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """``simcov-repro trace report PATH`` — summarize a recorded trace."""
+    from repro.telemetry.report import format_report, load_events, summarize
+
+    usage = "usage: simcov-repro trace report PATH"
+    if len(args.extra) != 2 or args.extra[0] != "report":
+        print(usage, file=sys.stderr)
+        return 2
+    path = args.extra[1]
+    if not os.path.exists(path):
+        print(f"trace file not found: {path}", file=sys.stderr)
+        return 2
+    print(format_report(summarize(load_events(path))))
     return 0
 
 
@@ -207,8 +256,13 @@ def main(argv: list[str] | None = None) -> int:
         "or run a single simulation ('run').",
     )
     parser.add_argument(
-        "experiment", choices=sorted(COMMANDS) + ["all", "run"],
-        help="which table/figure to regenerate, or 'run' for one simulation",
+        "experiment", choices=sorted(COMMANDS) + ["all", "run", "trace"],
+        help="which table/figure to regenerate, 'run' for one simulation, "
+        "or 'trace report PATH' to summarize a recorded trace",
+    )
+    parser.add_argument(
+        "extra", nargs="*",
+        help="subcommand arguments (only 'trace' takes any)",
     )
     parser.add_argument(
         "--outdir", default="results", help="CSV output directory"
@@ -229,9 +283,20 @@ def main(argv: list[str] | None = None) -> int:
     run_group.add_argument("--steps", type=int, default=50)
     run_group.add_argument("--seed", type=int, default=0)
     run_group.add_argument("--num-infections", type=int, default=2)
+    run_group.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record structured telemetry to PATH (off by default)",
+    )
+    run_group.add_argument(
+        "--trace-format", choices=["jsonl", "chrome"], default="jsonl",
+        help="jsonl = archival event log; chrome = Perfetto timeline "
+        "with one lane per rank",
+    )
     args = parser.parse_args(argv)
     if args.experiment == "run":
         return _cmd_run(args)
+    if args.experiment == "trace":
+        return _cmd_trace(args)
     try:
         if args.experiment == "all":
             for name in ("table1", "fig4", "fig5", "table2",

@@ -24,7 +24,10 @@ GLYPHS = {
     EpiState.DEAD: "x",
 }
 
-LEGEND = ". healthy   i incubating   E expressing   a apoptotic   x dead   T T cell   (space) airway"
+LEGEND = (
+    ". healthy   i incubating   E expressing   a apoptotic   x dead"
+    "   T T cell   (space) airway"
+)
 
 
 def render_world(block: VoxelBlock, max_width: int = 96) -> str:

@@ -57,6 +57,7 @@ class SimCovCPU(EngineDriver):
         seed_gids: np.ndarray | None = None,
         structure_gids: np.ndarray | None = None,
         active_gating: bool = True,
+        tracer=None,
     ):
         # Deferred: repro.engine.pgas itself imports from this package.
         from repro.engine.pgas import PgasBackend
@@ -71,7 +72,7 @@ class SimCovCPU(EngineDriver):
             structure_gids=structure_gids,
             active_gating=active_gating,
         )
-        self._init_engine(backend)
+        self._init_engine(backend, tracer=tracer)
         self.decomp = backend.decomp
         self.runtime = backend.runtime
         self.exchanger = backend.exchanger

@@ -66,6 +66,7 @@ class SimCovGPU(EngineDriver):
         seed_gids: np.ndarray | None = None,
         structure_gids: np.ndarray | None = None,
         capacity_bytes: int | None = None,
+        tracer=None,
     ):
         # Deferred: repro.engine.gpu itself imports from this package.
         from repro.engine.gpu import GpuClusterBackend
@@ -83,7 +84,7 @@ class SimCovGPU(EngineDriver):
             structure_gids=structure_gids,
             capacity_bytes=capacity_bytes,
         )
-        self._init_engine(backend)
+        self._init_engine(backend, tracer=tracer)
         self.variant = backend.variant
         self.decomp = backend.decomp
         self.cluster = backend.cluster

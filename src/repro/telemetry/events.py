@@ -1,0 +1,85 @@
+"""The telemetry event model.
+
+One flat :class:`Event` record represents everything the tracer can
+observe:
+
+- **spans** — a named interval ``[ts, ts + dur]`` (a step, a phase, a
+  barrier wait, a halo pull).  Spans nest by time containment; the
+  tracer additionally stamps ``parent``/``depth`` attributes for spans
+  opened through its context-manager API, so nesting survives sinks
+  that do not reconstruct containment.
+- **counters** — a monotonic per-step contribution (halo bytes pulled,
+  bid conflicts won).
+- **gauges** — an instantaneous sample (active-voxel occupancy,
+  heartbeat age, shm segment size).
+
+Timestamps are ``time.perf_counter()`` seconds.  On Linux that clock is
+``CLOCK_MONOTONIC``, which is system-wide, so events recorded by the
+distributed runtime's worker *processes* share a timeline with the
+coordinator's — the property the per-rank Chrome-trace lanes rely on.
+
+``cat`` buckets events for sinks and the report tool: the engine uses
+``"step"``/``"phase"``, the distributed runtime adds ``"barrier"`` and
+``"halo"``, backends use ``"gating"``/``"comm"``/``"shm"``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+SPAN = "span"
+COUNTER = "counter"
+GAUGE = "gauge"
+
+#: Sentinel for "no step context" (events outside the step loop).
+NO_STEP = -1
+
+
+@dataclass(slots=True)
+class Event:
+    """One telemetry record (see module docstring for the kinds)."""
+
+    kind: str
+    name: str
+    #: ``perf_counter`` seconds; span start or sample time.
+    ts: float
+    #: Span duration in seconds (0.0 for counters/gauges).
+    dur: float = 0.0
+    #: Counter/gauge value (0.0 for spans).
+    value: float = 0.0
+    cat: str = ""
+    rank: int = 0
+    step: int = NO_STEP
+    attrs: dict = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        """Plain-dict form (the JSONL wire format)."""
+        out = {
+            "kind": self.kind,
+            "name": self.name,
+            "ts": self.ts,
+            "cat": self.cat,
+            "rank": self.rank,
+            "step": self.step,
+        }
+        if self.kind == SPAN:
+            out["dur"] = self.dur
+        else:
+            out["value"] = self.value
+        if self.attrs:
+            out["attrs"] = self.attrs
+        return out
+
+    @classmethod
+    def from_json(cls, data: dict) -> "Event":
+        return cls(
+            kind=data["kind"],
+            name=data["name"],
+            ts=float(data["ts"]),
+            dur=float(data.get("dur", 0.0)),
+            value=float(data.get("value", 0.0)),
+            cat=data.get("cat", ""),
+            rank=int(data.get("rank", 0)),
+            step=int(data.get("step", NO_STEP)),
+            attrs=dict(data.get("attrs", {})),
+        )

@@ -1,0 +1,187 @@
+"""Trace summarizer behind ``simcov-repro trace report``.
+
+Reads a trace written by either sink format (JSONL or Chrome trace
+JSON — the format is sniffed, not flagged) and prints the three views
+the paper's performance story needs:
+
+- **top phases** — total/mean wall seconds per phase name, descending,
+  the Fig 4-style attribution table;
+- **barrier-wait histogram** — distribution of ``cat="barrier"`` span
+  durations, the dist runtime's synchronization cost at a glance;
+- **per-rank imbalance** — per-rank phase vs. barrier-wait seconds and
+  the max/mean busy ratio, the load-balance check behind the scaling
+  figures.  Busy subtracts only the *phase* barriers (which nest inside
+  exchange-phase spans, so their wait is part of phase time); the
+  ``step_start``/``step_end`` barriers sit outside every phase and only
+  count toward the rank's total barrier seconds.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.telemetry.events import COUNTER, GAUGE, SPAN, Event
+from repro.telemetry.sinks import read_jsonl
+
+
+def load_events(path) -> list[Event]:
+    """Load a trace file, auto-detecting JSONL vs Chrome-trace JSON.
+
+    Both formats start with ``{``, so the sniff is structural: a file
+    that parses as one JSON document carrying ``traceEvents`` is a
+    Chrome trace; anything else is treated as JSONL (one event per
+    line).
+    """
+    with open(path) as fh:
+        text = fh.read()
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError:
+        payload = None
+    if isinstance(payload, dict) and "traceEvents" in payload:
+        return _from_chrome(payload)
+    return read_jsonl(path)
+
+
+def _from_chrome(payload: dict) -> list[Event]:
+    events = []
+    for rec in payload.get("traceEvents", []):
+        ph = rec.get("ph")
+        args = rec.get("args", {})
+        if ph == "X":
+            attrs = {k: v for k, v in args.items() if k != "step"}
+            events.append(
+                Event(
+                    SPAN, rec["name"], rec["ts"] / 1e6,
+                    dur=rec.get("dur", 0.0) / 1e6,
+                    cat=rec.get("cat", ""), rank=int(rec.get("pid", 0)),
+                    step=int(args.get("step", -1)), attrs=attrs,
+                )
+            )
+        elif ph == "C":
+            value = args.get(rec["name"], 0.0)
+            kind = GAUGE if rec.get("cat") == "gauge" else COUNTER
+            events.append(
+                Event(
+                    kind, rec["name"], rec["ts"] / 1e6, value=float(value),
+                    cat=rec.get("cat", ""), rank=int(rec.get("pid", 0)),
+                )
+            )
+    return events
+
+
+def summarize(events: list[Event]) -> dict:
+    """Aggregate a trace into the report's three tables."""
+    phases: dict[str, dict] = {}
+    barrier_durs: list[float] = []
+    ranks: dict[int, dict] = {}
+    steps = set()
+    for e in events:
+        if e.step >= 0:
+            steps.add(e.step)
+        if e.kind != SPAN:
+            continue
+        per_rank = ranks.setdefault(
+            e.rank,
+            {
+                "phase_seconds": 0.0,
+                "barrier_seconds": 0.0,
+                "_in_phase_barrier": 0.0,
+            },
+        )
+        if e.cat == "phase":
+            row = phases.setdefault(
+                e.name, {"seconds": 0.0, "calls": 0, "skips": 0}
+            )
+            if e.attrs.get("skipped"):
+                row["skips"] += 1
+            else:
+                row["seconds"] += e.dur
+                row["calls"] += 1
+            per_rank["phase_seconds"] += e.dur
+        elif e.cat == "barrier":
+            barrier_durs.append(e.dur)
+            per_rank["barrier_seconds"] += e.dur
+            if (
+                e.name not in ("step_start", "step_end")
+                or e.attrs.get("in_phase")
+            ):
+                per_rank["_in_phase_barrier"] += e.dur
+    for row in phases.values():
+        row["mean_seconds"] = (
+            row["seconds"] / row["calls"] if row["calls"] else 0.0
+        )
+    busy = {
+        r: v["phase_seconds"] - v.pop("_in_phase_barrier")
+        for r, v in ranks.items()
+    }
+    # Imbalance covers compute lanes only — negative ranks are
+    # control-plane (the dist coordinator) and would skew the ratio.
+    workers = {r: b for r, b in busy.items() if r >= 0} or busy
+    imbalance = 0.0
+    if workers:
+        mean = sum(workers.values()) / len(workers)
+        if mean > 0:
+            imbalance = max(workers.values()) / mean
+    return {
+        "events": len(events),
+        "steps": len(steps),
+        "phases": dict(
+            sorted(phases.items(), key=lambda kv: -kv[1]["seconds"])
+        ),
+        "barrier_histogram": _histogram(barrier_durs),
+        "barrier_total_seconds": sum(barrier_durs),
+        "barrier_waits": len(barrier_durs),
+        "per_rank": {
+            r: {**ranks[r], "busy_seconds": busy[r]} for r in sorted(ranks)
+        },
+        "imbalance": imbalance,
+    }
+
+
+#: Barrier-wait histogram bucket edges (seconds).
+_BUCKETS = (1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0)
+
+
+def _histogram(durs: list[float]) -> list[dict]:
+    edges = (0.0, *_BUCKETS, float("inf"))
+    rows = []
+    for lo, hi in zip(edges[:-1], edges[1:]):
+        n = sum(1 for d in durs if lo <= d < hi)
+        if n or hi != float("inf"):
+            rows.append({"lo": lo, "hi": hi, "count": n})
+    return rows
+
+
+def format_report(summary: dict) -> str:
+    """Aligned text rendering of :func:`summarize`."""
+    lines = [
+        f"trace: {summary['events']} events over {summary['steps']} steps",
+        "",
+        "top phases",
+        f"  {'phase':<24}{'calls':>7}{'skips':>7}{'seconds':>12}{'mean_seconds':>14}",
+    ]
+    for name, row in summary["phases"].items():
+        lines.append(
+            f"  {name:<24}{row['calls']:>7}{row['skips']:>7}"
+            f"{row['seconds']:>12.4f}{row['mean_seconds']:>14.6f}"
+        )
+    lines += [
+        "",
+        f"barrier waits: {summary['barrier_waits']} totaling "
+        f"{summary['barrier_total_seconds']:.4f}s",
+    ]
+    for b in summary["barrier_histogram"]:
+        hi = "inf" if b["hi"] == float("inf") else f"{b['hi']:g}"
+        lines.append(f"  [{b['lo']:g}s, {hi}s): {b['count']}")
+    lines += ["", "per-rank"]
+    lines.append(
+        f"  {'rank':<6}{'phase_s':>10}{'barrier_s':>11}{'busy_s':>10}"
+    )
+    for rank, row in summary["per_rank"].items():
+        lines.append(
+            f"  {rank:<6}{row['phase_seconds']:>10.4f}"
+            f"{row['barrier_seconds']:>11.4f}{row['busy_seconds']:>10.4f}"
+        )
+    lines.append(f"  imbalance (max/mean busy): {summary['imbalance']:.3f}")
+    return "\n".join(lines)

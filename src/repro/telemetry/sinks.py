@@ -1,0 +1,175 @@
+"""Pluggable event sinks.
+
+A sink is any object with ``on_event(event)`` and (optionally)
+``close()``.  Shipped sinks:
+
+- :class:`RingBufferSink` — bounded in-memory buffer (tests, ad-hoc
+  inspection, the always-cheap default for live tracing);
+- :class:`JsonlSink` — streams one JSON object per event, the archival
+  format ``simcov-repro trace report`` reads back;
+- :class:`ChromeTraceSink` — writes the Chrome trace-event JSON format
+  (load in ``chrome://tracing`` or https://ui.perfetto.dev): spans
+  become complete (``"X"``) events on a ``pid=rank`` lane, counters and
+  gauges become counter (``"C"``) events, and metadata (``"M"``) events
+  name each rank's lane;
+- :class:`PhaseMetricsSink` — aggregates ``cat="phase"`` spans into a
+  :class:`~repro.engine.metrics.PhaseMetrics`-compatible object (it only
+  needs ``record(name, seconds, skipped=...)``), which is how the
+  engine's metrics surface becomes a view over the tracer.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+
+from repro.telemetry.events import SPAN, Event
+
+
+class RingBufferSink:
+    """Keep the last ``capacity`` events in memory."""
+
+    def __init__(self, capacity: int = 65536):
+        self.events: deque[Event] = deque(maxlen=int(capacity))
+
+    def on_event(self, event: Event) -> None:
+        self.events.append(event)
+
+    def close(self) -> None:
+        pass
+
+    # -- inspection ----------------------------------------------------------
+
+    def spans(self, cat: str | None = None) -> list[Event]:
+        return [
+            e for e in self.events
+            if e.kind == SPAN and (cat is None or e.cat == cat)
+        ]
+
+    def values(self, name: str) -> list[float]:
+        """Every counter/gauge sample recorded under ``name``."""
+        return [e.value for e in self.events
+                if e.kind != SPAN and e.name == name]
+
+
+class JsonlSink:
+    """One JSON object per line, streamed as events arrive."""
+
+    def __init__(self, path):
+        self.path = path
+        self._fh = open(path, "w")
+
+    def on_event(self, event: Event) -> None:
+        self._fh.write(json.dumps(event.to_json()) + "\n")
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+def read_jsonl(path) -> list[Event]:
+    """Load a :class:`JsonlSink` file back into events."""
+    events = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(Event.from_json(json.loads(line)))
+    return events
+
+
+class ChromeTraceSink:
+    """Buffer events; write Chrome trace-event JSON on close.
+
+    Each rank renders as one process lane (``pid = rank``), with spans on
+    ``tid`` 0 — Perfetto then shows the distributed runtime as stacked
+    per-rank timelines whose barrier-wait slices line up vertically.
+    """
+
+    def __init__(self, path):
+        self.path = path
+        self._events: list[Event] = []
+        self._closed = False
+
+    def on_event(self, event: Event) -> None:
+        self._events.append(event)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        with open(self.path, "w") as fh:
+            json.dump(self.render(self._events), fh)
+        self._events = []
+
+    @staticmethod
+    def render(events: list[Event]) -> dict:
+        """The trace-event payload for an event list (pure; testable)."""
+        base = min((e.ts for e in events), default=0.0)
+        out = []
+        ranks = sorted({e.rank for e in events})
+        for rank in ranks:
+            # Negative ranks are control-plane lanes (the dist runtime's
+            # coordinator traces as rank -1).
+            label = f"rank {rank}" if rank >= 0 else "coordinator"
+            out.append(
+                {
+                    "ph": "M", "name": "process_name", "pid": rank, "tid": 0,
+                    "args": {"name": label},
+                }
+            )
+        for e in events:
+            ts_us = (e.ts - base) * 1e6
+            if e.kind == SPAN:
+                rec = {
+                    "ph": "X",
+                    "name": e.name,
+                    "cat": e.cat or "span",
+                    "pid": e.rank,
+                    "tid": 0,
+                    "ts": ts_us,
+                    "dur": e.dur * 1e6,
+                }
+                args = {"step": e.step, **e.attrs}
+                rec["args"] = args
+            else:
+                rec = {
+                    "ph": "C",
+                    "name": e.name,
+                    "cat": e.cat or e.kind,
+                    "pid": e.rank,
+                    "tid": 0,
+                    "ts": ts_us,
+                    "args": {e.name: e.value},
+                }
+            out.append(rec)
+        return {"traceEvents": out, "displayTimeUnit": "ms"}
+
+
+class PhaseMetricsSink:
+    """Aggregate phase spans into a PhaseMetrics-shaped accumulator.
+
+    Duck-typed on ``record(name, seconds, skipped=...)`` so this module
+    needs no import from :mod:`repro.engine`.  ``rank`` (optional)
+    restricts aggregation to spans stamped with that rank — the engine
+    passes its tracer's own rank so merged-in events from *other* ranks
+    (the dist runtime's drained worker spans) do not double-count into
+    the coordinator's metrics.
+    """
+
+    def __init__(self, metrics, rank: int | None = None):
+        self.metrics = metrics
+        self.rank = rank
+
+    def on_event(self, event: Event) -> None:
+        if event.kind == SPAN and event.cat == "phase":
+            if self.rank is not None and event.rank != self.rank:
+                return
+            self.metrics.record(
+                event.name, event.dur,
+                skipped=bool(event.attrs.get("skipped", False)),
+            )
+
+    def close(self) -> None:
+        pass

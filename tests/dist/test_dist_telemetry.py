@@ -1,0 +1,112 @@
+"""Distributed telemetry: per-rank shm rings drained by the coordinator,
+barrier/halo visibility, and the ISSUE 4 acceptance test — golden traces
+stay bitwise identical with tracing enabled at nranks 2."""
+
+import numpy as np
+
+from repro.dist import DistSimCov
+from repro.telemetry import RingBufferSink, Tracer
+
+from tests.golden.test_golden_traces import (
+    assert_exact,
+    load_trace,
+    make_params,
+)
+
+NRANKS = 2
+
+
+def run_traced(config_name="trace_2d", **kwargs):
+    config, golden = load_trace(config_name)
+    ring = RingBufferSink()
+    tracer = Tracer(sinks=[ring])
+    with DistSimCov(
+        make_params(config), nranks=NRANKS, seed=config["seed"],
+        tracer=tracer, **kwargs,
+    ) as sim:
+        sim.run(config["steps"])
+        dropped = sim.backend.runtime.telemetry_dropped()
+        fields = {
+            name: sim.gather_field(name)
+            for name in ("epi_state", "virions", "chemokine", "tcell")
+        }
+    return config, golden, ring, dropped, fields, sim
+
+
+class TestDistGoldenWithTracing:
+    def test_golden_bitwise_identical_with_tracing(self):
+        config, golden, ring, dropped, fields, sim = run_traced()
+        assert_exact(sim.series, golden, f"trace_2d/dist-traced-{NRANKS}")
+        assert dropped == [0] * NRANKS
+        # And the full voxel state matches the untraced sequential run.
+        from repro.core.model import SequentialSimCov
+
+        ref = SequentialSimCov(make_params(config), seed=config["seed"])
+        ref.run(config["steps"])
+        for name, got in fields.items():
+            np.testing.assert_array_equal(
+                got, ref.gather_field(name), err_msg=name
+            )
+
+
+class TestDistEventStream:
+    def test_per_rank_spans_and_counters(self):
+        config, _, ring, dropped, _, _ = run_traced()
+        steps = config["steps"]
+        assert dropped == [0] * NRANKS
+
+        # Every worker lane carries its phase spans; the coordinator
+        # traces on the negative control-plane lane.
+        phase = ring.spans("phase")
+        worker_ranks = {e.rank for e in phase if e.rank >= 0}
+        assert worker_ranks == set(range(NRANKS))
+        assert {e.rank for e in phase if e.rank < 0} == {-1}
+        per_rank = {
+            r: [e for e in phase if e.rank == r] for r in range(NRANKS)
+        }
+        nphases = 12  # dist schedule length
+        for r, spans in per_rank.items():
+            assert len(spans) == steps * nphases, f"rank {r}"
+            assert all(e.attrs.get("backend", "dist") == "dist" for e in spans)
+
+        # Barrier waits: phase barriers + step barriers, per rank.
+        barriers = ring.spans("barrier")
+        names = {e.name for e in barriers}
+        assert {
+            "open_exchange", "boundary_exchange", "tiebreak_exchange",
+            "concentration_exchange", "step_start", "step_end",
+        } <= names
+        assert {e.rank for e in barriers} == {-1, *range(NRANKS)}
+
+        # Halo pulls are visible as byte counters on worker lanes.
+        halo = [e for e in ring.events if e.name == "halo_bytes"]
+        assert halo and all(e.rank >= 0 and e.value > 0 for e in halo)
+
+        # Liveness + shm gauges from the coordinator's drain path.
+        hb = [e for e in ring.events if e.name == "heartbeat_age"]
+        assert {e.rank for e in hb} == set(range(NRANKS))
+        shm = [e for e in ring.events if e.name == "shm_segment_bytes"]
+        roles = {e.attrs["role"] for e in shm}
+        assert roles == {"control", *(f"rank{r}" for r in range(NRANKS))}
+
+    def test_timestamps_cross_process_comparable(self):
+        """Worker spans interleave on one monotonic timeline: every
+        worker phase span falls inside the run's coordinator window."""
+        _, _, ring, _, _, _ = run_traced()
+        coord = [e for e in ring.spans() if e.rank == -1]
+        lo = min(e.ts for e in coord)
+        hi = max(e.ts + e.dur for e in coord)
+        for ev in ring.spans("phase"):
+            if ev.rank >= 0:
+                assert lo - 1.0 <= ev.ts <= hi + 1.0
+
+    def test_coordinator_metrics_not_double_counted(self):
+        """Drained worker phase spans must not leak into the coordinator
+        engine's own PhaseMetrics (the rank filter on the sink view)."""
+        config, _, _, _, _, sim = run_traced()
+        steps = config["steps"]
+        # The coordinator executes only the reduce phase per step.
+        assert sim.engine.metrics.calls["reduce"] == steps
+        assert all(
+            calls <= steps for calls in sim.engine.metrics.calls.values()
+        )

@@ -1,0 +1,43 @@
+"""Backend-specific telemetry: gating gauges and comm counters from the
+PGAS and GPU-cluster backends."""
+
+from repro.core.params import SimCovParams
+from repro.simcov_cpu.simulation import SimCovCPU
+from repro.simcov_gpu.simulation import SimCovGPU
+from repro.telemetry import RingBufferSink, Tracer
+
+
+def small_params(steps=6):
+    return SimCovParams.fast_test(dim=(32, 32), num_steps=steps)
+
+
+class TestPgasTelemetry:
+    def test_comm_counters_and_gating_gauge(self):
+        ring = RingBufferSink()
+        sim = SimCovCPU(
+            small_params(), nranks=4, seed=2, tracer=Tracer(sinks=[ring])
+        )
+        sim.run(6)
+        halo = [e for e in ring.events if e.name == "halo_bytes"]
+        rpcs = [e for e in ring.events if e.name == "rpcs"]
+        occ = [e for e in ring.events if e.name == "active_voxels"]
+        assert len(halo) == 6 and len(rpcs) == 6 and len(occ) == 6
+        assert all(e.cat == "comm" for e in halo + rpcs)
+        # The ghost refresh moves bytes every step.
+        assert sum(e.value for e in halo) > 0
+        # The per-rank occupancy rides along as a span attribute.
+        assert all(len(e.attrs["per_rank"]) == 4 for e in occ)
+
+
+class TestGpuTelemetry:
+    def test_gating_gauge_tags_tiling(self):
+        ring = RingBufferSink()
+        sim = SimCovGPU(
+            small_params(), num_devices=2, seed=2, tracer=Tracer(sinks=[ring])
+        )
+        sim.run(6)
+        occ = [e for e in ring.events if e.name == "active_voxels"]
+        assert len(occ) == 6
+        assert all(e.cat == "gating" for e in occ)
+        assert all("tiling" in e.attrs for e in occ)
+        assert all(len(e.attrs["per_device"]) == 2 for e in occ)

@@ -1,0 +1,97 @@
+"""Report/summarizer tests on synthetic event streams."""
+
+import pytest
+
+from repro.telemetry import Event, SPAN, format_report, summarize
+
+
+def phase(name, dur, rank=0, step=0, skipped=False):
+    attrs = {"skipped": True} if skipped else {}
+    return Event(SPAN, name, 0.0, dur=dur, cat="phase", rank=rank, step=step,
+                 attrs=attrs)
+
+
+def barrier(name, dur, rank=0, step=0, **attrs):
+    return Event(SPAN, name, 0.0, dur=dur, cat="barrier", rank=rank,
+                 step=step, attrs=attrs)
+
+
+class TestSummarize:
+    def test_phases_sorted_by_total_seconds(self):
+        s = summarize([
+            phase("cheap", 0.1),
+            phase("hot", 1.0),
+            phase("hot", 1.0),
+            phase("skippy", 0.0, skipped=True),
+        ])
+        assert list(s["phases"]) == ["hot", "cheap", "skippy"]
+        assert s["phases"]["hot"] == {
+            "seconds": pytest.approx(2.0),
+            "calls": 2,
+            "skips": 0,
+            "mean_seconds": pytest.approx(1.0),
+        }
+        assert s["phases"]["skippy"]["skips"] == 1
+
+    def test_barrier_histogram_buckets(self):
+        s = summarize([
+            barrier("open_exchange", 5e-6),
+            barrier("open_exchange", 5e-4),
+            barrier("step_start", 5e-2),
+        ])
+        counts = {
+            (row["lo"], row["hi"]): row["count"]
+            for row in s["barrier_histogram"]
+        }
+        assert counts[(0.0, 1e-5)] == 1
+        assert counts[(1e-4, 1e-3)] == 1
+        assert counts[(1e-2, 1e-1)] == 1
+        assert s["barrier_waits"] == 3
+        assert s["barrier_total_seconds"] == pytest.approx(5e-6 + 5e-4 + 5e-2)
+
+    def test_busy_subtracts_only_in_phase_barriers(self):
+        """Phase barriers nest inside exchange spans; step barriers don't."""
+        s = summarize([
+            phase("open_exchange", 0.5, rank=0),
+            barrier("open_exchange", 0.4, rank=0),   # inside the phase span
+            barrier("step_start", 10.0, rank=0),     # outside every phase
+        ])
+        row = s["per_rank"][0]
+        assert row["phase_seconds"] == pytest.approx(0.5)
+        assert row["barrier_seconds"] == pytest.approx(10.4)
+        assert row["busy_seconds"] == pytest.approx(0.1)
+
+    def test_coordinator_step_end_marked_in_phase(self):
+        """The dist coordinator's step_end wait nests inside its reduce
+        phase span, flagged via the in_phase attribute."""
+        s = summarize([
+            phase("reduce", 1.0, rank=-1),
+            barrier("step_end", 0.9, rank=-1, in_phase=True),
+        ])
+        assert s["per_rank"][-1]["busy_seconds"] == pytest.approx(0.1)
+
+    def test_imbalance_over_worker_lanes_only(self):
+        s = summarize([
+            phase("intents", 3.0, rank=0),
+            phase("intents", 1.0, rank=1),
+            phase("reduce", 100.0, rank=-1),  # control plane: excluded
+        ])
+        assert s["imbalance"] == pytest.approx(1.5)
+
+    def test_step_count(self):
+        s = summarize([phase("a", 0.1, step=t) for t in range(7)])
+        assert s["steps"] == 7
+
+
+class TestFormatReport:
+    def test_renders_all_sections(self):
+        text = format_report(summarize([
+            phase("diffuse", 0.5, rank=0, step=0),
+            barrier("open_exchange", 0.01, rank=0),
+        ]))
+        assert "top phases" in text
+        assert "mean_seconds" in text
+        assert "barrier waits: 1" in text
+        assert "per-rank" in text
+        assert "imbalance" in text
+        assert "diffuse" in text

@@ -1,0 +1,149 @@
+"""Tracer unit tests: span nesting/attributes, counters and gauges, the
+null tracer's short-circuit contract, and the PhaseMetricsSink view."""
+
+import pytest
+
+from repro.engine.metrics import PhaseMetrics
+from repro.telemetry import (
+    COUNTER,
+    GAUGE,
+    NULL_TRACER,
+    SPAN,
+    Event,
+    NullTracer,
+    PhaseMetricsSink,
+    RingBufferSink,
+    Tracer,
+)
+
+
+class TestSpans:
+    def test_nesting_stamps_parent_and_depth(self):
+        ring = RingBufferSink()
+        tracer = Tracer(sinks=[ring])
+        with tracer.span("outer"):
+            with tracer.span("middle"):
+                with tracer.span("inner"):
+                    pass
+        # Spans close innermost-first.
+        inner, middle, outer = ring.spans()
+        assert [e.name for e in (inner, middle, outer)] == [
+            "inner", "middle", "outer",
+        ]
+        assert outer.attrs["depth"] == 0 and "parent" not in outer.attrs
+        assert middle.attrs == {"parent": "outer", "depth": 1}
+        assert inner.attrs == {"parent": "middle", "depth": 2}
+
+    def test_span_times_its_body(self):
+        ring = RingBufferSink()
+        tracer = Tracer(sinks=[ring])
+        with tracer.span("work", cat="phase", step=3):
+            pass
+        (ev,) = ring.spans()
+        assert ev.kind == SPAN
+        assert ev.cat == "phase" and ev.step == 3
+        assert ev.dur >= 0.0 and ev.ts > 0.0
+
+    def test_emit_span_stamps_backend_and_rank(self):
+        ring = RingBufferSink()
+        tracer = Tracer(rank=5, backend="pgas", sinks=[ring])
+        tracer.emit_span("diffuse", 10.0, 0.25, cat="phase", step=7,
+                         skipped=False)
+        (ev,) = ring.spans()
+        assert ev.rank == 5
+        assert ev.ts == 10.0 and ev.dur == 0.25
+        assert ev.attrs["backend"] == "pgas"
+        assert ev.attrs["skipped"] is False
+
+    def test_emit_preserves_foreign_rank(self):
+        """The dist merge path: forwarded events keep the worker's rank."""
+        ring = RingBufferSink()
+        tracer = Tracer(rank=-1, sinks=[ring])
+        tracer.emit(Event(SPAN, "intents", 1.0, dur=0.1, rank=3))
+        assert ring.spans()[0].rank == 3
+
+
+class TestCountersAndGauges:
+    def test_counter_and_gauge_kinds(self):
+        ring = RingBufferSink()
+        tracer = Tracer(sinks=[ring])
+        tracer.counter("halo_bytes", 4096, cat="comm", step=2)
+        tracer.gauge("active_voxels", 123, cat="gating", step=2)
+        counter, gauge = list(ring.events)
+        assert counter.kind == COUNTER and counter.value == 4096.0
+        assert gauge.kind == GAUGE and gauge.value == 123.0
+        assert ring.values("halo_bytes") == [4096.0]
+        assert ring.values("active_voxels") == [123.0]
+
+
+class TestLifecycle:
+    def test_close_flushes_sinks_once(self):
+        class Closable:
+            closed = 0
+
+            def on_event(self, event):
+                pass
+
+            def close(self):
+                self.closed += 1
+
+        sink = Closable()
+        tracer = Tracer(sinks=[sink])
+        tracer.close()
+        tracer.close()
+        assert sink.closed == 1
+
+    def test_add_sink_chains(self):
+        ring = RingBufferSink()
+        tracer = Tracer().add_sink(ring)
+        tracer.counter("x", 1)
+        assert len(ring.events) == 1
+
+
+class TestNullTracer:
+    def test_is_falsy_and_enabled_false(self):
+        assert not NULL_TRACER
+        assert NULL_TRACER.enabled is False
+        assert bool(Tracer()) is True and Tracer().enabled is True
+
+    def test_all_emissions_are_noops(self):
+        tracer = NullTracer()
+        with tracer.span("s"):
+            pass
+        tracer.emit_span("s", 0.0, 1.0)
+        tracer.counter("c", 1)
+        tracer.gauge("g", 1)
+        tracer.emit(Event(SPAN, "s", 0.0))
+        tracer.close()
+        assert tracer.sinks == ()
+
+    def test_add_sink_raises(self):
+        with pytest.raises(RuntimeError):
+            NULL_TRACER.add_sink(RingBufferSink())
+
+
+class TestPhaseMetricsSink:
+    def test_aggregates_phase_spans(self):
+        metrics = PhaseMetrics()
+        sink = PhaseMetricsSink(metrics)
+        sink.on_event(Event(SPAN, "diffuse", 0.0, dur=0.5, cat="phase"))
+        sink.on_event(Event(SPAN, "diffuse", 1.0, dur=0.25, cat="phase"))
+        sink.on_event(
+            Event(SPAN, "tile_sweep", 2.0, cat="phase",
+                  attrs={"skipped": True})
+        )
+        # Non-phase spans and counters are ignored.
+        sink.on_event(Event(SPAN, "step", 0.0, dur=9.0, cat="step"))
+        sink.on_event(Event(COUNTER, "diffuse", 0.0, value=1.0))
+        assert metrics.seconds["diffuse"] == pytest.approx(0.75)
+        assert metrics.calls["diffuse"] == 2
+        assert metrics.skips["tile_sweep"] == 1
+
+    def test_rank_filter_drops_foreign_ranks(self):
+        """Coordinator metrics must not double-count drained worker spans."""
+        metrics = PhaseMetrics()
+        sink = PhaseMetricsSink(metrics, rank=-1)
+        sink.on_event(Event(SPAN, "reduce", 0.0, dur=1.0, cat="phase", rank=-1))
+        sink.on_event(Event(SPAN, "reduce", 0.0, dur=9.0, cat="phase", rank=0))
+        assert metrics.seconds["reduce"] == pytest.approx(1.0)
+        assert metrics.calls["reduce"] == 1
