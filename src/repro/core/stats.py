@@ -113,6 +113,13 @@ class TimeSeries:
     def append(self, stats: StepStats) -> None:
         self._stats.append(stats)
 
+    def truncate(self, length: int) -> None:
+        """Drop every entry at index >= ``length`` (recovery rollback:
+        replayed steps re-append bitwise-identical stats)."""
+        if length < 0:
+            raise ValueError("length must be >= 0")
+        del self._stats[length:]
+
     def __len__(self) -> int:
         return len(self._stats)
 

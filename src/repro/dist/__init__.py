@@ -5,6 +5,11 @@ Runs StepEngine ranks as OS processes with every rank's field arrays in
 zero-copy reads of neighbor blocks, coordinated by a versioned barrier
 protocol.  Bitwise identical to the sequential reference for any rank
 count (tests/dist/test_dist_golden.py).
+
+:mod:`repro.dist.resilient` adds the production fault-tolerance layer:
+:class:`ResilientDistSimCov` supervises the runtime with shadow
+checkpoints, bounded automatic restart (optionally shrinking to fewer
+ranks) and bitwise-exact replay (tests/dist/test_resilient.py).
 """
 
 from repro.dist.backend import DistBackend
@@ -15,8 +20,16 @@ from repro.dist.control import (
     WorkerFailedError,
 )
 from repro.dist.driver import DistSimCov
+from repro.dist.resilient import (
+    Incident,
+    ResilientDistSimCov,
+    RestartPolicy,
+    RestartsExhaustedError,
+    format_incident_log,
+    write_incident_log,
+)
 from repro.dist.runtime import DistRuntime
-from repro.dist.worker import FaultSpec, WorkerSpec, dist_schedule
+from repro.dist.worker import FAULT_MODES, FaultSpec, WorkerSpec, dist_schedule
 
 __all__ = [
     "BarrierTimeoutError",
@@ -25,8 +38,15 @@ __all__ = [
     "DistError",
     "DistRuntime",
     "DistSimCov",
+    "FAULT_MODES",
     "FaultSpec",
+    "Incident",
+    "ResilientDistSimCov",
+    "RestartPolicy",
+    "RestartsExhaustedError",
     "WorkerSpec",
     "WorkerFailedError",
     "dist_schedule",
+    "format_incident_log",
+    "write_incident_log",
 ]

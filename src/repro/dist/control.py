@@ -129,10 +129,13 @@ class ControlBlock:
 
     # -- per-rank status -----------------------------------------------------
 
-    def set_status(self, rank: int, step: int, phase: int) -> None:
+    def set_status(
+        self, rank: int, step: int, phase: int, heartbeat: bool = True
+    ) -> None:
         self.status[rank, STATUS_STEP] = step
         self.status[rank, STATUS_PHASE] = phase
-        self.heartbeat[rank] = time.monotonic()
+        if heartbeat:  # a frozen heartbeat (fault injection) stays stale
+            self.heartbeat[rank] = time.monotonic()
 
     def phase_name(self, index: int) -> str:
         if 0 <= index < len(self.phase_names):

@@ -77,6 +77,12 @@ class DistSimCov(EngineDriver):
 
     # -- teardown ------------------------------------------------------------
 
+    def abort(self) -> None:
+        """Raise the runtime's abort flag: every worker parked at a
+        barrier unblocks and exits instead of waiting out its timeout.
+        The CLI's SIGINT/SIGTERM handlers call this before teardown."""
+        self.backend.runtime.abort()
+
     def close(self) -> None:
         self.backend.close()
 

@@ -1,0 +1,418 @@
+"""Supervised restart for the distributed runtime.
+
+:class:`ResilientDistSimCov` wraps :class:`~repro.dist.driver.DistSimCov`
+with the fault-tolerance model production multi-hour runs need
+(DESIGN.md §4c):
+
+- **shadow checkpoints** — every K steps, in the per-step quiescent
+  window (all workers parked at the step-start barrier), the supervisor
+  gathers the interior of every checkpoint field through the
+  coordinator's shared-memory views into an in-memory snapshot
+  (:func:`repro.io.checkpoint.snapshot_state`, near-memcpy cost), and
+  optionally mirrors it to a rotated on-disk checkpoint directory;
+- **automatic recovery** — a worker death
+  (:class:`~repro.dist.control.WorkerFailedError`) or barrier timeout
+  (:class:`~repro.dist.control.BarrierTimeoutError`) aborts and tears
+  down the wrecked runtime (processes joined, every ``/dev/shm`` segment
+  released), respawns a fresh one under a bounded-restart policy
+  (max retries, exponential backoff, per-incident diagnostics), restores
+  the last shadow snapshot, and replays forward — and because the
+  checkpoint is decomposition-independent and randomness is a pure
+  function of ``(seed, step, voxel)``, the recovered time series is
+  **bitwise identical** to a fault-free run;
+- **graceful degradation** — under the ``shrink`` policy each recovery
+  re-decomposes onto one fewer rank (an OOM-shaped repeatedly-failing
+  rank stops being fatal), which the implementation-independent
+  checkpoint makes exact as well.
+
+Recovery telemetry flows through :mod:`repro.telemetry` on the
+coordinator lane: ``restarts`` / ``steps_replayed`` counters and a
+``recovery`` span per incident, all ``cat="resilience"``, which
+``simcov-repro trace report`` renders as an incident table.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass
+from time import perf_counter
+
+import numpy as np
+
+from repro.core.params import SimCovParams
+from repro.core.stats import StepStats, TimeSeries
+from repro.dist.control import BarrierTimeoutError, DistError, WorkerFailedError
+from repro.dist.driver import DistSimCov
+from repro.dist.worker import FaultSpec
+from repro.grid.decomposition import DecompositionKind
+from repro.io.checkpoint import (
+    auto_checkpoint_path,
+    restore_state,
+    rotate_checkpoints,
+    save_checkpoint,
+    snapshot_state,
+)
+
+#: Failures the supervisor recovers from.  Anything else (model bugs,
+#: checkpoint corruption, KeyboardInterrupt) propagates untouched.
+RECOVERABLE_ERRORS = (WorkerFailedError, BarrierTimeoutError)
+
+
+class RestartsExhaustedError(DistError):
+    """The bounded-restart budget ran out; carries the incident log."""
+
+    def __init__(self, message: str, incidents: tuple["Incident", ...]):
+        super().__init__(message)
+        self.incidents = incidents
+
+
+@dataclass(frozen=True)
+class RestartPolicy:
+    """Bounded-restart policy applied on every recoverable failure."""
+
+    #: Recovery attempts before giving up with RestartsExhaustedError.
+    max_restarts: int = 3
+    #: Base backoff seconds before respawning (0 = immediate); incident
+    #: ``i`` sleeps ``backoff * backoff_factor ** (i - 1)``.
+    backoff: float = 0.0
+    backoff_factor: float = 2.0
+    #: ``"restart"`` keeps the rank count; ``"shrink"`` re-decomposes
+    #: onto one fewer rank per incident (never below ``min_ranks``).
+    on_failure: str = "restart"
+    min_ranks: int = 1
+
+    def __post_init__(self):
+        if self.on_failure not in ("restart", "shrink"):
+            raise ValueError(
+                f"on_failure must be 'restart' or 'shrink', "
+                f"got {self.on_failure!r}"
+            )
+        if self.max_restarts < 0:
+            raise ValueError("max_restarts must be >= 0")
+        if self.min_ranks < 1:
+            raise ValueError("min_ranks must be >= 1")
+
+    def backoff_seconds(self, incident_index: int) -> float:
+        """Sleep before recovery ``incident_index`` (1-based)."""
+        if self.backoff <= 0:
+            return 0.0
+        return self.backoff * self.backoff_factor ** (incident_index - 1)
+
+
+@dataclass(frozen=True)
+class Incident:
+    """Diagnostics of one recovered (or fatal) failure."""
+
+    #: 1-based incident number.
+    index: int
+    #: Step being attempted when the failure surfaced.
+    step: int
+    #: Exception class name (WorkerFailedError / BarrierTimeoutError).
+    error_type: str
+    #: First line of the failure diagnostic.
+    message: str
+    #: Rank counts before/after recovery (differ under shrink).
+    nranks_before: int
+    nranks_after: int
+    #: Step of the shadow snapshot the run was rolled back to.
+    restored_step: int
+    #: Steps re-executed to get back to the failure point.
+    steps_replayed: int
+    #: Wall seconds spent tearing down, respawning and restoring.
+    recovery_seconds: float
+
+    def describe(self) -> str:
+        action = (
+            f"restarted on {self.nranks_after} rank"
+            f"{'s' if self.nranks_after != 1 else ''}"
+        )
+        if self.nranks_after != self.nranks_before:
+            action = (
+                f"shrunk {self.nranks_before} -> {self.nranks_after} ranks"
+            )
+        return (
+            f"incident {self.index}: {self.error_type} at step {self.step} "
+            f"-> {action}, rolled back to step {self.restored_step} "
+            f"(replaying {self.steps_replayed} steps, "
+            f"{self.recovery_seconds:.2f}s recovery): {self.message}"
+        )
+
+
+def format_incident_log(incidents) -> str:
+    """Human-readable incident log (one line per incident)."""
+    if not incidents:
+        return "no incidents"
+    return "\n".join(i.describe() for i in incidents)
+
+
+def write_incident_log(path: str, incidents) -> None:
+    """Dump the incident log as JSONL (CI artifact / postmortems)."""
+    with open(path, "w") as fh:
+        for incident in incidents:
+            fh.write(json.dumps(asdict(incident)) + "\n")
+
+
+class ResilientDistSimCov:
+    """A supervised :class:`DistSimCov` with checkpoint-based recovery.
+
+    Mirrors the driver API (``step``/``run``/``series``/``gather_field``/
+    ``pool``/``step_num``, context manager) and adds the supervisor
+    surface: ``incidents``, ``restarts``, ``policy``, ``abort()``.
+
+    Parameters
+    ----------
+    params, nranks, seed, seed_gids, decomposition, active_gating,
+    barrier_timeout, start_method, tracer:
+        As for :class:`DistSimCov`; ``nranks`` is the *initial* rank
+        count (shrink recovery may lower it, see ``policy``).
+    checkpoint_every:
+        Steps between shadow snapshots.  The supervisor also snapshots
+        the seeded step-0 state, so recovery is possible before the
+        first periodic checkpoint.
+    checkpoint_dir:
+        When set, every shadow snapshot is also written to
+        ``<dir>/ckpt_step<NNNNNNNN>.npz`` (atomic + CRC-checked) with
+        keep-last-``keep_checkpoints`` rotation.
+    policy:
+        The :class:`RestartPolicy` (default: 3 restarts, no backoff,
+        same-rank-count restart).
+    fault:
+        Optional :class:`~repro.dist.worker.FaultSpec` for recovery
+        tests.  Its ``repeat`` field is honored here: the fault is
+        re-injected into respawned runtimes until it has fired in
+        ``repeat`` incarnations.
+    """
+
+    def __init__(
+        self,
+        params: SimCovParams,
+        nranks: int,
+        seed: int = 0,
+        seed_gids: np.ndarray | None = None,
+        structure_gids: np.ndarray | None = None,
+        decomposition: DecompositionKind = DecompositionKind.BLOCK,
+        active_gating: bool = True,
+        barrier_timeout: float = 60.0,
+        start_method: str | None = None,
+        fault: FaultSpec | None = None,
+        tracer=None,
+        *,
+        checkpoint_every: int = 10,
+        checkpoint_dir: str | None = None,
+        keep_checkpoints: int = 3,
+        policy: RestartPolicy | None = None,
+    ):
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        self.params = params
+        self.seed = seed
+        self.nranks = int(nranks)
+        self.policy = policy if policy is not None else RestartPolicy()
+        self.checkpoint_every = int(checkpoint_every)
+        self.checkpoint_dir = checkpoint_dir
+        self.keep_checkpoints = int(keep_checkpoints)
+        self.tracer = tracer
+        self._fault = fault
+        self._structure_gids = structure_gids
+        self._dist_kwargs = dict(
+            decomposition=decomposition,
+            active_gating=active_gating,
+            barrier_timeout=barrier_timeout,
+            start_method=start_method,
+        )
+        #: Authoritative per-step statistics across restarts: rolled back
+        #: to the snapshot on recovery, re-filled by the bitwise-exact
+        #: replay.
+        self.series = TimeSeries()
+        #: Diagnostics of every recovered failure, oldest first.
+        self.incidents: list[Incident] = []
+        self._closed = False
+        self._sim = self._build(self.nranks, fault, seed_gids)
+        self.seed_gids = self._sim.seed_gids
+        self._shadow = None
+        self._take_snapshot()
+
+    # -- construction / recovery ---------------------------------------------
+
+    def _build(
+        self,
+        nranks: int,
+        fault: FaultSpec | None,
+        seed_gids: np.ndarray | None,
+    ) -> DistSimCov:
+        return DistSimCov(
+            self.params,
+            nranks=nranks,
+            seed=self.seed,
+            seed_gids=seed_gids,
+            structure_gids=self._structure_gids,
+            fault=fault,
+            tracer=self.tracer,
+            **self._dist_kwargs,
+        )
+
+    def _take_snapshot(self) -> None:
+        """Shadow-checkpoint the quiescent state (and mirror to disk)."""
+        snap = snapshot_state(self._sim)
+        self._shadow = snap
+        if self.checkpoint_dir is not None:
+            save_checkpoint(
+                auto_checkpoint_path(self.checkpoint_dir, snap["step_num"]),
+                self._sim,
+            )
+            rotate_checkpoints(self.checkpoint_dir, self.keep_checkpoints)
+        if self.tracer:
+            self.tracer.counter(
+                "shadow_checkpoints", 1, cat="resilience",
+                step=snap["step_num"],
+            )
+
+    def _recover(self, err: DistError) -> None:
+        start = perf_counter()
+        failed_step = int(self._sim.step_num)
+        index = len(self.incidents) + 1
+        nranks_before = self.nranks
+        # Tear down the wrecked runtime first — even when the budget is
+        # exhausted, processes and shm segments must not leak.
+        self._sim.close()
+        if index > self.policy.max_restarts:
+            raise RestartsExhaustedError(
+                f"giving up after {self.policy.max_restarts} restart"
+                f"{'s' if self.policy.max_restarts != 1 else ''}: "
+                f"{type(err).__name__} at step {failed_step}: "
+                f"{str(err).splitlines()[0]}\n"
+                f"incident log:\n{format_incident_log(self.incidents)}",
+                tuple(self.incidents),
+            ) from err
+        delay = self.policy.backoff_seconds(index)
+        if delay > 0:
+            time.sleep(delay)
+        if self.policy.on_failure == "shrink":
+            self.nranks = max(self.policy.min_ranks, self.nranks - 1)
+        fault = self._fault
+        inject = (
+            fault
+            if fault is not None
+            and index < fault.repeat
+            and fault.rank < self.nranks
+            else None
+        )
+        self._sim = self._build(self.nranks, inject, self.seed_gids)
+        restore_state(self._sim, self._shadow)
+        restored_step = int(self._shadow["step_num"])
+        self.series.truncate(restored_step)
+        recovery_seconds = perf_counter() - start
+        incident = Incident(
+            index=index,
+            step=failed_step,
+            error_type=type(err).__name__,
+            message=str(err).splitlines()[0],
+            nranks_before=nranks_before,
+            nranks_after=self.nranks,
+            restored_step=restored_step,
+            steps_replayed=failed_step - restored_step,
+            recovery_seconds=recovery_seconds,
+        )
+        self.incidents.append(incident)
+        if self.tracer:
+            self.tracer.counter(
+                "restarts", 1, cat="resilience", step=failed_step
+            )
+            self.tracer.counter(
+                "steps_replayed", incident.steps_replayed,
+                cat="resilience", step=failed_step,
+            )
+            self.tracer.emit_span(
+                "recovery", start, recovery_seconds, cat="resilience",
+                step=failed_step, error=incident.error_type,
+                nranks_before=nranks_before, nranks_after=self.nranks,
+                restored_step=restored_step,
+                steps_replayed=incident.steps_replayed,
+            )
+
+    # -- stepping ------------------------------------------------------------
+
+    def step(self) -> StepStats:
+        """Advance the simulation by one step, recovering as needed.
+
+        After a recovery this executes (and returns) the first *replayed*
+        step; callers looping on ``len(series)`` — like :meth:`run` —
+        converge on exactly the fault-free sequence.
+        """
+        while True:
+            try:
+                stats = self._sim.step()
+            except RECOVERABLE_ERRORS as err:
+                self._recover(err)
+                continue
+            self.series.append(stats)
+            if self._sim.step_num % self.checkpoint_every == 0:
+                self._take_snapshot()
+            return stats
+
+    def run(self, num_steps: int | None = None) -> TimeSeries:
+        """Advance ``num_steps`` (default ``params.num_steps``) beyond
+        the current step, surviving worker failures along the way."""
+        n = num_steps if num_steps is not None else self.params.num_steps
+        target = len(self.series) + n
+        while len(self.series) < target:
+            self.step()
+        return self.series
+
+    # -- driver surface ------------------------------------------------------
+
+    @property
+    def restarts(self) -> int:
+        """Recoveries performed so far."""
+        return len(self.incidents)
+
+    @property
+    def step_num(self) -> int:
+        return self._sim.step_num
+
+    @property
+    def pool(self) -> float:
+        return self._sim.pool
+
+    @property
+    def rng(self):
+        return self._sim.rng
+
+    @property
+    def blocks(self):
+        return self._sim.blocks
+
+    @property
+    def phase_metrics(self):
+        """Per-phase metrics of the *current* runtime incarnation."""
+        return self._sim.phase_metrics
+
+    def gather_field(self, name: str) -> np.ndarray:
+        return self._sim.gather_field(name)
+
+    def format_incident_log(self) -> str:
+        return format_incident_log(self.incidents)
+
+    def write_incident_log(self, path: str) -> None:
+        write_incident_log(path, self.incidents)
+
+    # -- teardown ------------------------------------------------------------
+
+    def abort(self) -> None:
+        """Raise the runtime's abort flag (signal handlers call this so
+        parked workers unblock instead of waiting out their timeout)."""
+        if not self._closed:
+            self._sim.abort()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._sim.close()
+
+    def __enter__(self) -> "ResilientDistSimCov":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -300,6 +300,12 @@ class DistRuntime:
 
     # -- teardown ------------------------------------------------------------
 
+    def abort(self) -> None:
+        """Flip the control-segment abort flag (idempotent; safe from
+        signal handlers — one shared-memory store)."""
+        if self._segments:
+            self.ctrl.abort()
+
     def close(self) -> None:
         """Stop the workers and release every shared-memory segment.
 

@@ -137,19 +137,51 @@ def telemetry_name_table(phase_names) -> tuple[str, ...]:
     return tuple(names)
 
 
+#: The fault-injection vocabulary (see :class:`FaultSpec`).
+FAULT_MODES = ("stall", "die", "error", "slow", "freeze_heartbeat")
+
+
 @dataclass(frozen=True)
 class FaultSpec:
-    """Fault injection for robustness tests: at the start of ``phase`` in
-    ``step``, rank ``rank`` either stalls until aborted or dies hard."""
+    """Fault injection for robustness/recovery tests.
+
+    At the start of ``phase`` in ``step``, rank ``rank`` misbehaves
+    according to ``mode``:
+
+    - ``"stall"`` — stop making progress until aborted (trips the
+      coordinator's barrier timeout; status/heartbeat stay frozen);
+    - ``"die"`` — hard exit (``os._exit(13)``, no teardown), surfaced by
+      the coordinator's liveness poll;
+    - ``"error"`` — raise inside the phase; the worker marks its error
+      status, flips the abort flag and exits nonzero;
+    - ``"slow"`` — a straggler, not a failure: sleep ``delay`` seconds at
+      this phase on *every* step >= ``step`` (the run still completes);
+    - ``"freeze_heartbeat"`` — from (step, phase) on, keep computing but
+      stop refreshing the heartbeat, so liveness gauges age while the
+      run stays healthy.
+
+    ``repeat`` is read by the resilient supervisor
+    (:mod:`repro.dist.resilient`): the fault is re-injected into the
+    first ``repeat - 1`` respawned runtimes, so multi-restart and
+    restart-exhaustion paths are testable deterministically.
+    """
 
     rank: int
     step: int
     phase: str
-    mode: str  # "stall" | "die"
+    mode: str  # one of FAULT_MODES
+    #: Seconds a "slow" rank sleeps per affected phase.
+    delay: float = 0.05
+    #: How many runtime incarnations the fault fires in (supervisor-read).
+    repeat: int = 1
 
     def __post_init__(self):
-        if self.mode not in ("stall", "die"):
+        if self.mode not in FAULT_MODES:
             raise ValueError(f"unknown fault mode {self.mode!r}")
+        if self.repeat < 1:
+            raise ValueError("repeat must be >= 1")
+        if self.delay < 0:
+            raise ValueError("delay must be >= 0")
 
 
 @dataclass(frozen=True)
@@ -172,6 +204,11 @@ class WorkerSpec:
     telemetry_capacity: int = 0
 
 
+class InjectedFault(RuntimeError):
+    """Raised by the ``error`` fault mode — a real failure to the
+    runtime, but not worth a traceback dump in test logs."""
+
+
 def worker_main(spec: WorkerSpec) -> None:
     """Process entry point: run the step loop until shutdown or abort."""
     worker = None
@@ -181,10 +218,11 @@ def worker_main(spec: WorkerSpec) -> None:
         code = 0
     except DistAborted:
         code = 0
-    except BaseException:
-        import traceback
+    except BaseException as err:
+        if not isinstance(err, InjectedFault):
+            import traceback
 
-        traceback.print_exc()
+            traceback.print_exc()
         if worker is not None and worker.ctrl is not None:
             worker.ctrl.status[spec.rank, STATUS_ERROR] = 1
             worker.ctrl.abort()
@@ -285,6 +323,9 @@ class _RankWorker:
         self._moves = 0
         self._binds = 0
         self._active = 0
+        #: Cleared by the freeze_heartbeat fault: status keeps updating
+        #: but the liveness timestamp goes stale.
+        self._heartbeat_on = True
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -293,6 +334,7 @@ class _RankWorker:
             self.rank,
             int(self.ctrl.status[self.rank, 0]),
             int(self.ctrl.status[self.rank, 1]),
+            heartbeat=self._heartbeat_on,
         )
         pending_end = None  # (start, dur, step) of the last step-end wait
         while True:
@@ -340,7 +382,9 @@ class _RankWorker:
         self._step = step
         step_start = perf_counter()
         for index, phase in enumerate(self.schedule):
-            self.ctrl.set_status(self.rank, step, index)
+            self.ctrl.set_status(
+                self.rank, step, index, heartbeat=self._heartbeat_on
+            )
             self._maybe_fault(step, phase.name)
             start = perf_counter()
             ran = self._execute(phase, step, attempts)
@@ -372,12 +416,27 @@ class _RankWorker:
         if (
             fault is None
             or fault.rank != self.rank
-            or fault.step != step
             or fault.phase != phase_name
         ):
             return
+        if fault.mode == "slow":
+            # A straggler: late every affected step, but never failing.
+            if step >= fault.step:
+                time.sleep(fault.delay)
+            return
+        if step != fault.step and fault.mode != "freeze_heartbeat":
+            return
+        if fault.mode == "freeze_heartbeat":
+            if step >= fault.step:
+                self._heartbeat_on = False
+            return
         if fault.mode == "die":
             os._exit(13)
+        if fault.mode == "error":
+            raise InjectedFault(
+                f"injected fault: rank {self.rank} errored in "
+                f"{phase_name!r} at step {step}"
+            )
         while not self.ctrl.aborted:  # stall (status stays frozen here)
             time.sleep(0.005)
         raise DistAborted(f"aborted while stalled in {phase_name!r}")

@@ -157,6 +157,72 @@ def _cmd_report(outdir: str) -> None:
     print(f"report written to {path}")
 
 
+def _parse_fault(spec: str):
+    """``rank:step:phase:mode[:repeat]`` -> FaultSpec (chaos demos)."""
+    from repro.dist import FAULT_MODES, FaultSpec
+
+    parts = spec.split(":")
+    if len(parts) not in (4, 5):
+        raise argparse.ArgumentTypeError(
+            "--inject-fault takes rank:step:phase:mode[:repeat], "
+            f"modes {'|'.join(FAULT_MODES)}"
+        )
+    try:
+        return FaultSpec(
+            rank=int(parts[0]),
+            step=int(parts[1]),
+            phase=parts[2],
+            mode=parts[3],
+            repeat=int(parts[4]) if len(parts) == 5 else 1,
+        )
+    except ValueError as err:
+        raise argparse.ArgumentTypeError(str(err)) from err
+
+
+def _abort_on_signals(sim):
+    """Context manager: SIGINT/SIGTERM abort the runtime before the
+    normal teardown path runs.
+
+    Without this, Ctrl-C while the coordinator waits at a barrier leaves
+    the workers parked until *their* (longer) timeouts expire, and a
+    SIGTERM relies on ``atexit`` best effort — this handler flips the
+    shared abort flag first, so every worker unblocks and exits and
+    ``close()`` (the caller's ``finally``) releases all ``/dev/shm``
+    segments immediately.
+    """
+    import contextlib
+    import signal
+    import threading
+
+    @contextlib.contextmanager
+    def guard():
+        if threading.current_thread() is not threading.main_thread():
+            yield  # signals only reach the main thread
+            return
+
+        def handler(signum, frame):
+            abort = getattr(sim, "abort", None)
+            if abort is not None:
+                abort()
+            if signum == signal.SIGINT:
+                raise KeyboardInterrupt
+            raise SystemExit(128 + signum)
+
+        previous = {}
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                previous[signum] = signal.signal(signum, handler)
+            except (ValueError, OSError):  # pragma: no cover - exotic host
+                pass
+        try:
+            yield
+        finally:
+            for signum, old in previous.items():
+                signal.signal(signum, old)
+
+    return guard()
+
+
 def _make_tracer(args: argparse.Namespace):
     """A tracer writing to ``--trace`` (or None when tracing is off)."""
     if not args.trace:
@@ -174,6 +240,14 @@ def _make_tracer(args: argparse.Namespace):
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.core.params import SimCovParams
 
+    if args.backend != "dist" and (
+        args.on_failure != "fail" or args.inject_fault is not None
+    ):
+        print(
+            "--on-failure/--inject-fault require --backend dist",
+            file=sys.stderr,
+        )
+        return 2
     params = SimCovParams.fast_test(
         dim=tuple(args.dim),
         num_infections=args.num_infections,
@@ -197,13 +271,31 @@ def _cmd_run(args: argparse.Namespace) -> int:
             params, num_devices=args.nranks, seed=args.seed, tracer=tracer
         )
     else:  # dist: real worker processes + shared-memory halo exchange
-        from repro.dist import DistSimCov
+        from repro.dist import DistSimCov, ResilientDistSimCov, RestartPolicy
 
-        sim = DistSimCov(
-            params, nranks=args.nranks, seed=args.seed, tracer=tracer
-        )
+        if args.on_failure == "fail":
+            sim = DistSimCov(
+                params, nranks=args.nranks, seed=args.seed, tracer=tracer,
+                fault=args.inject_fault,
+            )
+        else:
+            sim = ResilientDistSimCov(
+                params,
+                nranks=args.nranks,
+                seed=args.seed,
+                tracer=tracer,
+                fault=args.inject_fault,
+                checkpoint_every=args.checkpoint_every,
+                checkpoint_dir=args.checkpoint_dir,
+                policy=RestartPolicy(
+                    max_restarts=args.max_restarts,
+                    backoff=args.restart_backoff,
+                    on_failure=args.on_failure,
+                ),
+            )
     try:
-        sim.run(args.steps)
+        with _abort_on_signals(sim):
+            sim.run(args.steps)
         for i in range(len(sim.series)):
             stats = sim.series[i]
             if (i + 1) % max(1, args.steps // 10) == 0 or i == args.steps - 1:
@@ -212,7 +304,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"done: backend={args.backend} nranks={args.nranks} "
             f"dim={tuple(args.dim)} steps={args.steps} seed={args.seed}"
         )
+        if getattr(sim, "incidents", None):
+            print(f"recovered from {sim.restarts} failure(s):")
+            print(sim.format_incident_log())
+    except KeyboardInterrupt:
+        print(
+            "interrupted: runtime aborted, workers and shared memory "
+            "released",
+            file=sys.stderr,
+        )
+        return 130
     finally:
+        incidents = getattr(sim, "incidents", None)
+        if args.incident_log and incidents is not None:
+            from repro.dist import write_incident_log
+
+            write_incident_log(args.incident_log, incidents)
+            print(f"incident log written to {args.incident_log}")
         if hasattr(sim, "close"):
             sim.close()
         if tracer is not None:
@@ -291,6 +399,43 @@ def main(argv: list[str] | None = None) -> int:
         "--trace-format", choices=["jsonl", "chrome"], default="jsonl",
         help="jsonl = archival event log; chrome = Perfetto timeline "
         "with one lane per rank",
+    )
+    res_group = parser.add_argument_group(
+        "resilience options (dist backend only)"
+    )
+    res_group.add_argument(
+        "--on-failure", choices=["fail", "restart", "shrink"],
+        default="fail",
+        help="fail = propagate worker failures (default); restart = "
+        "respawn at the same rank count from the last shadow checkpoint; "
+        "shrink = restart minus the failed rank",
+    )
+    res_group.add_argument(
+        "--max-restarts", type=int, default=3,
+        help="restart budget before giving up with the incident log",
+    )
+    res_group.add_argument(
+        "--checkpoint-every", type=int, default=25, metavar="K",
+        help="shadow-checkpoint cadence in steps",
+    )
+    res_group.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="also persist each shadow checkpoint to DIR "
+        "(atomic, CRC-verified, keep-last-3)",
+    )
+    res_group.add_argument(
+        "--restart-backoff", type=float, default=0.0, metavar="SECONDS",
+        help="initial restart delay, doubled per incident",
+    )
+    res_group.add_argument(
+        "--incident-log", default=None, metavar="PATH",
+        help="write the recovery incident log to PATH as JSONL",
+    )
+    res_group.add_argument(
+        "--inject-fault", type=_parse_fault, default=None,
+        metavar="RANK:STEP:PHASE:MODE[:REPEAT]",
+        help="chaos testing: inject a worker fault, e.g. 1:7:intents:die "
+        "(modes: die, error, stall, slow, freeze_heartbeat)",
     )
     args = parser.parse_args(argv)
     if args.experiment == "run":

@@ -6,9 +6,35 @@ function of (seed, step, voxel), a checkpoint is just the global voxel
 state plus four scalars — and a run can resume on *any* implementation
 (sequential, CPU ranks, GPU devices, any decomposition) and continue
 bitwise identically to the uninterrupted original.
+
+Two forms share one payload shape (:func:`snapshot_state` /
+:func:`restore_state`):
+
+- **shadow snapshots** — plain in-memory dicts the resilient supervisor
+  (:mod:`repro.dist.resilient`) takes every K steps at near-memcpy cost;
+- **on-disk checkpoints** — ``.npz`` files written *atomically* (tmp file
+  + ``os.replace``, so a crash mid-write never destroys the previous
+  checkpoint) with a CRC32 per array that :func:`load_checkpoint`
+  verifies, raising :class:`CheckpointCorruptError` on any mismatch or
+  undecodable container.
+
+Parameters are serialized by an explicit typed field codec
+(:func:`encode_params` / :func:`decode_params`): every
+:class:`~repro.core.params.SimCovParams` field is converted by its
+*declared* type, so numpy scalars are normalized on save instead of
+round-tripping through ``repr`` and a new field with an unsupported type
+fails loudly at save time rather than corrupting restores.
 """
 
 from __future__ import annotations
+
+import json
+import os
+import re
+import types
+import typing
+import zipfile
+import zlib
 
 import numpy as np
 
@@ -26,34 +52,97 @@ CHECKPOINT_FIELDS = (
     "tcell_bound_time",
 )
 
-#: Format marker for forward compatibility.
-FORMAT_VERSION = 1
+#: Format marker for forward compatibility.  Version 2 added the typed
+#: params codec and per-array CRCs; version-1 files are still readable.
+FORMAT_VERSION = 2
 
+#: Filename pattern of auto-checkpoints (resilient runs, rotation).
+AUTO_CHECKPOINT_PATTERN = re.compile(r"^ckpt_step(\d+)\.npz$")
+
+
+class CheckpointCorruptError(RuntimeError):
+    """The checkpoint file is unreadable or failed CRC verification."""
+
+
+# -- typed parameter codec ---------------------------------------------------
+
+def _param_types() -> dict[str, type]:
+    """Resolved (non-string) type per SimCovParams field."""
+    return typing.get_type_hints(SimCovParams)
+
+
+def _code_field(name: str, tp, value, *, decoding: bool):
+    """Convert one field value by its declared type (both directions —
+    encoding normalizes numpy scalars, decoding rebuilds tuples)."""
+    origin = typing.get_origin(tp)
+    if origin in (typing.Union, types.UnionType):
+        if value is None:
+            return None
+        args = [a for a in typing.get_args(tp) if a is not type(None)]
+        return _code_field(name, args[0], value, decoding=decoding)
+    if tp is int:
+        return int(value)
+    if tp is float:
+        return float(value)
+    if origin is tuple or tp is tuple:
+        item_types = typing.get_args(tp) or (int, Ellipsis)
+        item = item_types[0]
+        converted = tuple(
+            _code_field(name, item, v, decoding=decoding) for v in value
+        )
+        # JSON has no tuple; ship a list, rebuild the tuple on decode.
+        return converted if decoding else list(converted)
+    raise TypeError(
+        f"no checkpoint codec for SimCovParams.{name!r} of type {tp!r}; "
+        "extend repro.io.checkpoint._code_field when adding param fields"
+    )
+
+
+def encode_params(params: SimCovParams) -> str:
+    """Explicitly-typed JSON form of every SimCovParams field."""
+    fields = {}
+    for name, tp in _param_types().items():
+        fields[name] = _code_field(
+            name, tp, getattr(params, name), decoding=False
+        )
+    return json.dumps(fields, sort_keys=True)
+
+
+def decode_params(text: str) -> SimCovParams:
+    """Inverse of :func:`encode_params`."""
+    raw = json.loads(text)
+    hints = _param_types()
+    fields = {
+        name: _code_field(name, hints[name], value, decoding=True)
+        for name, value in raw.items()
+        if name in hints
+    }
+    return SimCovParams(**fields)
+
+
+# -- payload assembly --------------------------------------------------------
 
 def _gather(sim, name: str) -> np.ndarray:
     if hasattr(sim, "gather_field"):
-        return sim.gather_field(name)
+        return np.ascontiguousarray(sim.gather_field(name))
     return getattr(sim.block, name)[sim.block.interior].copy()
 
 
-def save_checkpoint(path: str, sim) -> None:
-    """Snapshot any implementation's state to a ``.npz`` file."""
-    import dataclasses
-    import os
+def snapshot_state(sim) -> dict:
+    """A self-contained in-memory snapshot of any implementation's state.
 
-    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
-    arrays = {name: _gather(sim, name) for name in CHECKPOINT_FIELDS}
-    params_fields = dataclasses.asdict(sim.params)
-    np.savez_compressed(
-        path,
-        format_version=FORMAT_VERSION,
-        step_num=sim.step_num,
-        pool=sim.pool,
-        seed=sim.rng.seed,
-        seed_gids=sim.seed_gids,
-        params_repr=np.frombuffer(repr(params_fields).encode(), dtype=np.uint8),
-        **arrays,
-    )
+    Contains the full-domain interior of every checkpoint field plus the
+    scalars that, with the counter-based RNG, pin the rest of the run.
+    Decomposition-independent: restorable onto any implementation and
+    any rank count.
+    """
+    return {
+        "step_num": int(sim.step_num),
+        "pool": float(sim.pool),
+        "seed": int(sim.rng.seed),
+        "seed_gids": np.asarray(sim.seed_gids, dtype=np.int64).copy(),
+        "arrays": {name: _gather(sim, name) for name in CHECKPOINT_FIELDS},
+    }
 
 
 def _scatter_into_blocks(blocks: list[VoxelBlock], arrays: dict) -> None:
@@ -64,6 +153,110 @@ def _scatter_into_blocks(blocks: list[VoxelBlock], arrays: dict) -> None:
             getattr(block, name)[block.interior] = arrays[name][gsl]
 
 
+def restore_state(sim, snapshot: dict) -> None:
+    """Write a snapshot's state into an already-constructed simulation.
+
+    Works on every driver: the field arrays are scattered into the
+    implementation's blocks (for the distributed runtime these are the
+    coordinator's shared-memory views, so parked workers see the restored
+    state at their next step) and the engine scalars are reset.
+    """
+    blocks = sim.blocks if hasattr(sim, "blocks") else [sim.block]
+    _scatter_into_blocks(blocks, snapshot["arrays"])
+    sim.step_num = snapshot["step_num"]
+    sim.pool = snapshot["pool"]
+
+
+# -- on-disk format ----------------------------------------------------------
+
+def _crc(arr: np.ndarray) -> int:
+    return zlib.crc32(np.ascontiguousarray(arr).tobytes()) & 0xFFFFFFFF
+
+
+def save_checkpoint(path: str, sim) -> None:
+    """Snapshot any implementation's state to a ``.npz`` file.
+
+    The write is atomic: the payload goes to a temporary file in the
+    target directory first and is moved over ``path`` with
+    ``os.replace``, so a crash mid-write leaves any previous checkpoint
+    at ``path`` intact.  Every array is stored alongside its CRC32.
+    """
+    snapshot = snapshot_state(sim)
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "step_num": snapshot["step_num"],
+        "pool": snapshot["pool"],
+        "seed": snapshot["seed"],
+        "seed_gids": snapshot["seed_gids"],
+        "params_json": np.frombuffer(
+            encode_params(sim.params).encode(), dtype=np.uint8
+        ),
+        **snapshot["arrays"],
+    }
+    checked = (*CHECKPOINT_FIELDS, "seed_gids")
+    for name in checked:
+        payload[f"crc_{name}"] = np.uint32(_crc(payload[name]))
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    tmp = f"{path}.tmp-{os.getpid()}"
+    try:
+        with open(tmp, "wb") as fh:
+            np.savez_compressed(fh, **payload)
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+
+
+def _load_payload(path: str) -> dict:
+    """Read + verify an on-disk checkpoint into the snapshot dict shape
+    (plus ``params``).  All corruption modes — undecodable container,
+    missing members, CRC mismatch — surface as CheckpointCorruptError."""
+    try:
+        with np.load(path) as data:
+            version = int(data["format_version"])
+            if version not in (1, FORMAT_VERSION):
+                raise ValueError(
+                    f"checkpoint format {version} != supported {FORMAT_VERSION}"
+                )
+            if version == 1:
+                # Legacy repr-encoded params, no CRCs.
+                import ast
+
+                fields = ast.literal_eval(bytes(data["params_repr"]).decode())
+                fields["dim"] = tuple(fields["dim"])
+                params = SimCovParams(**fields)
+            else:
+                params = decode_params(bytes(data["params_json"]).decode())
+            arrays = {name: data[name] for name in CHECKPOINT_FIELDS}
+            seed_gids = data["seed_gids"]
+            if version >= 2:
+                for name in (*CHECKPOINT_FIELDS, "seed_gids"):
+                    stored = int(data[f"crc_{name}"])
+                    actual = _crc(data[name])
+                    if stored != actual:
+                        raise CheckpointCorruptError(
+                            f"checkpoint {path!r}: CRC mismatch on array "
+                            f"{name!r} (stored {stored:#010x}, computed "
+                            f"{actual:#010x})"
+                        )
+            return {
+                "params": params,
+                "step_num": int(data["step_num"]),
+                "pool": float(data["pool"]),
+                "seed": int(data["seed"]),
+                "seed_gids": seed_gids,
+                "arrays": arrays,
+            }
+    except (CheckpointCorruptError, FileNotFoundError, ValueError):
+        raise
+    except (
+        KeyError, OSError, EOFError, zlib.error, zipfile.BadZipFile
+    ) as err:
+        raise CheckpointCorruptError(
+            f"checkpoint {path!r} is unreadable: {err}"
+        ) from err
+
+
 def load_checkpoint(path: str, make_sim=None):
     """Restore a simulation from a checkpoint.
 
@@ -71,33 +264,52 @@ def load_checkpoint(path: str, make_sim=None):
     resume on (default: the sequential reference).  The restored
     simulation continues bitwise identically to the original run — on any
     implementation — because randomness is keyed by (seed, step, voxel).
+    Raises :class:`CheckpointCorruptError` if the file fails CRC
+    verification or cannot be decoded.
     """
-    import ast
-
-    with np.load(path) as data:
-        version = int(data["format_version"])
-        if version != FORMAT_VERSION:
-            raise ValueError(
-                f"checkpoint format {version} != supported {FORMAT_VERSION}"
-            )
-        params_fields = ast.literal_eval(
-            bytes(data["params_repr"]).decode()
-        )
-        # Tuple fields round-trip through asdict as lists.
-        params_fields["dim"] = tuple(params_fields["dim"])
-        params = SimCovParams(**params_fields)
-        seed = int(data["seed"])
-        seed_gids = data["seed_gids"]
-        arrays = {name: data[name] for name in CHECKPOINT_FIELDS}
-        step_num = int(data["step_num"])
-        pool = float(data["pool"])
+    snapshot = _load_payload(path)
     if make_sim is None:
         from repro.core.model import SequentialSimCov
 
         make_sim = lambda p, s, g: SequentialSimCov(p, seed=s, seed_gids=g)
-    sim = make_sim(params, seed, seed_gids)
-    blocks = sim.blocks if hasattr(sim, "blocks") else [sim.block]
-    _scatter_into_blocks(blocks, arrays)
-    sim.step_num = step_num
-    sim.pool = pool
+    sim = make_sim(
+        snapshot["params"], snapshot["seed"], snapshot["seed_gids"]
+    )
+    restore_state(sim, snapshot)
     return sim
+
+
+# -- auto-checkpoint rotation ------------------------------------------------
+
+def auto_checkpoint_path(directory: str, step_num: int) -> str:
+    """Canonical on-disk name for a periodic checkpoint at ``step_num``."""
+    return os.path.join(directory, f"ckpt_step{step_num:08d}.npz")
+
+
+def rotate_checkpoints(directory: str, keep: int) -> list[str]:
+    """Delete all but the newest ``keep`` auto-checkpoints in ``directory``.
+
+    Only files matching the ``ckpt_step<NNN>.npz`` pattern are
+    considered, sorted by their embedded step number.  Returns the paths
+    removed.
+    """
+    if keep < 1:
+        raise ValueError("keep must be >= 1")
+    try:
+        entries = os.listdir(directory)
+    except FileNotFoundError:
+        return []
+    found = []
+    for entry in entries:
+        m = AUTO_CHECKPOINT_PATTERN.match(entry)
+        if m:
+            found.append((int(m.group(1)), entry))
+    removed = []
+    for _step, entry in sorted(found)[:-keep]:
+        target = os.path.join(directory, entry)
+        try:
+            os.unlink(target)
+            removed.append(target)
+        except FileNotFoundError:  # concurrent rotation
+            pass
+    return removed

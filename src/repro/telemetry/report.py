@@ -76,9 +76,36 @@ def summarize(events: list[Event]) -> dict:
     barrier_durs: list[float] = []
     ranks: dict[int, dict] = {}
     steps = set()
+    resilience = {
+        "restarts": 0,
+        "steps_replayed": 0,
+        "checkpoints": 0,
+        "recovery_seconds": 0.0,
+        "incidents": [],
+    }
     for e in events:
         if e.step >= 0:
             steps.add(e.step)
+        if e.cat == "resilience":
+            if e.kind == COUNTER and e.name == "restarts":
+                resilience["restarts"] += int(e.value)
+            elif e.kind == COUNTER and e.name == "steps_replayed":
+                resilience["steps_replayed"] += int(e.value)
+            elif e.kind == COUNTER and e.name == "shadow_checkpoints":
+                resilience["checkpoints"] += int(e.value)
+            elif e.kind == SPAN and e.name == "recovery":
+                resilience["recovery_seconds"] += e.dur
+                resilience["incidents"].append(
+                    {
+                        "step": e.step,
+                        "seconds": e.dur,
+                        "error": e.attrs.get("error", "?"),
+                        "nranks_before": e.attrs.get("nranks_before"),
+                        "nranks_after": e.attrs.get("nranks_after"),
+                        "steps_replayed": e.attrs.get("steps_replayed"),
+                    }
+                )
+            continue
         if e.kind != SPAN:
             continue
         per_rank = ranks.setdefault(
@@ -136,6 +163,7 @@ def summarize(events: list[Event]) -> dict:
             r: {**ranks[r], "busy_seconds": busy[r]} for r in sorted(ranks)
         },
         "imbalance": imbalance,
+        "resilience": resilience,
     }
 
 
@@ -184,4 +212,25 @@ def format_report(summary: dict) -> str:
             f"{row['barrier_seconds']:>11.4f}{row['busy_seconds']:>10.4f}"
         )
     lines.append(f"  imbalance (max/mean busy): {summary['imbalance']:.3f}")
+    res = summary.get("resilience", {})
+    if res.get("restarts") or res.get("incidents"):
+        lines += [
+            "",
+            f"resilience: {res['restarts']} restart"
+            f"{'s' if res['restarts'] != 1 else ''}, "
+            f"{res['steps_replayed']} steps replayed, "
+            f"{res['recovery_seconds']:.3f}s recovering "
+            f"({res['checkpoints']} shadow checkpoints)",
+        ]
+        for i, inc in enumerate(res["incidents"], 1):
+            ranks_note = (
+                f"{inc['nranks_before']} -> {inc['nranks_after']} ranks"
+                if inc["nranks_before"] != inc["nranks_after"]
+                else f"{inc['nranks_after']} ranks"
+            )
+            lines.append(
+                f"  incident {i}: {inc['error']} at step {inc['step']} "
+                f"({ranks_note}, replayed {inc['steps_replayed']} steps, "
+                f"{inc['seconds']:.3f}s)"
+            )
     return "\n".join(lines)

@@ -66,6 +66,53 @@ def test_fault_spec_validates_mode():
         FaultSpec(rank=0, step=0, phase="intents", mode="explode")
 
 
+def test_fault_spec_validates_repeat_and_delay():
+    with pytest.raises(ValueError, match="repeat"):
+        FaultSpec(rank=0, step=0, phase="intents", mode="die", repeat=0)
+    with pytest.raises(ValueError, match="delay"):
+        FaultSpec(rank=0, step=0, phase="intents", mode="slow", delay=-1.0)
+
+
+def test_erroring_worker_raises_worker_failed():
+    """An exception inside a worker's phase loop flips the abort flag and
+    surfaces as WorkerFailedError naming the rank — not as a timeout."""
+    fault = FaultSpec(rank=1, step=2, phase="diffuse", mode="error")
+    with pytest.raises(WorkerFailedError) as excinfo:
+        with DistSimCov(
+            _params(), nranks=2, seed=3, barrier_timeout=30.0, fault=fault
+        ) as sim:
+            sim.run(10)
+    assert "rank 1" in str(excinfo.value)
+
+
+def test_slow_rank_degrades_latency_not_correctness():
+    """A slow rank delays barriers but the run completes bitwise clean
+    (the resilient supervisor's 'benign fault' class)."""
+    fault = FaultSpec(rank=1, step=4, phase="intents", mode="slow",
+                      delay=0.01)
+    with DistSimCov(_params(), nranks=2, seed=3, fault=fault) as sim:
+        sim.run(8)
+        slowed = [sim.series[i] for i in range(8)]
+    with DistSimCov(_params(), nranks=2, seed=3) as sim:
+        sim.run(8)
+        clean = [sim.series[i] for i in range(8)]
+    assert slowed == clean
+
+
+def test_frozen_heartbeat_is_visible_but_not_fatal():
+    """freeze_heartbeat stops a rank's liveness beacon; progress
+    continues (heartbeats are diagnostics, the barriers are the
+    synchronization), and the stale age shows up in the gauge."""
+    import time
+
+    fault = FaultSpec(rank=1, step=2, phase="intents",
+                      mode="freeze_heartbeat")
+    with DistSimCov(_params(), nranks=2, seed=3, fault=fault) as sim:
+        sim.run(8)
+        ages = sim.backend.runtime.heartbeat_ages(time.monotonic())
+        assert ages[1] > ages[0]
+
+
 def test_clean_shutdown_mid_run_releases_everything():
     """Closing between steps (the Ctrl-C path) must not hang or leak."""
     sim = DistSimCov(_params(), nranks=2, seed=7)

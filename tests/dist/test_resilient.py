@@ -1,0 +1,290 @@
+"""Recovery matrix for the supervised distributed runtime.
+
+The headline property of the resilience layer: a run that loses a worker
+mid-flight — to a hard kill, an exception, or a stall — recovers from
+its last shadow checkpoint and finishes with per-step statistics
+**bitwise identical** to a fault-free run, whether it restarts at the
+same rank count or shrinks onto fewer ranks.  The repo-wide shm-leak
+fixture additionally asserts every recovery tears down its wrecked
+runtime completely.
+
+These tests pick their own rank counts (``ranks`` parameter), unlike the
+rest of tests/dist whose ``nranks`` fixture the CI matrix pins via
+``REPRO_DIST_NRANKS``.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.model import SequentialSimCov
+from repro.core.params import SimCovParams
+from repro.dist import (
+    FaultSpec,
+    ResilientDistSimCov,
+    RestartPolicy,
+    RestartsExhaustedError,
+)
+
+STEPS = 12
+FAULT_STEP = 7
+
+
+def _params(dim=(16, 16)):
+    return SimCovParams.fast_test(
+        dim=dim, num_infections=1, num_steps=STEPS
+    )
+
+
+def _reference_series(params, seed):
+    ref = SequentialSimCov(params, seed=seed)
+    ref.run(STEPS)
+    return ref
+
+
+def assert_series_bitwise(series, ref, label):
+    __tracebackhide__ = True
+    assert len(series) == len(ref.series), label
+    for i in range(len(series)):
+        assert series[i] == ref.series[i], f"{label}: step {i}"
+
+
+MATRIX = [
+    ("die", "restart", 2),
+    ("die", "shrink", 2),
+    ("error", "restart", 2),
+    ("error", "shrink", 2),
+    ("stall", "restart", 2),
+    ("stall", "shrink", 2),
+    ("die", "restart", 4),
+    ("die", "shrink", 4),
+]
+
+
+@pytest.mark.parametrize("mode,on_failure,ranks", MATRIX)
+def test_recovery_is_bitwise_exact(mode, on_failure, ranks):
+    """Every fault kind x policy x rank count recovers to the exact
+    fault-free time series (golden-trace guarantee across restarts)."""
+    params = _params()
+    ref = _reference_series(params, seed=3)
+    fault = FaultSpec(rank=1, step=FAULT_STEP, phase="intents", mode=mode)
+    # Stalls surface as barrier timeouts; keep that wait short.
+    timeout = 1.0 if mode == "stall" else 30.0
+    with ResilientDistSimCov(
+        params,
+        nranks=ranks,
+        seed=3,
+        fault=fault,
+        barrier_timeout=timeout,
+        checkpoint_every=5,
+        policy=RestartPolicy(max_restarts=2, on_failure=on_failure),
+    ) as sim:
+        sim.run(STEPS)
+        label = f"{mode}/{on_failure}/{ranks}"
+        assert_series_bitwise(sim.series, ref, label)
+        assert sim.restarts == 1
+        assert sim.nranks == (ranks - 1 if on_failure == "shrink" else ranks)
+        incident = sim.incidents[0]
+        assert incident.step == FAULT_STEP
+        assert incident.restored_step == 5
+        assert incident.steps_replayed == FAULT_STEP - 5
+        assert incident.nranks_before == ranks
+
+
+def test_recovered_fields_match_sequential_bitwise():
+    """Beyond the reduced series: every voxel field after a recovered run
+    is identical to the fault-free sequential run's."""
+    params = _params()
+    ref = _reference_series(params, seed=3)
+    fault = FaultSpec(rank=0, step=FAULT_STEP, phase="epithelial", mode="die")
+    with ResilientDistSimCov(
+        params, nranks=2, seed=3, fault=fault, checkpoint_every=4
+    ) as sim:
+        sim.run(STEPS)
+        assert sim.restarts == 1
+        for name in ("epi_state", "epi_timer", "virions", "chemokine",
+                     "tcell"):
+            np.testing.assert_array_equal(
+                sim.gather_field(name),
+                ref.gather_field(name),
+                err_msg=name,
+            )
+
+
+def test_recovery_before_first_periodic_checkpoint():
+    """A failure before step ``checkpoint_every`` rolls back to the
+    seeded step-0 snapshot, not to garbage."""
+    params = _params()
+    ref = _reference_series(params, seed=5)
+    fault = FaultSpec(rank=1, step=2, phase="diffuse", mode="die")
+    with ResilientDistSimCov(
+        params, nranks=2, seed=5, fault=fault, checkpoint_every=50
+    ) as sim:
+        sim.run(STEPS)
+        assert sim.incidents[0].restored_step == 0
+        assert sim.incidents[0].steps_replayed == 2
+        assert_series_bitwise(sim.series, ref, "step0-rollback")
+
+
+def test_repeating_fault_restarts_twice():
+    """``repeat=2`` re-injects the fault into the respawned runtime; the
+    supervisor rides through both incidents."""
+    params = _params()
+    ref = _reference_series(params, seed=3)
+    fault = FaultSpec(
+        rank=1, step=FAULT_STEP, phase="intents", mode="die", repeat=2
+    )
+    with ResilientDistSimCov(
+        params, nranks=2, seed=3, fault=fault, checkpoint_every=5,
+        policy=RestartPolicy(max_restarts=3),
+    ) as sim:
+        sim.run(STEPS)
+        assert sim.restarts == 2
+        assert [i.index for i in sim.incidents] == [1, 2]
+        assert_series_bitwise(sim.series, ref, "repeat=2")
+
+
+def test_restart_budget_exhausted_raises_with_incident_log(tmp_path):
+    """A fault that outlives the budget surfaces RestartsExhaustedError
+    carrying (and formatting) the full incident history — and the shm
+    segments of every incarnation are still released."""
+    params = _params()
+    fault = FaultSpec(
+        rank=1, step=3, phase="intents", mode="die", repeat=10
+    )
+    sim = ResilientDistSimCov(
+        params, nranks=2, seed=3, fault=fault, checkpoint_every=2,
+        policy=RestartPolicy(max_restarts=2),
+    )
+    try:
+        with pytest.raises(RestartsExhaustedError) as excinfo:
+            sim.run(STEPS)
+    finally:
+        sim.close()
+    err = excinfo.value
+    assert len(err.incidents) == 2
+    assert "giving up after 2 restarts" in str(err)
+    assert "incident 1" in str(err)
+    assert "incident 2" in str(err)
+    # The incident log round-trips to JSONL for CI artifacts.
+    log = tmp_path / "incidents.jsonl"
+    sim.write_incident_log(str(log))
+    rows = [json.loads(line) for line in log.read_text().splitlines()]
+    assert [r["index"] for r in rows] == [1, 2]
+    assert all(r["error_type"] == "WorkerFailedError" for r in rows)
+
+
+def test_shrink_stops_at_min_ranks_and_drops_the_fault():
+    """Shrinking to one rank keeps working (the dist runtime degenerates
+    to a supervised single worker), and a fault pinned to a rank that no
+    longer exists cannot re-fire."""
+    params = _params()
+    ref = _reference_series(params, seed=3)
+    fault = FaultSpec(
+        rank=1, step=FAULT_STEP, phase="intents", mode="die", repeat=5
+    )
+    with ResilientDistSimCov(
+        params, nranks=2, seed=3, fault=fault, checkpoint_every=5,
+        policy=RestartPolicy(max_restarts=3, on_failure="shrink"),
+    ) as sim:
+        sim.run(STEPS)
+        # rank 1 died once; the shrunken 1-rank run has no rank 1.
+        assert sim.restarts == 1
+        assert sim.nranks == 1
+        assert_series_bitwise(sim.series, ref, "shrink-to-1")
+
+
+def test_benign_faults_complete_without_recovery():
+    """slow and freeze_heartbeat degrade observability/latency but not
+    correctness: no restart, bitwise-exact output."""
+    params = _params()
+    ref = _reference_series(params, seed=3)
+    for mode in ("slow", "freeze_heartbeat"):
+        fault = FaultSpec(
+            rank=1, step=FAULT_STEP, phase="intents", mode=mode, delay=0.01
+        )
+        with ResilientDistSimCov(
+            params, nranks=2, seed=3, fault=fault, checkpoint_every=5
+        ) as sim:
+            sim.run(STEPS)
+            assert sim.restarts == 0, mode
+            assert_series_bitwise(sim.series, ref, mode)
+
+
+def test_on_disk_checkpoints_written_atomically_and_rotated(tmp_path):
+    """--checkpoint-dir mirrors every shadow snapshot to a rotated,
+    loadable on-disk checkpoint; no tmp files survive."""
+    from repro.io.checkpoint import load_checkpoint
+
+    params = _params()
+    ckdir = tmp_path / "ckpts"
+    with ResilientDistSimCov(
+        params, nranks=2, seed=3,
+        checkpoint_every=2, checkpoint_dir=str(ckdir), keep_checkpoints=2,
+    ) as sim:
+        sim.run(8)
+    names = sorted(p.name for p in ckdir.iterdir())
+    assert names == ["ckpt_step00000006.npz", "ckpt_step00000008.npz"]
+    # The newest checkpoint resumes bitwise (sequential, per ISSUE 2).
+    resumed = load_checkpoint(str(ckdir / "ckpt_step00000008.npz"))
+    assert resumed.step_num == 8
+    ref = _reference_series(params, seed=3)
+    for _ in range(STEPS - 8):
+        last = resumed.step()
+    assert last == ref.series[STEPS - 1]
+
+
+def test_recovery_telemetry_reaches_trace_report():
+    """Counters and the recovery span land on the coordinator lane with
+    cat="resilience", and trace report renders the incident table."""
+    from repro.telemetry import COUNTER, RingBufferSink, Tracer
+    from repro.telemetry.report import format_report, summarize
+
+    params = _params()
+    ring = RingBufferSink()
+    tracer = Tracer(backend="dist", sinks=[ring])
+    fault = FaultSpec(rank=1, step=FAULT_STEP, phase="intents", mode="die")
+    with ResilientDistSimCov(
+        params, nranks=2, seed=3, fault=fault, checkpoint_every=5,
+        tracer=tracer,
+    ) as sim:
+        sim.run(STEPS)
+        assert sim.restarts == 1
+    tracer.close()
+    events = list(ring.events)
+    restarts = [
+        e for e in events
+        if e.kind == COUNTER and e.name == "restarts"
+        and e.cat == "resilience"
+    ]
+    assert len(restarts) == 1
+    recoveries = [
+        e for e in events if e.name == "recovery" and e.cat == "resilience"
+    ]
+    assert len(recoveries) == 1
+    span = recoveries[0]
+    assert span.attrs["error"] == "WorkerFailedError"
+    assert span.attrs["restored_step"] == 5
+    assert span.attrs["steps_replayed"] == 2
+
+    summary = summarize(events)
+    res = summary["resilience"]
+    assert res["restarts"] == 1
+    assert res["steps_replayed"] == 2
+    assert res["checkpoints"] >= 2  # step 0 + periodic snapshots
+    assert len(res["incidents"]) == 1
+    text = format_report(summary)
+    assert "resilience: 1 restart" in text
+    assert "incident 1: WorkerFailedError" in text
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError, match="on_failure"):
+        RestartPolicy(on_failure="panic")
+    with pytest.raises(ValueError, match="max_restarts"):
+        RestartPolicy(max_restarts=-1)
+    with pytest.raises(ValueError, match="min_ranks"):
+        RestartPolicy(min_ranks=0)
+    assert RestartPolicy(backoff=0.5).backoff_seconds(3) == 2.0
+    assert RestartPolicy().backoff_seconds(3) == 0.0

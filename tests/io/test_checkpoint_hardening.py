@@ -1,0 +1,192 @@
+"""Hardening of the on-disk checkpoint format (ISSUE 5 satellite):
+atomic writes, per-array CRC verification, rotation, and the explicit
+typed params codec that replaced the repr/literal_eval round-trip."""
+
+import dataclasses
+import os
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.core.model import SequentialSimCov
+from repro.core.params import SimCovParams
+from repro.io.checkpoint import (
+    CHECKPOINT_FIELDS,
+    CheckpointCorruptError,
+    auto_checkpoint_path,
+    decode_params,
+    encode_params,
+    load_checkpoint,
+    rotate_checkpoints,
+    save_checkpoint,
+)
+
+
+@pytest.fixture(scope="module")
+def sim():
+    p = SimCovParams.fast_test(dim=(16, 16), num_infections=1, num_steps=30)
+    s = SequentialSimCov(p, seed=11)
+    s.run(10)
+    return s
+
+
+class TestAtomicWrite:
+    def test_no_tmp_file_left_behind(self, sim, tmp_path):
+        path = tmp_path / "ck.npz"
+        save_checkpoint(str(path), sim)
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["ck.npz"]
+
+    def test_overwrite_is_replace_not_append(self, sim, tmp_path):
+        path = tmp_path / "ck.npz"
+        save_checkpoint(str(path), sim)
+        first = path.stat().st_size
+        save_checkpoint(str(path), sim)
+        assert path.stat().st_size == first
+        assert load_checkpoint(str(path)).step_num == 10
+
+
+class TestCorruptionDetection:
+    def _rewrite(self, path, mutate):
+        """Re-save the npz with ``mutate(payload_dict)`` applied, keeping
+        the original CRC entries (so mismatches are detectable)."""
+        data = dict(np.load(path))
+        mutate(data)
+        with open(path, "wb") as fh:
+            np.savez(fh, **data)
+
+    def test_bitflip_in_array_raises(self, sim, tmp_path):
+        path = str(tmp_path / "ck.npz")
+        save_checkpoint(path, sim)
+
+        def flip(data):
+            arr = data["virions"].copy()
+            arr.flat[0] += 1.0
+            data["virions"] = arr
+
+        self._rewrite(path, flip)
+        with pytest.raises(CheckpointCorruptError, match="virions"):
+            load_checkpoint(path)
+
+    def test_corrupt_seed_gids_raises(self, sim, tmp_path):
+        path = str(tmp_path / "ck.npz")
+        save_checkpoint(path, sim)
+
+        def flip(data):
+            arr = data["seed_gids"].copy()
+            arr.flat[0] += 1
+            data["seed_gids"] = arr
+
+        self._rewrite(path, flip)
+        with pytest.raises(CheckpointCorruptError, match="seed_gids"):
+            load_checkpoint(path)
+
+    def test_truncated_file_raises(self, sim, tmp_path):
+        path = tmp_path / "ck.npz"
+        save_checkpoint(str(path), sim)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(CheckpointCorruptError, match="unreadable"):
+            load_checkpoint(str(path))
+
+    def test_missing_member_raises(self, sim, tmp_path):
+        path = str(tmp_path / "ck.npz")
+        save_checkpoint(path, sim)
+        self._rewrite(path, lambda data: data.pop("tcell"))
+        with pytest.raises(CheckpointCorruptError, match="unreadable"):
+            load_checkpoint(path)
+
+    def test_missing_file_is_not_masked(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_checkpoint(str(tmp_path / "nope.npz"))
+
+    def test_crc_matches_recomputation(self, sim, tmp_path):
+        path = str(tmp_path / "ck.npz")
+        save_checkpoint(path, sim)
+        with np.load(path) as data:
+            for name in (*CHECKPOINT_FIELDS, "seed_gids"):
+                expected = (
+                    zlib.crc32(np.ascontiguousarray(data[name]).tobytes())
+                    & 0xFFFFFFFF
+                )
+                assert int(data[f"crc_{name}"]) == expected, name
+
+
+class TestRotation:
+    def test_keeps_newest_n_by_step_number(self, tmp_path):
+        for step in (2, 4, 10, 6):
+            open(auto_checkpoint_path(str(tmp_path), step), "wb").close()
+        (tmp_path / "unrelated.npz").write_bytes(b"")
+        removed = rotate_checkpoints(str(tmp_path), keep=2)
+        assert sorted(os.path.basename(r) for r in removed) == [
+            "ckpt_step00000002.npz",
+            "ckpt_step00000004.npz",
+        ]
+        survivors = sorted(p.name for p in tmp_path.iterdir())
+        assert survivors == [
+            "ckpt_step00000006.npz",
+            "ckpt_step00000010.npz",
+            "unrelated.npz",
+        ]
+
+    def test_missing_directory_is_noop(self, tmp_path):
+        assert rotate_checkpoints(str(tmp_path / "nope"), keep=3) == []
+
+    def test_keep_validated(self, tmp_path):
+        with pytest.raises(ValueError, match="keep"):
+            rotate_checkpoints(str(tmp_path), keep=0)
+
+
+class TestParamsCodec:
+    def _exercised(self):
+        """A params instance with every field moved off its default,
+        including the Optional ints in both states and numpy scalars
+        (the failure mode of the old repr round-trip)."""
+        base = SimCovParams.fast_test(dim=(24, 12), num_infections=3)
+        overrides = {}
+        for f in dataclasses.fields(SimCovParams):
+            value = getattr(base, f.name)
+            if isinstance(value, tuple):
+                continue
+            elif value is None:
+                overrides[f.name] = np.int64(17)
+            elif isinstance(value, int):
+                overrides[f.name] = np.int64(value + 1)
+            else:
+                overrides[f.name] = np.float64(value) * 0.5
+        return dataclasses.replace(base, **overrides)
+
+    def test_roundtrip_every_field(self):
+        params = self._exercised()
+        decoded = decode_params(encode_params(params))
+        for f in dataclasses.fields(SimCovParams):
+            original = getattr(params, f.name)
+            restored = getattr(decoded, f.name)
+            assert restored == original, f.name
+            # Declared types, not whatever numpy type went in.
+            assert type(restored) in (int, float, tuple), f.name
+
+    def test_none_fields_stay_none(self):
+        params = SimCovParams.fast_test()
+        assert params.antiviral_start is None
+        decoded = decode_params(encode_params(params))
+        assert decoded.antiviral_start is None
+        assert decoded.antibody_start is None
+        assert decoded == params
+
+    def test_dim_restored_as_tuple_of_ints(self):
+        params = SimCovParams.fast_test(dim=(8, 16, 4))
+        decoded = decode_params(encode_params(params))
+        assert decoded.dim == (8, 16, 4)
+        assert all(type(v) is int for v in decoded.dim)
+
+    def test_checkpointed_params_equal_original(self, sim, tmp_path):
+        path = str(tmp_path / "ck.npz")
+        save_checkpoint(path, sim)
+        assert load_checkpoint(path).params == sim.params
+
+    def test_unknown_field_type_fails_loudly(self):
+        from repro.io.checkpoint import _code_field
+
+        with pytest.raises(TypeError, match="no checkpoint codec"):
+            _code_field("widget", dict, {}, decoding=False)
