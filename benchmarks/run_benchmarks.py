@@ -1,14 +1,16 @@
 #!/usr/bin/env python
 """Step-engine benchmark runner: activity gating vs whole-domain baseline,
-plus the multi-process distributed backend.
+the multi-process distributed backend, and the batched ensemble backend.
 
 Measures steps/sec and per-phase seconds (via
 :class:`~repro.engine.metrics.PhaseMetrics`) for the canonical small and
 medium 2D configurations, running each once gated (the §3.2 periodic
 tile sweep), once force-ungated, and once on the distributed runtime
-(``repro.dist``, default 4 worker processes), and writes
-``BENCH_step_engine.json`` at the repo root.  Every run is also checked
-for bitwise identity against the gated sequential reference — a
+(``repro.dist``, default 4 worker processes); measures ensemble
+simulations/sec at batch 1/16/64 against a loop of solo runs on the
+``small_2d`` run config (``repro.experiments.configs.RUN_CONFIGS``); and
+writes ``BENCH_step_engine.json`` at the repo root.  Every run is also
+checked for bitwise identity against the sequential reference — a
 benchmark that drifted from the ground truth is reported as failed, not
 merely slow.
 
@@ -123,6 +125,95 @@ def _dist_identical(fields, series, ref):
     return all(series[i] == ref.series[i] for i in range(len(series)))
 
 
+def _member_identical(ens, b, solo):
+    """Whether ensemble member ``b`` matches its solo run bitwise (final
+    state fields + the whole per-step series)."""
+    for name in STATE_FIELDS:
+        if not np.array_equal(
+            ens.gather_field(name, member=b),
+            getattr(solo.block, name)[solo.block.interior],
+        ):
+            return False
+    ms = ens.member_series[b]
+    if len(ms) != len(solo.series):
+        return False
+    return all(ms[i] == solo.series[i] for i in range(len(ms)))
+
+
+#: Ensemble batch sizes benchmarked against the solo-run loop.
+ENSEMBLE_BATCHES = (1, 16, 64)
+
+
+def run_ensemble_config(steps_override=None, batches=ENSEMBLE_BATCHES):
+    """Simulations/sec of the batched ensemble backend vs a solo loop.
+
+    The baseline runs every solo simulation for real (the loop wall time
+    for batch B is the sum of the first B runs), and those runs double as
+    the ground truth for the bitwise-identity check on the largest batch.
+    """
+    from repro.engine.ensemble import EnsembleSimCov
+    from repro.experiments.configs import get_run_config
+
+    cfg = get_run_config("small_2d")
+    steps = steps_override or cfg.steps
+    params = SimCovParams.fast_test(
+        dim=cfg.dim, num_infections=cfg.num_infections, num_steps=steps,
+    )
+    max_batch = max(batches)
+    # Warm both code paths so one-time numpy/scipy setup does not bias
+    # whichever side happens to run first.
+    EnsembleSimCov(params, seeds=np.arange(2, dtype=np.int64)).run(min(steps, 30))
+    SequentialSimCov(params, seed=0).run(min(steps, 30))
+
+    solo_walls = []
+    solos = []
+    for s in range(max_batch):
+        t0 = time.perf_counter()
+        sim = SequentialSimCov(params, seed=s)
+        sim.run(steps)
+        solo_walls.append(time.perf_counter() - t0)
+        solos.append(sim)
+
+    result = {
+        "config": cfg.name,
+        "dim": list(cfg.dim),
+        "num_infections": cfg.num_infections,
+        "steps": steps,
+        "cpu_count": os.cpu_count(),
+        "batches": {},
+        "bitwise_identical": True,
+    }
+    for batch in batches:
+        seeds = np.arange(batch, dtype=np.int64)
+        t0 = time.perf_counter()
+        ens = EnsembleSimCov(params, seeds=seeds)
+        ens.run(steps)
+        ens_wall = time.perf_counter() - t0
+        loop_wall = float(np.sum(solo_walls[:batch]))
+        identical = all(
+            _member_identical(ens, b, solos[b]) for b in range(batch)
+        )
+        result["bitwise_identical"] = result["bitwise_identical"] and identical
+        rec = {
+            "ensemble_wall_seconds": round(ens_wall, 4),
+            "ensemble_sims_per_sec": round(batch / ens_wall, 3),
+            "ensemble_member_steps_per_sec": round(batch * steps / ens_wall, 1),
+            "solo_loop_wall_seconds": round(loop_wall, 4),
+            "solo_loop_sims_per_sec": round(batch / loop_wall, 3),
+            "speedup_vs_solo_loop": round(loop_wall / ens_wall, 2),
+            "bitwise_identical": identical,
+        }
+        result["batches"][str(batch)] = rec
+        print(
+            f"ensemble/{cfg.name} batch={batch}: "
+            f"{rec['speedup_vs_solo_loop']}x vs solo loop "
+            f"(ensemble {rec['ensemble_member_steps_per_sec']} member-steps/s,"
+            f" solo loop {round(batch * steps / loop_wall, 1)},"
+            f" bitwise_identical={identical})"
+        )
+    return result
+
+
 def run_config(name, spec, steps_override=None, dist_nranks=4):
     steps = steps_override or spec["steps"]
     params = SimCovParams.fast_test(
@@ -138,6 +229,7 @@ def run_config(name, spec, steps_override=None, dist_nranks=4):
         "num_infections": spec["num_infections"],
         "steps": steps,
         "seed": spec["seed"],
+        "cpu_count": os.cpu_count(),
         "gated": gated_rec,
         "ungated": ungated_rec,
         "speedup": round(gated_rec["steps_per_sec"] / ungated_rec["steps_per_sec"], 3),
@@ -177,29 +269,46 @@ def run_config(name, spec, steps_override=None, dist_nranks=4):
 
 def main(argv=None):
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--config", choices=[*CONFIGS, "all"], default="all")
+    ap.add_argument("--config", choices=[*CONFIGS, "ensemble", "all"],
+                    default="all")
     ap.add_argument("--steps", type=int, default=None,
                     help="override step count (smoke/CI use)")
     ap.add_argument("--dist-nranks", type=int, default=4,
                     help="worker processes for the dist run (0 disables)")
+    ap.add_argument("--ensemble-batches", type=int, nargs="+",
+                    default=list(ENSEMBLE_BATCHES),
+                    help="ensemble batch sizes to benchmark (smoke/CI use)")
     ap.add_argument("--out", type=pathlib.Path,
                     default=repo_root() / "BENCH_step_engine.json")
     args = ap.parse_args(argv)
 
-    names = list(CONFIGS) if args.config == "all" else [args.config]
+    if args.config == "all":
+        names = list(CONFIGS)
+        with_ensemble = True
+    else:
+        names = [args.config] if args.config in CONFIGS else []
+        with_ensemble = args.config == "ensemble"
     payload = {
         "benchmark": "step_engine_activity_gating",
-        "metric": "steps_per_sec (sequential gated/ungated + dist backend)",
-        # Distributed speedup only means something relative to this.
+        "metric": "steps_per_sec (sequential gated/ungated + dist backend) "
+        "and ensemble sims_per_sec vs solo loop",
+        # Distributed/ensemble speedups only mean something relative to this.
         "cpu_count": os.cpu_count(),
         "configs": {
             n: run_config(n, CONFIGS[n], args.steps, args.dist_nranks)
             for n in names
         },
     }
+    if with_ensemble:
+        payload["ensemble"] = run_ensemble_config(
+            args.steps, batches=tuple(args.ensemble_batches)
+        )
     args.out.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.out}")
-    return 0 if all(c["bitwise_identical"] for c in payload["configs"].values()) else 1
+    ok = all(c["bitwise_identical"] for c in payload["configs"].values())
+    if with_ensemble:
+        ok = ok and payload["ensemble"]["bitwise_identical"]
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

@@ -39,6 +39,9 @@ _LAZY = {
     "SimCovGPU": ("repro.simcov_gpu.simulation", "SimCovGPU"),
     "GpuVariant": ("repro.simcov_gpu.variants", "GpuVariant"),
     "DistSimCov": ("repro.dist.driver", "DistSimCov"),
+    "EnsembleSimCov": ("repro.engine.ensemble", "EnsembleSimCov"),
+    "expand_sweep": ("repro.engine.ensemble", "expand_sweep"),
+    "get_array_module": ("repro.core.xp", "get_array_module"),
 }
 
 __all__ = sorted(_LAZY) + ["__version__"]

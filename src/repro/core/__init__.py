@@ -13,7 +13,14 @@ bitwise do) match.
 from repro.core.params import SimCovParams
 from repro.core.state import EpiState, VoxelBlock
 from repro.core.stats import StepStats, TimeSeries
-from repro.core.model import SequentialSimCov
+
+# SequentialSimCov is imported lazily: model.py pulls in the execution
+# engine, whose backends import repro.core.* in turn — an eager import
+# here makes `import repro.engine` from a fresh interpreter impossible
+# (the packages initialize mid-way through each other).
+_LAZY = {
+    "SequentialSimCov": ("repro.core.model", "SequentialSimCov"),
+}
 
 __all__ = [
     "SimCovParams",
@@ -23,3 +30,15 @@ __all__ = [
     "TimeSeries",
     "SequentialSimCov",
 ]
+
+
+def __getattr__(name):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(
+            f"module 'repro.core' has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)

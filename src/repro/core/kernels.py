@@ -33,16 +33,61 @@ import numpy as np
 
 from repro.core.params import SimCovParams
 from repro.core.state import BINDABLE, CHEMOKINE_PRODUCERS, EpiState, VIRION_PRODUCERS, VoxelBlock
+from repro.core.xp import NUMPY
 from repro.diffusion.stencil import decay_field, diffuse_region, mirror_out_of_domain
 from repro.grid.spec import moore_offsets
 from repro.rng.streams import Stream, VoxelRNG
 
 
 def _shift(region: tuple[slice, ...], offset) -> tuple[slice, ...]:
-    """Shift a bounded slice tuple by an integer offset vector."""
+    """Shift a bounded slice tuple by an integer *spatial* offset vector.
+
+    The offset is right-aligned against the region: leading axes beyond
+    ``len(offset)`` (an ensemble batch axis) are left untouched, so the
+    same kernel source shifts solo ``(ny, nx)`` and batched ``(B, ny, nx)``
+    regions identically per member.
+    """
+    offs = (0,) * (len(region) - len(offset)) + tuple(int(o) for o in offset)
     return tuple(
-        slice(s.start + int(o), s.stop + int(o)) for s, o in zip(region, offset)
+        s if o == 0 else slice(s.start + o, s.stop + o)
+        for s, o in zip(region, offs)
     )
+
+
+def _rng_members(rng, mask, xp=NUMPY):
+    """Batch indices of each True element of ``mask`` for member-keyed
+    draws, or None for a solo (unbatched) rng.
+
+    Fancy indexing like ``gid[mask]`` flattens the batch axis away; the
+    returned vector re-identifies each element's member so EnsembleRNG can
+    hash it with that member's seed.
+    """
+    if not getattr(rng, "batched", False):
+        return None
+    return xp.nonzero(mask)[0]
+
+
+def _member_param(value, members):
+    """Per-element parameter for a member-indexed (flattened) update.
+
+    ``value`` is either a plain scalar (uniform ensemble / solo run —
+    returned unchanged, so the solo code path is untouched) or a
+    :class:`~repro.core.params.ParamsStack` broadcast array shaped
+    ``(B, 1, ..., 1)``; ``members`` the batch index of each flattened
+    element (from :func:`_rng_members`, or a mask's nonzero batch axis).
+    """
+    if members is None or not isinstance(value, np.ndarray):
+        return value
+    return value.reshape(-1)[np.asarray(members)]
+
+
+def _mask_members(value, mask, block, xp):
+    """Like :func:`_member_param` but keyed off the mask's extra axes:
+    gathers per-member values for ``arr[mask]``-style updates when the
+    block is batched and ``value`` varies across members."""
+    if not isinstance(value, np.ndarray) or mask.ndim <= block.spec.ndim:
+        return value
+    return _member_param(value, xp.nonzero(mask)[0])
 
 
 def _slab_union(
@@ -67,7 +112,7 @@ def tcell_age(block: VoxelBlock, region: tuple[slice, ...]) -> None:
     tt = block.tcell_tissue_time[region]
     bt = block.tcell_bound_time[region]
     tt[present] -= 1
-    np.maximum(bt, 0, out=bt)
+    bt[bt < 0] = 0
     bt[present & (bt > 0)] -= 1
     died = present & (tt <= 0)
     block.tcell[region][died] = 0
@@ -96,6 +141,87 @@ def extravasation_attempts(
         "life": np.maximum(
             1, rng.poisson(Stream.TCELL_TISSUE_LIFE, step, idx, params.tcell_tissue_period)
         ),
+    }
+
+
+def ensemble_extravasation_attempts(
+    params, rng, step: int, pools: np.ndarray
+) -> dict[str, np.ndarray]:
+    """Every member's attempt schedule in one batched set of draws.
+
+    Returns one *flat* dict: concatenated ``gid``/``accept_u``/``life``
+    arrays plus the per-member ``counts`` and each attempt's ``member``
+    index.  Slice ``b`` (see :func:`member_attempts`) is bitwise identical
+    to ``extravasation_attempts(params.member(b), VoxelRNG(seeds[b]),
+    step, float(pools[b]))`` — the pool-round uniforms come from one
+    batched hash, and the (ragged) per-attempt draws from one gathered
+    member-keyed hash, replacing ``4 * B`` tiny RNG calls per step with 4.
+    """
+    pools = np.asarray(pools, dtype=np.float64)
+    n_members = pools.size
+    frac_param = params.extravasate_fraction
+    if isinstance(frac_param, np.ndarray):
+        frac_param = frac_param.reshape(-1)
+    x = pools * frac_param
+    n = np.floor(x)
+    frac = x - n
+    u = rng.xp.asnumpy(
+        rng.uniform(
+            Stream.POOL_ROUND, step, np.zeros((n_members, 1), dtype=np.int64)
+        )
+    ).reshape(n_members)
+    counts = n.astype(np.int64) + (u < frac)
+    total = int(counts.sum())
+    if total == 0:
+        return {
+            "counts": counts,
+            "member": np.empty(0, dtype=np.int64),
+            "gid": np.empty(0, dtype=np.int64),
+            "accept_u": np.empty(0, dtype=np.float64),
+            "life": np.empty(0, dtype=np.int64),
+        }
+    member = np.repeat(np.arange(n_members, dtype=np.int64), counts)
+    # Within-member attempt indices 0..counts[b]-1, without a Python loop:
+    # subtract each attempt's member-start offset from the global arange.
+    starts = np.concatenate([[0], np.cumsum(counts)[:-1]])
+    idx = np.arange(total, dtype=np.int64) - np.repeat(starts, counts)
+    mu = params.tcell_tissue_period
+    if isinstance(mu, np.ndarray):
+        mu = mu.reshape(-1)[member]
+    xp = rng.xp
+    gid = xp.asnumpy(
+        rng.randint(
+            Stream.EXTRAVASATE_SITE, step, idx, params.num_voxels, member=member
+        )
+    )
+    accept_u = xp.asnumpy(
+        rng.uniform(Stream.EXTRAVASATE_ACCEPT, step, idx, member=member)
+    )
+    life = np.maximum(
+        1,
+        xp.asnumpy(
+            rng.poisson(Stream.TCELL_TISSUE_LIFE, step, idx, mu, member=member)
+        ),
+    )
+    return {
+        "counts": counts,
+        "member": member,
+        "gid": gid,
+        "accept_u": accept_u,
+        "life": life,
+    }
+
+
+def member_attempts(attempts: dict[str, np.ndarray], b: int) -> dict[str, np.ndarray]:
+    """Member ``b``'s slice of a flat ensemble attempt schedule, in the
+    solo :func:`extravasation_attempts` layout."""
+    counts = attempts["counts"]
+    lo = int(counts[:b].sum())
+    hi = lo + int(counts[b])
+    return {
+        "gid": attempts["gid"][lo:hi],
+        "accept_u": attempts["accept_u"][lo:hi],
+        "life": attempts["life"][lo:hi],
     }
 
 
@@ -153,6 +279,72 @@ def apply_extravasation(
     return successes
 
 
+def ensemble_apply_extravasation(
+    params, block, attempts: dict[str, np.ndarray]
+) -> np.ndarray:
+    """Apply every member's attempts in one vectorized pass (whole interior).
+
+    ``attempts`` is the flat schedule from
+    :func:`ensemble_extravasation_attempts`.  Bitwise-equivalent to looping
+    :func:`apply_extravasation` over member views: chemokine is read-only
+    here, so the only cross-attempt coupling is repeats on one
+    (member, voxel) — resolved to the *first* accepting attempt in attempt
+    order, exactly the sequential rule.  Returns the per-member success
+    counts (the pool debits).
+    """
+    n_members = block.batch
+    gids = attempts["gid"]
+    out = np.zeros(n_members, dtype=np.int64)
+    if gids.size == 0:
+        return out
+    if block.xp.name != "numpy":  # pragma: no cover - device fallback
+        for b in range(n_members):
+            out[b] = apply_extravasation(
+                params.member(b), block.member_view(b),
+                member_attempts(attempts, b),
+            )
+        return out
+    accept_u = attempts["accept_u"]
+    life = attempts["life"]
+    member = attempts["member"]
+
+    g = block.ghost
+    spatial_sl = tuple(slice(g, s - g) for s in block.spatial_shape)
+    gid_interior = block.gid_spatial[spatial_sl]
+    shape = gid_interior.shape
+    flat_gid = gid_interior.reshape(-1)
+    order = np.argsort(flat_gid, kind="stable")
+    pos = np.clip(np.searchsorted(flat_gid, gids, sorter=order), 0,
+                  flat_gid.size - 1)
+    local_flat = order[pos]
+    mine = flat_gid[local_flat] == gids
+    coords = np.unravel_index(local_flat, shape)
+    idx = (member,) + coords
+
+    sl = block.interior
+    tcell = block.tcell[sl]
+    chem_v = block.chemokine[sl][idx]
+    mc = params.min_chemokine
+    if isinstance(mc, np.ndarray):
+        mc = mc.reshape(-1)[member]
+    eligible = (
+        mine & (tcell[idx] == 0) & (chem_v >= mc) & (accept_u < chem_v)
+    )
+    ei = np.nonzero(eligible)[0]
+    if ei.size == 0:
+        return out
+    # First accepting attempt per (member, voxel) wins; later ones would
+    # find the voxel occupied (np.unique returns first-occurrence indices).
+    key = member[ei] * np.int64(flat_gid.size) + local_flat[ei]
+    _, first = np.unique(key, return_index=True)
+    win = ei[first]
+    widx = (member[win],) + tuple(c[win] for c in coords)
+    tcell[widx] = 1
+    block.tcell_tissue_time[sl][widx] = life[win]
+    block.tcell_bound_time[sl][widx] = 0
+    return np.bincount(member[win], minlength=n_members).astype(np.int64)
+
+
 # ---------------------------------------------------------------------------
 # Phase 4: T-cell intents (choose + bid; paper §3.1 / Fig 2)
 # ---------------------------------------------------------------------------
@@ -171,17 +363,19 @@ class IntentArrays:
         "bind_bid": np.uint64,
     }
 
-    def __init__(self, shape: tuple[int, ...]):
+    def __init__(self, shape: tuple[int, ...], xp=None):
+        xp = NUMPY if xp is None else xp
+        self.xp = xp
         #: Chosen movement direction index into moore_offsets, -1 = none.
-        self.move_dir = np.full(shape, -1, dtype=np.int8)
+        self.move_dir = xp.full(shape, -1, dtype=np.int8)
         #: Chosen binding stencil index (0 = own voxel, 1.. = moore), -1 = none.
-        self.bind_dir = np.full(shape, -1, dtype=np.int8)
+        self.bind_dir = xp.full(shape, -1, dtype=np.int8)
         #: The T cell's own bid (0 where no bid was placed).
-        self.bid_self = np.zeros(shape, dtype=np.uint64)
+        self.bid_self = xp.zeros(shape, dtype=np.uint64)
         #: Max bid placed on this voxel as a *move* target.
-        self.move_bid = np.zeros(shape, dtype=np.uint64)
+        self.move_bid = xp.zeros(shape, dtype=np.uint64)
         #: Max bid placed on this voxel's epithelial cell as a *bind* target.
-        self.bind_bid = np.zeros(shape, dtype=np.uint64)
+        self.bind_bid = xp.zeros(shape, dtype=np.uint64)
         #: The slab holding every non-sentinel entry (None = whole array).
         self._dirty: tuple[slice, ...] | None = None
 
@@ -196,6 +390,7 @@ class IntentArrays:
         ``fresh=False`` adopts the contents as-is.
         """
         self = cls.__new__(cls)
+        self.xp = NUMPY
         shape = None
         for name, dtype in cls.FIELD_DTYPES.items():
             arr = arrays[name]
@@ -276,6 +471,7 @@ def tcell_intents(
     max-merged at the target (``move_bid``/``bind_bid``), the two stores of
     the paper's single-communication tiebreak.
     """
+    xp = block.xp
     movers = (block.tcell[region] != 0) & (block.tcell_bound_time[region] == 0)
     if not movers.any():
         return
@@ -286,23 +482,23 @@ def tcell_intents(
     nb = len(bstencil)
 
     # --- binding choice ----------------------------------------------------
-    bindable = np.zeros(movers.shape + (nb,), dtype=bool)
+    bindable = xp.zeros(movers.shape + (nb,), dtype=bool)
     for k, off in enumerate(bstencil):
         nb_state = block.epi_state[_shift(region, off)]
-        ok = np.zeros_like(movers)
+        ok = xp.zeros_like(movers)
         for s in BINDABLE:
             ok |= nb_state == s
         bindable[..., k] = ok
     n_candidates = bindable.sum(axis=-1)
     binder = movers & (n_candidates > 0)
     if binder.any():
-        j = rng.words(Stream.TCELL_BIND_SELECT, step, gid) % np.maximum(
-            n_candidates.astype(np.uint64), 1
+        j = rng.words(Stream.TCELL_BIND_SELECT, step, gid) % xp.maximum(
+            xp.astype(n_candidates, np.uint64), 1
         )
         # Index of the (j+1)-th True along the stencil axis.
-        cum = np.cumsum(bindable, axis=-1)
-        sel = np.argmax(cum == (j.astype(np.int64) + 1)[..., None], axis=-1)
-        intents.bind_dir[region][binder] = sel[binder].astype(np.int8)
+        cum = xp.cumsum(bindable, axis=-1)
+        sel = xp.argmax(cum == (xp.astype(j, np.int64) + 1)[..., None], axis=-1)
+        intents.bind_dir[region][binder] = xp.astype(sel[binder], np.int8)
         intents.bid_self[region][binder] = bids[binder]
         # Scatter-max onto targets, one direction at a time (within one
         # direction all targets are distinct, so a masked max suffices).
@@ -311,16 +507,17 @@ def tcell_intents(
             if not mask.any():
                 continue
             view = intents.bind_bid[_shift(region, off)]
-            view[mask] = np.maximum(view[mask], bids[mask])
+            view[mask] = xp.maximum(view[mask], bids[mask])
 
     # --- movement choice -------------------------------------------------------
     mover = movers & (n_candidates == 0)
     if mover.any():
         offsets = moore_offsets(ndim)
-        k_choice = rng.randint(
-            Stream.TCELL_DIRECTION, step, gid, len(offsets)
-        ).astype(np.int8)
-        blocked = np.zeros_like(mover)
+        k_choice = xp.astype(
+            rng.randint(Stream.TCELL_DIRECTION, step, gid, len(offsets)),
+            np.int8,
+        )
+        blocked = xp.zeros_like(mover)
         for k, off in enumerate(offsets):
             sel_k = mover & (k_choice == k)
             if not sel_k.any():
@@ -336,7 +533,7 @@ def tcell_intents(
             if not mask.any():
                 continue
             view = intents.move_bid[_shift(region, off)]
-            view[mask] = np.maximum(view[mask], bids[mask])
+            view[mask] = xp.maximum(view[mask], bids[mask])
 
 
 # ---------------------------------------------------------------------------
@@ -371,11 +568,12 @@ def compute_moves(
     the winner's source device erases it, the target's owner instantiates
     it, no duplication and no loss.
     """
+    xp = block.xp
     ndim = block.spec.ndim
     offsets = moore_offsets(ndim)
     md = intents.move_dir[region]
     # Outgoing: my cells that won their bid at the target.
-    moved_out = np.zeros(md.shape, dtype=bool)
+    moved_out = xp.zeros(md.shape, dtype=bool)
     for k, off in enumerate(offsets):
         cand = md == k
         if not cand.any():
@@ -384,8 +582,8 @@ def compute_moves(
         won = cand & (intents.bid_self[region] == tgt_max) & (tgt_max > 0)
         moved_out |= won
     # Incoming: neighbor cells (possibly ghosts) that won a bid on my voxel.
-    arriving = np.zeros(md.shape, dtype=bool)
-    new_life = np.zeros(md.shape, dtype=np.int32)
+    arriving = xp.zeros(md.shape, dtype=bool)
+    new_life = xp.zeros(md.shape, dtype=np.int32)
     my_max = intents.move_bid[region]
     for k, off in enumerate(offsets):
         src = _shift(region, [-o for o in off])
@@ -400,10 +598,12 @@ def compute_moves(
     return MoveSet(region, moved_out, arriving, new_life)
 
 
-def commit_moves(block: VoxelBlock, moves: MoveSet) -> int:
+def commit_moves(block: VoxelBlock, moves: MoveSet, member_counts: bool = False):
     """Execute one region's flips: erase movers-out, instantiate arrivals.
     Must run only after *all* regions' :func:`compute_moves` finished (the
-    separate 'Move Agents' kernel of Fig 2).  Returns arrivals."""
+    separate 'Move Agents' kernel of Fig 2).  Returns arrivals — a scalar,
+    or a per-member vector with ``member_counts=True`` (batched blocks;
+    sums over every non-batch axis)."""
     region = moves.region
     tc = block.tcell[region]
     tt = block.tcell_tissue_time[region]
@@ -414,6 +614,9 @@ def commit_moves(block: VoxelBlock, moves: MoveSet) -> int:
     tc[moves.arriving] = 1
     tt[moves.arriving] = moves.new_life[moves.arriving]
     bt[moves.arriving] = 0
+    if member_counts:
+        arr = moves.arriving
+        return block.xp.asnumpy(arr.reshape(arr.shape[0], -1).sum(axis=1))
     return int(moves.arriving.sum())
 
 
@@ -436,27 +639,35 @@ def resolve_binds(
     block: VoxelBlock,
     intents: IntentArrays,
     region: tuple[slice, ...],
-) -> int:
+    member_counts: bool = False,
+):
     """Apply winning binds: the bound epithelial cell turns apoptotic with a
     fresh Poisson timer; the winning T cell is held for the binding period.
-    Returns the number of cells driven apoptotic in the region."""
+    Returns the number of cells driven apoptotic in the region — a scalar,
+    or a per-member vector with ``member_counts=True`` (batched blocks)."""
+    xp = block.xp
     bstencil = bind_stencil(block.spec.ndim)
     # Epithelial side: any expressing cell with a positive merged bind bid
     # was won by exactly one T cell.
     sl_state = block.epi_state[region]
-    bound = np.zeros(sl_state.shape, dtype=bool)
+    bound = xp.zeros(sl_state.shape, dtype=bool)
     for s in BINDABLE:
         bound |= sl_state == s
     bound &= intents.bind_bid[region] > 0
     if bound.any():
+        members = _rng_members(rng, bound, xp)
         block.epi_state[region][bound] = EpiState.APOPTOTIC
-        block.epi_timer[region][bound] = np.maximum(
-            1,
-            rng.poisson(
-                Stream.APOPTOSIS_PERIOD, step, block.gid[region][bound],
-                params.apoptosis_period,
+        block.epi_timer[region][bound] = xp.astype(
+            xp.maximum(
+                1,
+                rng.poisson(
+                    Stream.APOPTOSIS_PERIOD, step, block.gid[region][bound],
+                    _member_param(params.apoptosis_period, members),
+                    member=members,
+                ),
             ),
-        ).astype(np.int32)
+            np.int32,
+        )
     # T-cell side: my cells that won their bind enter the bound state.
     bd = intents.bind_dir[region]
     for k, off in enumerate(bstencil):
@@ -465,8 +676,14 @@ def resolve_binds(
             continue
         tgt_max = intents.bind_bid[_shift(region, off)]
         won = cand & (intents.bid_self[region] == tgt_max) & (tgt_max > 0)
-        block.tcell_bound_time[region][won] = params.tcell_binding_period
-    return int(bound.sum())
+        block.tcell_bound_time[region][won] = _mask_members(
+            params.tcell_binding_period, won, block, xp
+        )
+    return (
+        xp.asnumpy(bound.reshape(bound.shape[0], -1).sum(axis=1))
+        if member_counts
+        else int(bound.sum())
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -482,11 +699,12 @@ def epithelial_update(
     region: tuple[slice, ...],
 ) -> None:
     """Infection of healthy cells and state-timer transitions."""
+    xp = block.xp
     state = block.epi_state[region]
     timer = block.epi_timer[region]
     gid = block.gid[region]
     # Snapshot: a cell makes at most one transition per step.
-    state0 = state.copy()
+    state0 = xp.copy(state)
     # Infection: p = infectivity * local virion concentration.
     healthy = state0 == EpiState.HEALTHY
     if healthy.any():
@@ -494,14 +712,19 @@ def epithelial_update(
         roll = rng.uniform(Stream.INFECTION, step, gid)
         infected = healthy & (roll < p)
         if infected.any():
+            members = _rng_members(rng, infected, xp)
             state[infected] = EpiState.INCUBATING
-            timer[infected] = np.maximum(
-                1,
-                rng.poisson(
-                    Stream.INCUBATION_PERIOD, step, gid[infected],
-                    params.incubation_period,
+            timer[infected] = xp.astype(
+                xp.maximum(
+                    1,
+                    rng.poisson(
+                        Stream.INCUBATION_PERIOD, step, gid[infected],
+                        _member_param(params.incubation_period, members),
+                        member=members,
+                    ),
                 ),
-            ).astype(np.int32)
+                np.int32,
+            )
     # Timer transitions (decrement happens in the state held at step start).
     for from_state, stream, period, to_state in (
         (EpiState.INCUBATING, Stream.EXPRESSING_PERIOD,
@@ -518,9 +741,17 @@ def epithelial_update(
             continue
         state[expired] = to_state
         if stream is not None:
-            timer[expired] = np.maximum(
-                1, rng.poisson(stream, step, gid[expired], period)
-            ).astype(np.int32)
+            members = _rng_members(rng, expired, xp)
+            timer[expired] = xp.astype(
+                xp.maximum(
+                    1,
+                    rng.poisson(
+                        stream, step, gid[expired],
+                        _member_param(period, members), member=members,
+                    ),
+                ),
+                np.int32,
+            )
         else:
             timer[expired] = 0
 
@@ -534,21 +765,28 @@ def production_update(
     """Infected cells emit virions; detectable cells emit the signal.
     Concentrations are per-voxel fractions clamped to [0, 1].  Production
     is antiviral-adjusted when an intervention is configured ([25])."""
+    xp = block.xp
     state = block.epi_state[region]
-    producing = np.zeros(state.shape, dtype=bool)
+    producing = xp.zeros(state.shape, dtype=bool)
     for s in VIRION_PRODUCERS:
         producing |= state == s
     if producing.any():
         v = block.virions[region]
-        v[producing] = np.minimum(
-            1.0, v[producing] + params.virion_production_at(step)
+        v[producing] = xp.minimum(
+            1.0,
+            v[producing]
+            + _mask_members(params.virion_production_at(step), producing, block, xp),
         )
-    signaling = np.zeros(state.shape, dtype=bool)
+    signaling = xp.zeros(state.shape, dtype=bool)
     for s in CHEMOKINE_PRODUCERS:
         signaling |= state == s
     if signaling.any():
         c = block.chemokine[region]
-        c[signaling] = np.minimum(1.0, c[signaling] + params.chemokine_production)
+        c[signaling] = xp.minimum(
+            1.0,
+            c[signaling]
+            + _mask_members(params.chemokine_production, signaling, block, xp),
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -569,9 +807,14 @@ def concentration_update(
     domain boundary) before calling.  Call :func:`concentration_commit`
     after all regions are processed (Jacobi semantics).
     """
-    diffuse_region(block.virions, scratch_virions, region, params.virion_diffusion)
+    ndim = block.spec.ndim
     diffuse_region(
-        block.chemokine, scratch_chemokine, region, params.chemokine_diffusion
+        block.virions, scratch_virions, region, params.virion_diffusion,
+        spatial_ndim=ndim,
+    )
+    diffuse_region(
+        block.chemokine, scratch_chemokine, region, params.chemokine_diffusion,
+        spatial_ndim=ndim,
     )
 
 

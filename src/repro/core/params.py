@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+import numpy as np
+
 #: Simulated minutes per timestep (Moses et al.: 33,120 steps ≈ 23 days).
 MINUTES_PER_STEP = 1.0
 
@@ -198,3 +200,83 @@ class SimCovParams:
             tcell_binding_period=3,
             extravasate_fraction=0.2,
         )
+
+
+class ParamsStack:
+    """Read-only facade over one :class:`SimCovParams` per ensemble member.
+
+    Attribute access returns the plain scalar when every member agrees
+    (so uniform ensembles run the exact solo code paths), or a float64
+    array shaped ``(B, 1, ..., 1)`` — broadcastable against batched
+    ``(B, *spatial)`` fields — when members differ (a parameter sweep).
+    Per-member broadcasting performs the same elementwise double
+    operations as each member's solo scalar, so sweeps keep the bitwise
+    guarantee.
+
+    Geometry and schedule parameters (``dim``, ``num_steps``) must be
+    uniform: members share one grid allocation and one step loop.
+    """
+
+    def __init__(self, members):
+        members = tuple(members)
+        if not members:
+            raise ValueError("ParamsStack needs at least one member")
+        first = members[0]
+        for i, p in enumerate(members[1:], start=1):
+            if p.dim != first.dim:
+                raise ValueError(
+                    f"ensemble members must share dim: member 0 has "
+                    f"{first.dim}, member {i} has {p.dim}"
+                )
+            if p.num_steps != first.num_steps:
+                raise ValueError(
+                    f"ensemble members must share num_steps: member 0 has "
+                    f"{first.num_steps}, member {i} has {p.num_steps}"
+                )
+        self.members = members
+        self._spatial_ndim = first.ndim
+        # Members are frozen dataclasses, so reduced attribute values never
+        # change; cache them (the per-access listcomp over B members is
+        # measurable in the ensemble hot loop).
+        self._attr_cache: dict[str, object] = {}
+
+    @property
+    def batch(self) -> int:
+        return len(self.members)
+
+    def member(self, b: int) -> SimCovParams:
+        return self.members[b]
+
+    def _reduce(self, values):
+        """Scalar when uniform, else a ``(B, 1, ..., 1)`` float64 array."""
+        first = values[0]
+        if all(v == first for v in values[1:]):
+            return first
+        if any(v is None for v in values):
+            raise ValueError("cannot batch a parameter that is None for "
+                             "some members and set for others")
+        return np.asarray(values, dtype=np.float64).reshape(
+            (len(values),) + (1,) * self._spatial_ndim
+        )
+
+    def __getattr__(self, name):
+        if name.startswith("_"):
+            raise AttributeError(name)
+        cache = self.__dict__["_attr_cache"]
+        try:
+            return cache[name]
+        except KeyError:
+            value = self._reduce([getattr(p, name) for p in self.members])
+            cache[name] = value
+            return value
+
+    # -- intervention helpers (mirror SimCovParams) -------------------------
+
+    def virion_production_at(self, step: int):
+        return self._reduce([p.virion_production_at(step) for p in self.members])
+
+    def virion_clearance_at(self, step: int):
+        return self._reduce([p.virion_clearance_at(step) for p in self.members])
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return f"<ParamsStack batch={self.batch} dim={self.members[0].dim}>"

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.xp import NUMPY
 from repro.grid.box import Box
 from repro.grid.spec import GridSpec
 
@@ -57,6 +58,11 @@ class VoxelBlock:
     spec: GridSpec
     owned: Box
     ghost: int = 1
+
+    #: Array namespace the block's fields live in.  Plain VoxelBlocks are
+    #: always host/numpy; EnsembleBlock may carry another module.  (Class
+    #: attribute, not a dataclass field.)
+    xp = NUMPY
 
     # Filled by __post_init__:
     epi_state: np.ndarray = field(init=False)
@@ -209,4 +215,84 @@ class VoxelBlock:
             | (epi == EpiState.INCUBATING)
             | (epi == EpiState.EXPRESSING)
             | (epi == EpiState.APOPTOTIC)
+        )
+
+
+class EnsembleBlock(VoxelBlock):
+    """A batch of ``B`` same-shape :class:`VoxelBlock` states stacked on a
+    leading axis.
+
+    Every field has shape ``(B,) + padded``; the spatial geometry
+    (``gid``/``in_domain``) is shared by all members and exposed as a
+    broadcast view, so elementwise kernels run once for the whole batch.
+    Member ``b``'s slice ``field[b]`` is exactly the solo block layout,
+    which is what :meth:`member_view` hands back (a writable view under
+    numpy) for per-member code paths: seeding, extravasation attempts,
+    checkpointing.
+    """
+
+    def __init__(self, spec: GridSpec, owned: Box, batch: int,
+                 ghost: int = 1, xp=None):
+        if batch < 1:
+            raise ValueError(f"ensemble batch must be >= 1, got {batch}")
+        self.spec = spec
+        self.owned = owned
+        self.ghost = int(ghost)
+        self.batch = int(batch)
+        self.xp = NUMPY if xp is None else xp
+        spatial = tuple(s + 2 * self.ghost for s in owned.shape)
+        shape = (self.batch,) + spatial
+        for name, dtype in self.FIELD_DTYPES.items():
+            setattr(self, name, self.xp.zeros(shape, dtype=dtype))
+        self._derive_geometry()
+        self.epi_state[self.in_domain] = EpiState.HEALTHY
+
+    def _derive_geometry(self) -> None:
+        spatial = tuple(s + 2 * self.ghost for s in self.owned.shape)
+        ext = self.owned.expand(self.ghost)
+        coords = ext.coords().reshape(spatial + (self.spec.ndim,))
+        inside = self.spec.in_bounds(coords)
+        gid = np.full(spatial, -1, dtype=np.int64)
+        gid[inside] = self.spec.ravel(coords[inside])
+        self.gid_spatial = gid
+        self.in_domain_spatial = inside
+        bshape = (self.batch,) + spatial
+        if self.xp.name == "numpy":
+            # Zero-copy broadcast views: all members share one geometry.
+            self.gid = np.broadcast_to(gid, bshape)
+            self.in_domain = np.broadcast_to(inside, bshape)
+        else:  # pragma: no cover - exercised only with cupy/torch present
+            self.gid = self.xp.asarray(
+                np.ascontiguousarray(np.broadcast_to(gid, bshape)))
+            self.in_domain = self.xp.asarray(
+                np.ascontiguousarray(np.broadcast_to(inside, bshape)))
+
+    # -- geometry ------------------------------------------------------------
+
+    @property
+    def interior(self) -> tuple[slice, ...]:
+        """Slices selecting every member's owned region (full batch axis)."""
+        g = self.ghost
+        return (slice(None),) + tuple(slice(g, s - g) for s in self.shape[1:])
+
+    @property
+    def spatial_shape(self) -> tuple[int, ...]:
+        return self.shape[1:]
+
+    # -- per-member access ---------------------------------------------------
+
+    def member_view(self, b: int) -> VoxelBlock:
+        """Solo-layout :class:`VoxelBlock` over member ``b``'s storage.
+
+        Under numpy the returned block's fields are *views* into the
+        batched storage — writes flow through, so solo kernels (seeding,
+        extravasation application) mutate the ensemble state directly.
+        Other array modules get host copies (read-mostly use only).
+        """
+        arrays = {
+            name: self.xp.asnumpy(getattr(self, name)[b])
+            for name in self.FIELD_DTYPES
+        }
+        return VoxelBlock.from_arrays(
+            self.spec, self.owned, arrays, ghost=self.ghost, fresh=False
         )

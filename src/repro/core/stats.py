@@ -104,6 +104,73 @@ def stats_vector(block: VoxelBlock) -> np.ndarray:
     )
 
 
+#: Probe results keyed by (padded shape, interior) — see _batched_sum_exact.
+_SUM_PROBE_CACHE: dict[tuple, bool] = {}
+
+
+def _batched_sum_exact(shape: tuple[int, ...], sl: tuple[slice, ...]) -> bool:
+    """Whether ``arr[sl].sum(axis=(1..))`` is bitwise-equal to summing each
+    member's view separately, for float64 arrays of this layout.
+
+    numpy's pairwise-summation reduction tree depends only on the
+    operand's shape/strides, never on its values, so a one-time probe with
+    random data soundly decides the question per layout.  When the probe
+    passes (it does for all production layouts), the per-member stats
+    reduction can run as one vectorized call; otherwise the caller falls
+    back to a per-member loop, which is trivially exact because a member
+    view has the solo block's exact layout.
+    """
+    key = (shape, tuple((s.start, s.stop, s.step) for s in sl[1:]))
+    hit = _SUM_PROBE_CACHE.get(key)
+    if hit is None:
+        probe = np.random.default_rng(0xC0FFEE).random(shape)
+        axes = tuple(range(1, len(shape)))
+        vec = probe[sl].sum(axis=axes, dtype=np.float64)
+        loop = np.array(
+            [probe[b][sl[1:]].sum(dtype=np.float64) for b in range(shape[0])]
+        )
+        hit = bool(np.array_equal(vec, loop))
+        _SUM_PROBE_CACHE[key] = hit
+    return hit
+
+
+def stats_vectors(block) -> np.ndarray:
+    """Per-member stats of an EnsembleBlock, shape ``(B, len(REDUCED_FIELDS))``.
+
+    Row ``b`` is bitwise identical to ``stats_vector(block.member_view(b))``:
+    integer counts are order-independent, and the float sums either pass the
+    :func:`_batched_sum_exact` probe (vectorized path) or fall back to
+    per-member solo-layout sums.  Non-numpy array modules always take the
+    vectorized path (their stats are statistical, not bitwise — DESIGN.md
+    §4d).
+    """
+    xp = block.xp
+    sl = block.interior
+    n_members = block.batch
+    axes = tuple(range(1, block.epi_state.ndim))
+    state = block.epi_state[sl]
+    out = np.empty((n_members, len(REDUCED_FIELDS)), dtype=np.float64)
+    out[:, 0] = xp.asnumpy((state == EpiState.HEALTHY).sum(axis=axes))
+    out[:, 1] = xp.asnumpy((state == EpiState.INCUBATING).sum(axis=axes))
+    out[:, 2] = xp.asnumpy((state == EpiState.EXPRESSING).sum(axis=axes))
+    out[:, 3] = xp.asnumpy((state == EpiState.APOPTOTIC).sum(axis=axes))
+    out[:, 4] = xp.asnumpy((state == EpiState.DEAD).sum(axis=axes))
+    out[:, 5] = xp.asnumpy((block.tcell[sl] != 0).sum(axis=axes))
+    vectorized = xp.name != "numpy" or _batched_sum_exact(
+        block.virions.shape, sl
+    )
+    if vectorized:
+        out[:, 6] = xp.asnumpy(block.virions[sl].sum(axis=axes))
+        out[:, 7] = xp.asnumpy(block.chemokine[sl].sum(axis=axes))
+    else:  # pragma: no cover - no production layout fails the probe
+        for b in range(n_members):
+            mv = block.member_view(b)
+            isl = mv.interior
+            out[b, 6] = mv.virions[isl].sum(dtype=np.float64)
+            out[b, 7] = mv.chemokine[isl].sum(dtype=np.float64)
+    return out
+
+
 class TimeSeries:
     """Accumulates StepStats and exposes numpy views per field."""
 

@@ -28,20 +28,33 @@ def diffuse_region(
     src: np.ndarray,
     dst: np.ndarray,
     region: tuple[slice, ...],
-    rate: float,
+    rate,
+    spatial_ndim: int | None = None,
 ) -> None:
     """Write the diffusion update of ``src`` over ``region`` into ``dst``.
 
     ``region`` indexes the *padded* arrays and must not touch the outer
     ghost ring (neighbors are read at distance 1).  ``src`` and ``dst``
     must be distinct buffers (Jacobi update, as on the GPU).
+
+    ``spatial_ndim`` names how many *trailing* axes are spatial; leading
+    axes (an ensemble batch) carry independent grids and are not diffused
+    across.  ``rate`` may be an array broadcastable against the region
+    (per-member rates shaped ``(B, 1, ..., 1)``).
     """
     if src is dst:
         raise ValueError("diffuse_region requires distinct src/dst buffers")
-    ndim = src.ndim
+    ndim = src.ndim if spatial_ndim is None else int(spatial_ndim)
+    if not 1 <= ndim <= src.ndim:
+        raise ValueError(f"spatial_ndim {ndim} out of range for {src.ndim}-d array")
+    axis0 = src.ndim - ndim
     core = src[region]
-    nb_sum = np.zeros_like(core, dtype=src.dtype)
-    for axis in range(ndim):
+    # First-pair initialization instead of zeros_like keeps this kernel
+    # array-library-agnostic (no library-specific allocator needed).  Field
+    # values are non-negative, so dropping the leading `0 +` is bitwise
+    # neutral.
+    nb_sum = src[_shifted(region, axis0, +1)] + src[_shifted(region, axis0, -1)]
+    for axis in range(axis0 + 1, src.ndim):
         nb_sum += src[_shifted(region, axis, +1)]
         nb_sum += src[_shifted(region, axis, -1)]
     k = 2 * ndim
@@ -69,9 +82,13 @@ def diffuse_global(field: np.ndarray, rate: float) -> np.ndarray:
     return diffuse_padded(mirror_pad(field), rate)
 
 
-def decay_field(field: np.ndarray, rate: float) -> None:
-    """In-place exponential decay: c *= (1 - rate)."""
-    if not 0.0 <= rate <= 1.0:
+def decay_field(field: np.ndarray, rate) -> None:
+    """In-place exponential decay: c *= (1 - rate).
+
+    ``rate`` may be an array of per-member rates broadcastable against
+    ``field`` (shape ``(B, 1, ..., 1)``).
+    """
+    if not bool(np.min(rate) >= 0.0) or not bool(np.max(rate) <= 1.0):
         raise ValueError(f"decay rate must be in [0, 1], got {rate}")
     field *= 1.0 - rate
 
@@ -84,17 +101,26 @@ def mirror_out_of_domain(
 
     Ghost cells inside the domain are the neighbor ranks' responsibility
     (halo exchange) and are left untouched.
+
+    ``arr`` may carry leading non-spatial axes (an ensemble batch); only
+    the trailing ``len(owned.lo)`` axes are treated as spatial.
     """
-    for axis in range(arr.ndim):
+    offset = arr.ndim - len(owned.lo)
+    if offset < 0:
+        raise ValueError(
+            f"array rank {arr.ndim} below spatial rank {len(owned.lo)}"
+        )
+    for axis in range(len(owned.lo)):
+        ax = axis + offset
         if owned.lo[axis] == domain.lo[axis]:
             lo_edge = [slice(None)] * arr.ndim
             lo_src = [slice(None)] * arr.ndim
-            lo_edge[axis] = slice(0, ghost)
-            lo_src[axis] = slice(ghost, ghost + 1)
+            lo_edge[ax] = slice(0, ghost)
+            lo_src[ax] = slice(ghost, ghost + 1)
             arr[tuple(lo_edge)] = arr[tuple(lo_src)]
         if owned.hi[axis] == domain.hi[axis]:
             hi_edge = [slice(None)] * arr.ndim
             hi_src = [slice(None)] * arr.ndim
-            hi_edge[axis] = slice(arr.shape[axis] - ghost, arr.shape[axis])
-            hi_src[axis] = slice(arr.shape[axis] - ghost - 1, arr.shape[axis] - ghost)
+            hi_edge[ax] = slice(arr.shape[ax] - ghost, arr.shape[ax])
+            hi_src[ax] = slice(arr.shape[ax] - ghost - 1, arr.shape[ax] - ghost)
             arr[tuple(hi_edge)] = arr[tuple(hi_src)]

@@ -12,6 +12,16 @@ from repro.engine.activity import ActivityGate
 from repro.engine.backend import ExecutionBackend
 from repro.engine.driver import EngineDriver
 from repro.engine.engine import StepContext, StepEngine
+from repro.engine.ensemble import (
+    EnsembleActivityGate,
+    EnsembleBackend,
+    EnsembleEngine,
+    EnsembleMemberView,
+    EnsembleSeries,
+    EnsembleSimCov,
+    MemberSeries,
+    expand_sweep,
+)
 from repro.engine.gpu import GpuClusterBackend
 from repro.engine.metrics import PhaseMetrics
 from repro.engine.pgas import PgasBackend
@@ -35,9 +45,16 @@ __all__ = [
     "REQUIRED_PHASES",
     "ActivityGate",
     "EngineDriver",
+    "EnsembleActivityGate",
+    "EnsembleBackend",
+    "EnsembleEngine",
+    "EnsembleMemberView",
+    "EnsembleSeries",
+    "EnsembleSimCov",
     "ExecutionBackend",
     "FieldSet",
     "GpuClusterBackend",
+    "MemberSeries",
     "PgasBackend",
     "Phase",
     "PhaseKind",
@@ -47,6 +64,7 @@ __all__ = [
     "StepEngine",
     "describe_schedule",
     "exchange",
+    "expand_sweep",
     "kernel",
     "validate_schedule",
 ]

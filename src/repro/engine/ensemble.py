@@ -1,0 +1,804 @@
+"""Batched ensemble execution: N simulations as one vectorized program.
+
+The paper's headline studies are ensembles (the Fig 8 FOI sweep runs 1024
+replicas), yet a Python loop over solo runs pays the full interpreter +
+numpy dispatch overhead N times per step.  Following DeepABM's design,
+:class:`EnsembleBackend` stacks N same-shape replicas along a leading
+batch axis (:class:`~repro.core.state.EnsembleBlock`) and executes every
+StepEngine phase **once** for the whole batch — per-call overhead is paid
+once and the arrays are large enough for numpy (or any injected ``xp``
+module) to stream.
+
+Exactness contract: under numpy, member ``b`` of a batched run is
+**bitwise identical** to the solo sequential run with that member's
+(params, seed) — the same guarantee the activity gate and the distributed
+runtime already carry.  The argument (DESIGN.md §4d):
+
+- every kernel is elementwise over voxels, and elementwise double/int ops
+  are batch-invariant;
+- randomness is keyed ``(member_seed, stream, step, voxel)`` and hashed
+  per element (:class:`~repro.rng.streams.EnsembleRNG`), so draws match
+  the member's solo :class:`~repro.rng.streams.VoxelRNG` exactly;
+- the gate region is the **union** bounding box of the members' active
+  sets — a superset of each member's own region, which the gate contract
+  makes bitwise-invisible;
+- per-member scalar state (vascular pools) evolves by elementwise vector
+  ops that reproduce each solo run's float sequence, and genuinely ragged
+  work (extravasation attempt schedules, FOI seeding) runs in short
+  per-member loops over solo-layout member views;
+- the stats reduction is probe-guarded
+  (:func:`repro.core.stats._batched_sum_exact`): the vectorized sum is
+  used only on layouts where it is provably bitwise-equal to per-member
+  sums.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+import numpy as np
+
+from repro.core import kernels
+from repro.core.params import ParamsStack, SimCovParams
+from repro.core.seeding import apply_seeds, seed_infections
+from repro.core.state import EnsembleBlock
+from repro.core.stats import REDUCED_FIELDS, StepStats, stats_vectors
+from repro.core.xp import get_array_module
+from repro.engine.backend import ExecutionBackend
+from repro.engine.driver import EngineDriver
+from repro.engine.engine import StepContext, StepEngine
+from repro.engine.phases import Phase, exchange, kernel
+from repro.grid.spec import GridSpec
+from repro.grid.tiling import TileGrid
+from repro.rng.streams import EnsembleRNG
+
+
+def _dilate_spatial(mask: np.ndarray) -> np.ndarray:
+    """:func:`repro.grid.tiling._dilate` over the spatial axes only — the
+    leading batch axis must never leak activity between members.  Per
+    member this is exactly ``_dilate(mask[b])`` (same axis order, same
+    shape-<2 skip rule)."""
+    out = mask.copy()
+    for d in range(1, mask.ndim):
+        if mask.shape[d] < 2:
+            continue
+        prev = out.copy()
+        lo = [slice(None)] * mask.ndim
+        hi = [slice(None)] * mask.ndim
+        lo[d], hi[d] = slice(None, -1), slice(1, None)
+        out[tuple(hi)] |= prev[tuple(lo)]
+        out[tuple(lo)] |= prev[tuple(hi)]
+    return out
+
+
+def _tile_any_spatial(mask, tile_shape, tiles_per_dim) -> np.ndarray:
+    """Batched :func:`repro.grid.tiling._tile_any`: per-tile ``any`` over
+    each member's owned-shape slice (ragged edge tiles padded False)."""
+    n_members = mask.shape[0]
+    full_shape = tuple(n * t for n, t in zip(tiles_per_dim, tile_shape))
+    if full_shape != mask.shape[1:]:
+        full = np.zeros((n_members,) + full_shape, dtype=bool)
+        full[(slice(None),) + tuple(slice(0, s) for s in mask.shape[1:])] = mask
+        mask = full
+    blocked = [n_members]
+    for n, t in zip(tiles_per_dim, tile_shape):
+        blocked += [n, t]
+    axes = tuple(range(2, 2 * len(tile_shape) + 1, 2))
+    return mask.reshape(blocked).any(axis=axes)
+
+
+class EnsembleActivityGate:
+    """Per-member activity tracking with a shared union execution region.
+
+    Each member gets its own §3.2 tile sweep — computed for the whole
+    batch at once with spatial-axis dilation/tiling — so telemetry sees
+    the true per-member active set.  Kernels, however, execute over one
+    region: the union bounding box across members (with the full batch
+    axis in front) — a bitwise-invisible superset for every member.
+    """
+
+    def __init__(
+        self,
+        block: EnsembleBlock,
+        min_chemokine,
+        sweep_period: int | None = None,
+        tile_shape: tuple[int, ...] | None = None,
+        enabled: bool = True,
+    ):
+        self.block = block
+        self.min_chemokine = min_chemokine
+        self.enabled = bool(enabled)
+        owned = block.owned.shape
+        n_members = block.batch
+        if tile_shape is None:
+            tile_shape = tuple(min(8, s) for s in owned)
+        else:
+            tile_shape = tuple(min(int(t), s) for t, s in zip(tile_shape, owned))
+        #: Geometry reference (validates tile args; per-member masks are
+        #: swept batched, matching a no-pin TileGrid per member bitwise).
+        self.tile_geometry = TileGrid(
+            owned, tile_shape, ghost=block.ghost,
+            pin_sides=np.zeros((len(owned), 2), dtype=bool),
+        )
+        self.tile_shape = self.tile_geometry.tile_shape
+        max_period = self.tile_geometry.max_sweep_period()
+        if sweep_period is None:
+            sweep_period = max_period
+        sweep_period = int(sweep_period)
+        if not 1 <= sweep_period <= max_period:
+            raise ValueError(
+                f"sweep_period {sweep_period} outside sound range "
+                f"[1, {max_period}] for tiles {tile_shape}"
+            )
+        self.sweep_period = sweep_period
+        g = block.ghost
+        self._full_region = (slice(0, n_members),) + tuple(
+            slice(g, s - g) for s in block.spatial_shape
+        )
+        #: Everything starts active, like the solo gate.
+        self._masks = np.ones((n_members,) + owned, dtype=bool)
+        self.member_counts = np.full(
+            n_members, int(np.prod(owned)), dtype=np.int64
+        )
+        self._region: tuple[slice, ...] | None = self._full_region
+
+    # -- the sweep rule -----------------------------------------------------
+
+    def due(self, step: int) -> bool:
+        """Same cadence as the solo gate (the sweep at the end of step
+        ``s`` covers steps ``s+1 .. s+sweep_period``)."""
+        return self.enabled and (step + 1) % self.sweep_period == 0
+
+    def sweep(self) -> int:
+        """Re-derive each member's active set from its batch slice.
+
+        One batched pass replicates per member what a no-pin
+        :meth:`TileGrid.sweep` on its padded mask would do: dilate the
+        padded mask, crop to owned, reduce per tile, dilate the tile
+        flags, expand back to voxels.
+        """
+        if not self.enabled:
+            return 0
+        raw = self.block.xp.asnumpy(
+            self.block.activity_mask_padded(self.min_chemokine)
+        )
+        g = self.block.ghost
+        owned = self.block.owned.shape
+        n_members = raw.shape[0]
+        crop = (slice(None),) + tuple(slice(g, g + s) for s in owned)
+        mask = _dilate_spatial(raw)[crop]
+        if self.sweep_period > 1:
+            geo = self.tile_geometry
+            active = _dilate_spatial(
+                _tile_any_spatial(mask, geo.tile_shape, geo.tiles_per_dim)
+            )
+            for d, t in enumerate(geo.tile_shape):
+                active = active.repeat(t, axis=d + 1)
+            self._masks = active[
+                (slice(None),) + tuple(slice(0, s) for s in owned)
+            ].copy()
+        else:
+            self._masks = np.ascontiguousarray(mask)
+        self.member_counts = self._masks.reshape(n_members, -1).sum(axis=1)
+        self._region = self._bbox()
+        return int(np.prod(owned)) * n_members
+
+    def _bbox(self) -> tuple[slice, ...] | None:
+        """Union bounding box across members (None if every member idles)."""
+        union = self._masks.any(axis=0)
+        if not union.any():
+            return None
+        g = self.block.ghost
+        sls = []
+        for axis in range(union.ndim):
+            other = tuple(a for a in range(union.ndim) if a != axis)
+            proj = union.any(axis=other)
+            idx = np.nonzero(proj)[0]
+            sls.append(slice(int(idx[0]) + g, int(idx[-1]) + 1 + g))
+        return (slice(0, self._masks.shape[0]),) + tuple(sls)
+
+    # -- consumers ----------------------------------------------------------
+
+    def region(self) -> tuple[slice, ...] | None:
+        """Batched padded-array slices kernels process (None if all idle)."""
+        if not self.enabled:
+            return self._full_region
+        return self._region
+
+    @property
+    def count(self) -> int:
+        """Total active voxels summed over members (the work gauge)."""
+        if not self.enabled:
+            return int(np.prod(self.block.owned.shape)) * self._masks.shape[0]
+        return int(self.member_counts.sum())
+
+    def member_mask(self, b: int) -> np.ndarray:
+        """Member ``b``'s own owned-shape active mask."""
+        return self._masks[b]
+
+
+class EnsembleBackend(ExecutionBackend):
+    """Batched execution of N same-grid simulations.
+
+    Parameters
+    ----------
+    members:
+        A :class:`~repro.core.params.ParamsStack`, or a sequence of
+        :class:`~repro.core.params.SimCovParams` (one per member; all
+        sharing ``dim``/``num_steps``), or a single params object with
+        ``batch`` copies.
+    seeds:
+        One trial seed per member.  Member ``b`` reproduces the solo run
+        ``SequentialSimCov(members[b], seed=seeds[b])`` bitwise.
+    batch:
+        Member count when ``members`` is a single params object.
+    seed_gids:
+        Optional explicit per-member FOI lists; default draws each
+        member's FOI from its own seed, exactly as its solo run would.
+    array_module:
+        ``xp`` namespace name or adapter (default numpy — the only module
+        with the bitwise guarantee; see :mod:`repro.core.xp`).
+    """
+
+    name = "ensemble"
+
+    def __init__(
+        self,
+        members,
+        seeds,
+        batch: int | None = None,
+        seed_gids=None,
+        structure_gids: np.ndarray | None = None,
+        active_gating: bool = True,
+        tile_shape: tuple[int, ...] | None = None,
+        sweep_period: int | None = None,
+        array_module=None,
+    ):
+        if isinstance(members, SimCovParams):
+            members = [members] * (batch if batch is not None else len(seeds))
+        stack = members if isinstance(members, ParamsStack) else ParamsStack(members)
+        seeds = np.asarray(seeds, dtype=np.int64)
+        if seeds.size != stack.batch:
+            raise ValueError(
+                f"got {seeds.size} seeds for {stack.batch} ensemble members"
+            )
+        xp = get_array_module(array_module)
+        self.params = stack
+        self.spec = GridSpec(stack.members[0].dim)
+        self.rng = EnsembleRNG(seeds, xp=xp)
+        self.block = EnsembleBlock(
+            self.spec, self.spec.domain, stack.batch, xp=xp
+        )
+        #: Solo-layout views over each member's storage (numpy: writable
+        #: views created once — per-step per-member code paths reuse them).
+        self.member_views = [
+            self.block.member_view(b) for b in range(stack.batch)
+        ]
+        if structure_gids is not None:
+            from repro.core.structure import apply_structure
+
+            for mv in self.member_views:
+                apply_structure(mv, structure_gids)
+        #: Per-member FOI gid arrays (possibly ragged across members).
+        self.member_seed_gids: list[np.ndarray] = []
+        for b, mv in enumerate(self.member_views):
+            if seed_gids is not None:
+                gids = np.asarray(seed_gids[b], dtype=np.int64)
+            else:
+                gids = seed_infections(stack.member(b), self.rng.member_rng(b))
+            self.member_seed_gids.append(gids)
+            apply_seeds(mv, gids)
+        self.seed_gids = self.member_seed_gids[0]
+        self.intents = kernels.IntentArrays(self.block.shape, xp=xp)
+        self._scratch_v = xp.zeros_like(self.block.virions)
+        self._scratch_c = xp.zeros_like(self.block.chemokine)
+        self.gate = EnsembleActivityGate(
+            self.block,
+            stack.min_chemokine,
+            sweep_period=sweep_period,
+            tile_shape=tile_shape,
+            enabled=active_gating,
+        )
+
+    @property
+    def batch(self) -> int:
+        return self.params.batch
+
+    # -- schedule ------------------------------------------------------------
+
+    def schedule(self) -> tuple[Phase, ...]:
+        """The sequential schedule, batched: barriers remain no-ops."""
+        return (
+            exchange("open_exchange", doc="no-op: single batched block"),
+            kernel("age_extravasate"),
+            exchange("boundary_exchange", doc="no-op: single batched block"),
+            kernel("intents"),
+            exchange("tiebreak_exchange", doc="no-op: single batched block"),
+            kernel("resolve"),
+            exchange("result_exchange", doc="no-op: single batched block"),
+            kernel("apply_results", doc="no-op: nothing crosses a boundary"),
+            kernel("epithelial"),
+            exchange("concentration_exchange", doc="no-op: single batched block"),
+            kernel("diffuse"),
+            kernel("reduce"),
+            kernel("tile_sweep", doc="per-member §3.2 sweep, union region"),
+        )
+
+    # -- kernel phases -------------------------------------------------------
+
+    def phase_age_extravasate(self, ctx):
+        region = self.gate.region()
+        if region is None:
+            return False
+        kernels.tcell_age(self.block, region)
+        ctx.extravasations = kernels.ensemble_apply_extravasation(
+            self.params, self.block, ctx.attempts
+        )
+
+    def _tcell_subregion(
+        self, region: tuple[slice, ...], pad: int
+    ) -> tuple[slice, ...] | None:
+        """Tight batched box around present T cells, or None if there are
+        none anywhere.
+
+        The union gate region covers every member's *chemokine* footprint,
+        which is typically far wider than the T-cell cloud — and the
+        T-cell phases cost O(stencil) passes over their region, multiplied
+        by the batch.  Restricting them to the T-cell bounding box
+        (``pad=0`` for intents; ``pad=1``, clamped to the region, for
+        resolution — bids and arrivals scatter one voxel outward) is
+        bitwise-neutral: every voxel outside it provably produces no
+        intent, no move and no bind.
+        """
+        mask = self.block.xp.asnumpy(self.block.tcell[region]) != 0
+        if not mask.any():
+            return None
+        sls = [region[0]]
+        for axis in range(1, mask.ndim):
+            other = tuple(a for a in range(mask.ndim) if a != axis)
+            idx = np.nonzero(mask.any(axis=other))[0]
+            base = region[axis]
+            sls.append(
+                slice(
+                    max(base.start + int(idx[0]) - pad, base.start),
+                    min(base.start + int(idx[-1]) + 1 + pad, base.stop),
+                )
+            )
+        return tuple(sls)
+
+    def phase_intents(self, ctx):
+        region = self.gate.region()
+        if region is None:
+            return False
+        self.intents.clear(region)
+        sub = self._tcell_subregion(region, pad=0)
+        ctx.extras["tcell_box"] = sub
+        if sub is None:
+            return None
+        kernels.tcell_intents(
+            self.params, self.rng, ctx.step, self.block, self.intents, sub
+        )
+
+    def phase_resolve(self, ctx):
+        region = self.gate.region()
+        if region is None:
+            return False
+        sub = ctx.extras.get("tcell_box")
+        if sub is None:
+            # No T cells anywhere -> no intents were written, so moves and
+            # binds are provably zero for every member.
+            zeros = np.zeros(self.batch, dtype=np.int64)
+            ctx.moves = zeros
+            ctx.binds = zeros
+            return None
+        sub = tuple(
+            slice(max(s.start - 1, base.start), min(s.stop + 1, base.stop))
+            for s, base in zip(sub, region)
+        )
+        moves = kernels.compute_moves(self.block, self.intents, sub)
+        ctx.moves = kernels.commit_moves(self.block, moves, member_counts=True)
+        ctx.binds = kernels.resolve_binds(
+            self.params, self.rng, ctx.step, self.block, self.intents,
+            sub, member_counts=True,
+        )
+
+    def phase_apply_results(self, ctx):
+        return False
+
+    def phase_epithelial(self, ctx):
+        region = self.gate.region()
+        if region is None:
+            return False
+        kernels.epithelial_update(
+            self.params, self.rng, ctx.step, self.block, region
+        )
+        kernels.production_update(self.params, self.block, region, step=ctx.step)
+
+    def phase_diffuse(self, ctx):
+        region = self.gate.region()
+        if region is None:
+            return False
+        kernels.mirror_fields(self.block)
+        kernels.concentration_update(
+            self.params, self.block, region, self._scratch_v, self._scratch_c
+        )
+        kernels.concentration_commit(
+            self.params, self.block, [region], self._scratch_v,
+            self._scratch_c, step=ctx.step,
+        )
+
+    def phase_reduce(self, ctx) -> None:
+        # Statistics sweep the full space regardless of gating (§3.3).
+        ctx.reduced = stats_vectors(self.block)
+
+    def phase_tile_sweep(self, ctx):
+        if not self.gate.due(ctx.step):
+            return False
+        self.gate.sweep()
+
+    def step_record(self, ctx) -> dict:
+        if self.tracer:
+            self.tracer.gauge(
+                "ensemble_batch", self.batch, cat="ensemble", step=ctx.step,
+            )
+            self.tracer.gauge(
+                "active_voxels", self.gate.count, cat="gating",
+                step=ctx.step, gated=self.gate.enabled, ensemble=self.batch,
+            )
+        return {
+            "active_voxels": self.gate.count,
+            "ensemble_batch": self.batch,
+        }
+
+    # -- inspection ----------------------------------------------------------
+
+    def gather_field(self, name: str, member: int | None = None) -> np.ndarray:
+        """Interior of one field: all members ``(B, *owned)``, or one
+        member's solo-shaped interior."""
+        if member is None:
+            arr = getattr(self.block, name)[self.block.interior]
+            return self.block.xp.asnumpy(arr).copy()
+        mv = self.member_views[member]
+        return getattr(mv, name)[mv.interior].copy()
+
+
+#: Column index of each reduced stats field, for MemberSeries.field.
+_STATS_COLUMNS = {name: i for i, name in enumerate(REDUCED_FIELDS)}
+
+
+class EnsembleSeries:
+    """Column store of every member's per-step statistics.
+
+    Materializing ``B`` :class:`StepStats` objects per step is pure
+    Python overhead in the hot loop; the engine instead appends the
+    already-computed per-step arrays here, and :class:`MemberSeries`
+    views materialize a member's StepStats lazily — bitwise identical to
+    the objects the eager fan-out would have built, because the stored
+    values *are* the solo-run values.
+    """
+
+    def __init__(self, batch: int):
+        self.batch = int(batch)
+        self.steps_list: list[int] = []
+        self.reduced: list[np.ndarray] = []  # (B, 8) float64 per step
+        self.pools: list[np.ndarray] = []  # (B,) float64 per step
+        self.extravasations: list[np.ndarray] = []
+        self.binds: list[np.ndarray] = []
+        self.moves: list[np.ndarray] = []
+
+    def append_step(self, step, reduced, pools, ext, binds, moves) -> None:
+        self.steps_list.append(int(step))
+        self.reduced.append(reduced)
+        self.pools.append(pools)
+        self.extravasations.append(ext)
+        self.binds.append(binds)
+        self.moves.append(moves)
+
+    def __len__(self) -> int:
+        return len(self.steps_list)
+
+    def truncate(self, length: int) -> None:
+        """Drop entries at index >= ``length`` for every member."""
+        if length < 0:
+            raise ValueError("length must be >= 0")
+        for col in (self.steps_list, self.reduced, self.pools,
+                    self.extravasations, self.binds, self.moves):
+            del col[length:]
+
+    def member(self, b: int) -> "MemberSeries":
+        return MemberSeries(self, b)
+
+
+class MemberSeries:
+    """:class:`~repro.core.stats.TimeSeries`-compatible view of one
+    member's rows in an :class:`EnsembleSeries` (read API: ``field``,
+    ``steps``, ``peak``, ``to_rows``, indexing)."""
+
+    def __init__(self, log: EnsembleSeries, member: int):
+        self._log = log
+        self.member = int(member)
+
+    def __len__(self) -> int:
+        return len(self._log)
+
+    def __getitem__(self, i: int) -> StepStats:
+        log, b = self._log, self.member
+        return StepStats.from_vector(
+            log.steps_list[i],
+            log.reduced[i][b],
+            pool=float(log.pools[i][b]),
+            extravasations=int(log.extravasations[i][b]),
+            binds=int(log.binds[i][b]),
+            moves=int(log.moves[i][b]),
+        )
+
+    def field(self, name: str) -> np.ndarray:
+        log, b = self._log, self.member
+        if name in _STATS_COLUMNS:
+            col = _STATS_COLUMNS[name]
+            return np.array([r[b, col] for r in log.reduced], dtype=np.float64)
+        if name == "infected":
+            # Same left-to-right float adds as StepStats.infected.
+            red = self.field("incubating") + self.field("expressing")
+            return red + self.field("apoptotic")
+        if name == "tcells_vasculature":
+            return np.array([p[b] for p in log.pools], dtype=np.float64)
+        if name in ("extravasations", "binds", "moves"):
+            rows = getattr(log, name)
+            return np.array([r[b] for r in rows], dtype=np.float64)
+        if name == "step":
+            return np.array(log.steps_list, dtype=np.float64)
+        raise AttributeError(f"unknown stats field {name!r}")
+
+    def steps(self) -> np.ndarray:
+        return np.array(self._log.steps_list, dtype=np.int64)
+
+    def peak(self, name: str) -> tuple[int, float]:
+        vals = self.field(name)
+        if vals.size == 0:
+            raise ValueError("empty time series")
+        i = int(np.argmax(vals))
+        return int(self._log.steps_list[i]), float(vals[i])
+
+    def to_rows(self) -> list[dict]:
+        from dataclasses import fields as dc_fields
+
+        return [
+            {f.name: getattr(s, f.name) for f in dc_fields(s)}
+            for s in (self[i] for i in range(len(self)))
+        ]
+
+
+class EnsembleEngine(StepEngine):
+    """StepEngine with per-member replicated scalar state.
+
+    The vascular pool, the extravasation-attempt schedules and the
+    per-step statistics all fan out per member; each member's series
+    (a lazy :class:`MemberSeries` view) is bitwise identical to its solo
+    run's :class:`~repro.core.stats.TimeSeries`.  ``series`` (the base
+    attribute) tracks member 0.
+    """
+
+    def __init__(self, backend: EnsembleBackend, schedule=None, tracer=None):
+        super().__init__(backend, schedule, tracer=tracer)
+        self.batch = backend.batch
+        stack = backend.params
+        self.pools = np.zeros(self.batch, dtype=np.float64)
+        self.log = EnsembleSeries(self.batch)
+        self.member_series = [self.log.member(b) for b in range(self.batch)]
+        #: Base-class attribute: member 0's view (duck-typed TimeSeries).
+        self.series = self.member_series[0]
+        self._delays = np.array(
+            [p.tcell_initial_delay for p in stack.members], dtype=np.int64
+        )
+        self._gen_rates = np.array(
+            [p.tcell_generation_rate for p in stack.members], dtype=np.float64
+        )
+        self._vascular = np.array(
+            [p.tcell_vascular_period for p in stack.members], dtype=np.float64
+        )
+
+    def _vector(self, value, dtype=np.int64) -> np.ndarray:
+        """Phase outputs arrive as per-member vectors, or as the scalar 0
+        when every phase skipped (an idle step) — normalize to a vector."""
+        if np.ndim(value):
+            return np.asarray(value)
+        return np.full(self.batch, value, dtype=dtype)
+
+    def step(self) -> StepStats:
+        """Advance all members one timestep; returns member 0's stats."""
+        t = self.step_num
+        n = self.batch
+
+        # Per-member vascular pools: elementwise ops replicate each solo
+        # run's float sequence exactly (x + 0 careers are avoided by the
+        # where; x / period and the max-debit below are elementwise).
+        self.pools = np.where(
+            t >= self._delays, self.pools + self._gen_rates, self.pools
+        )
+        self.pools = self.pools - self.pools / self._vascular
+        attempts = kernels.ensemble_extravasation_attempts(
+            self.params, self.backend.rng, t, self.pools
+        )
+
+        ctx = StepContext(step=t, attempts=attempts, pool=0.0)
+        ctx.extras["pools"] = self.pools
+        self.backend.begin_step(ctx)
+
+        tracer = self.tracer
+        step_start = perf_counter()
+        phase_seconds: dict[str, float] = {}
+        for phase in self.schedule:
+            start = perf_counter()
+            ran = self.backend.execute(phase, ctx)
+            elapsed = perf_counter() - start
+            skipped = ran is False
+            if tracer.enabled:
+                tracer.emit_span(
+                    phase.name, start, elapsed, cat="phase", step=t,
+                    skipped=skipped, ensemble=n,
+                )
+            else:
+                self.metrics.record(phase.name, elapsed, skipped=skipped)
+            if not skipped:
+                phase_seconds[phase.name] = elapsed
+        if tracer.enabled:
+            tracer.emit_span(
+                "step", step_start, perf_counter() - step_start,
+                cat="step", step=t, ensemble=n,
+            )
+
+        if ctx.reduced is None:
+            raise RuntimeError(
+                f"backend {self.backend.name!r} reduce phase did not set "
+                "ctx.reduced"
+            )
+        reduced = np.asarray(ctx.reduced)
+        if reduced.shape[0] != n:
+            raise RuntimeError(
+                f"ensemble reduce returned shape {reduced.shape}, "
+                f"expected leading batch axis {n}"
+            )
+
+        ext = self._vector(ctx.extravasations)
+        binds = self._vector(ctx.binds)
+        moves = self._vector(ctx.moves)
+        # `pools` is rebound (not mutated), so the appended reference is a
+        # stable snapshot of this step's post-debit pools.
+        self.pools = np.maximum(0.0, self.pools - ext)
+        self.log.append_step(t, reduced, self.pools, ext, binds, moves)
+        first = self.member_series[0][-1]
+        record = {"step": t, "phase_seconds": phase_seconds}
+        record.update(self.backend.step_record(ctx))
+        self.step_work.append(record)
+        self.step_num += 1
+        return first
+
+
+class EnsembleMemberView:
+    """Solo-simulation facade over one ensemble member.
+
+    Duck-types the attributes :mod:`repro.io.checkpoint` reads
+    (``params``, ``block``, ``step_num``, ``pool``, ``rng``,
+    ``seed_gids``, ``gather_field``), so ``save_checkpoint(path,
+    sim.member(b))`` writes a checkpoint that restores — on any
+    implementation — into the continuation of member ``b``'s solo run.
+    """
+
+    def __init__(self, sim: "EnsembleSimCov", member: int):
+        self._sim = sim
+        self.member = int(member)
+        self.params = sim.params.member(member)
+        self.block = sim.backend.member_views[member]
+        self.rng = sim.backend.rng.member_rng(member)
+        self.seed_gids = sim.backend.member_seed_gids[member]
+
+    @property
+    def step_num(self) -> int:
+        return self._sim.step_num
+
+    @property
+    def pool(self) -> float:
+        return float(self._sim.engine.pools[self.member])
+
+    @property
+    def series(self) -> MemberSeries:
+        return self._sim.member_series[self.member]
+
+    def gather_field(self, name: str) -> np.ndarray:
+        return self._sim.backend.gather_field(name, member=self.member)
+
+
+class EnsembleSimCov(EngineDriver):
+    """Driver: N simulations stacked into one vectorized step loop.
+
+    Parameters
+    ----------
+    members:
+        One :class:`SimCovParams` (replicated ``batch`` times — an
+        initial-condition ensemble over seeds), a sequence of params (a
+        parameter sweep), or a ready :class:`ParamsStack`.
+    seeds:
+        Per-member trial seeds; default ``base_seed + arange(B)``.
+    batch:
+        Member count when ``members`` is a single params object and
+        ``seeds`` is not given.
+    array_module:
+        ``xp`` plug-in selector (see :mod:`repro.core.xp`).
+    """
+
+    def __init__(
+        self,
+        members,
+        seeds=None,
+        batch: int | None = None,
+        base_seed: int = 0,
+        seed_gids=None,
+        structure_gids: np.ndarray | None = None,
+        active_gating: bool = True,
+        tile_shape: tuple[int, ...] | None = None,
+        sweep_period: int | None = None,
+        array_module=None,
+        tracer=None,
+    ):
+        if seeds is None:
+            if batch is None:
+                batch = 1 if isinstance(members, SimCovParams) else len(members)
+            seeds = base_seed + np.arange(batch, dtype=np.int64)
+        backend = EnsembleBackend(
+            members, seeds, batch=batch, seed_gids=seed_gids,
+            structure_gids=structure_gids, active_gating=active_gating,
+            tile_shape=tile_shape, sweep_period=sweep_period,
+            array_module=array_module,
+        )
+        self.backend = backend
+        self.engine = EnsembleEngine(backend, tracer=tracer)
+        self.params = backend.params
+        self.rng = backend.rng
+        self.spec = backend.spec
+        self.seed_gids = backend.seed_gids
+        self.block = backend.block
+        self.gate = backend.gate
+
+    @property
+    def batch(self) -> int:
+        return self.backend.batch
+
+    @property
+    def member_series(self) -> list[MemberSeries]:
+        """Per-member time series views, index-aligned with the seeds."""
+        return self.engine.member_series
+
+    @property
+    def pools(self) -> np.ndarray:
+        """Per-member vascular pools."""
+        return self.engine.pools
+
+    def member(self, b: int) -> EnsembleMemberView:
+        """Checkpointable solo-sim facade over member ``b``."""
+        return EnsembleMemberView(self, b)
+
+    def gather_field(self, name: str, member: int | None = None) -> np.ndarray:
+        return self.backend.gather_field(name, member=member)
+
+
+def expand_sweep(params: SimCovParams, key: str, values) -> list[SimCovParams]:
+    """One params object per sweep value — the Fig 8 pattern.
+
+    ``key`` must be a SimCovParams field; integer fields get rounded
+    values.  Raises ``ValueError`` naming the valid fields for typos.
+    """
+    if not hasattr(params, key):
+        from dataclasses import fields
+
+        valid = ", ".join(sorted(f.name for f in fields(params)))
+        raise ValueError(f"unknown sweep parameter {key!r}; valid: {valid}")
+    current = getattr(params, key)
+    out = []
+    for v in values:
+        if isinstance(current, int) and not isinstance(current, bool):
+            v = int(round(float(v)))
+        else:
+            v = float(v)
+        out.append(params.with_(**{key: v}))
+    return out

@@ -27,7 +27,11 @@ import sys
 
 import numpy as np
 
-from repro.experiments.configs import format_table1
+from repro.experiments.configs import (
+    format_run_configs,
+    format_table1,
+    get_run_config,
+)
 from repro.experiments.correctness import (
     TRACKED_STATS,
     format_table2,
@@ -237,9 +241,126 @@ def _make_tracer(args: argparse.Namespace):
     return Tracer(backend=args.backend, sinks=[sink])
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
+def _parse_sweep(spec: str):
+    """``key=lo:hi:n`` -> (key, values).  Raises ValueError with an
+    actionable message on any malformed piece."""
+    key, sep, rest = spec.partition("=")
+    parts = rest.split(":")
+    if not sep or not key or len(parts) != 3:
+        raise ValueError(
+            f"malformed --sweep {spec!r}; expected key=lo:hi:n, "
+            "e.g. --sweep num_infections=1:8:4"
+        )
+    try:
+        lo, hi = float(parts[0]), float(parts[1])
+        n = int(parts[2])
+    except ValueError:
+        raise ValueError(
+            f"malformed --sweep {spec!r}: lo/hi must be numbers and n an "
+            "integer (key=lo:hi:n)"
+        ) from None
+    if n < 2:
+        raise ValueError(
+            f"--sweep {spec!r} asks for {n} point(s); a sweep needs n >= 2 "
+            "(use --ensemble N for N replicas of one configuration)"
+        )
+    return key, np.linspace(lo, hi, n)
+
+
+def _resolve_run_params(args: argparse.Namespace):
+    """Fold ``--config`` into the run parameters (explicit flags win)."""
     from repro.core.params import SimCovParams
 
+    config = get_run_config(args.config) if args.config else None
+    dim = tuple(args.dim) if args.dim else (config.dim if config else (64, 64))
+    if args.steps is None:
+        args.steps = config.steps if config else 50
+    if args.num_infections is None:
+        args.num_infections = config.num_infections if config else 2
+    return SimCovParams.fast_test(
+        dim=dim,
+        num_infections=args.num_infections,
+        num_steps=args.steps,
+    )
+
+
+def _run_ensemble(args: argparse.Namespace, params) -> int:
+    """``run --ensemble/--sweep``: one vectorized batched simulation."""
+    from repro.core.xp import get_array_module
+    from repro.engine.ensemble import EnsembleSimCov, expand_sweep
+
+    sweep_key, sweep_values = None, None
+    if args.sweep:
+        try:
+            sweep_key, sweep_values = _parse_sweep(args.sweep)
+            members = expand_sweep(params, sweep_key, sweep_values)
+        except ValueError as err:
+            print(str(err), file=sys.stderr)
+            return 2
+        if args.ensemble is not None and args.ensemble != len(members):
+            print(
+                f"--sweep {args.sweep!r} generates {len(members)} members "
+                f"but --ensemble asks for {args.ensemble}; drop --ensemble "
+                "or make the counts match",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        members = [params] * args.ensemble
+    try:
+        xp = get_array_module(args.array_module)
+    except (ValueError, ModuleNotFoundError) as err:
+        print(str(err), file=sys.stderr)
+        return 2
+    batch = len(members)
+    seeds = args.seed + np.arange(batch, dtype=np.int64)
+    tracer = _make_tracer(args)
+    sim = EnsembleSimCov(
+        members, seeds=seeds, array_module=xp, tracer=tracer
+    )
+    try:
+        sim.run(args.steps)
+    finally:
+        if tracer is not None:
+            tracer.close()
+            print(f"trace written to {args.trace} ({args.trace_format})")
+    value_head = f"{sweep_key:>18}" if sweep_key else ""
+    print(
+        f"{'member':>6} {'seed':>6}{value_head} {'peak_infected':>14}"
+        f" {'@step':>6} {'final_dead':>11} {'tcells':>7}"
+    )
+    rows = []
+    for b in range(batch):
+        series = sim.member_series[b]
+        peak_step, peak_val = series.peak("infected")
+        last = series[len(series) - 1]
+        value_col = f"{float(sweep_values[b]):>18.6g}" if sweep_key else ""
+        print(
+            f"{b:>6} {int(seeds[b]):>6}{value_col} {peak_val:>14.6g} "
+            f"{peak_step:>6} {last.dead:>11.6g} {last.tcells_tissue:>7.6g}"
+        )
+        row = {
+            "member": b,
+            "seed": int(seeds[b]),
+            "peak_infected": peak_val,
+            "peak_step": peak_step,
+            "final_dead": last.dead,
+            "final_tcells_tissue": last.tcells_tissue,
+            "final_virions_total": last.virions_total,
+        }
+        if sweep_key:
+            row[sweep_key] = float(sweep_values[b])
+        rows.append(row)
+    out_csv = os.path.join(args.outdir, "ensemble_members.csv")
+    write_csv(out_csv, rows)
+    print(
+        f"done: ensemble batch={batch} dim={tuple(params.dim)} "
+        f"steps={args.steps} xp={xp.name} -> {out_csv}"
+    )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
     if args.backend != "dist" and (
         args.on_failure != "fail" or args.inject_fault is not None
     ):
@@ -248,11 +369,35 @@ def _cmd_run(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    params = SimCovParams.fast_test(
-        dim=tuple(args.dim),
-        num_infections=args.num_infections,
-        num_steps=args.steps,
-    )
+    try:
+        params = _resolve_run_params(args)
+    except ValueError as err:  # unknown --config
+        print(str(err), file=sys.stderr)
+        return 2
+    wants_ensemble = args.ensemble is not None or args.sweep is not None
+    if not wants_ensemble and args.array_module is not None:
+        print(
+            "--array-module selects the ensemble backend's array module; "
+            "add --ensemble N or --sweep key=lo:hi:n",
+            file=sys.stderr,
+        )
+        return 2
+    if wants_ensemble:
+        if args.backend != "sequential":
+            print(
+                "--ensemble/--sweep run on the vectorized ensemble backend; "
+                f"drop --backend {args.backend} (or pass "
+                "--backend sequential)",
+                file=sys.stderr,
+            )
+            return 2
+        if args.ensemble is not None and args.ensemble < 1:
+            print(
+                f"--ensemble needs at least 1 member, got {args.ensemble}",
+                file=sys.stderr,
+            )
+            return 2
+        return _run_ensemble(args, params)
     tracer = _make_tracer(args)
     if args.backend == "sequential":
         from repro.core.model import SequentialSimCov
@@ -364,9 +509,14 @@ def main(argv: list[str] | None = None) -> int:
         "or run a single simulation ('run').",
     )
     parser.add_argument(
-        "experiment", choices=sorted(COMMANDS) + ["all", "run", "trace"],
+        "experiment", nargs="?", default=None,
+        choices=sorted(COMMANDS) + ["all", "run", "trace"],
         help="which table/figure to regenerate, 'run' for one simulation, "
         "or 'trace report PATH' to summarize a recorded trace",
+    )
+    parser.add_argument(
+        "--list-configs", action="store_true",
+        help="list the named run configurations and exit",
     )
     parser.add_argument(
         "extra", nargs="*",
@@ -385,12 +535,37 @@ def main(argv: list[str] | None = None) -> int:
         help="ranks (cpu/dist) or devices (gpu); ignored by sequential",
     )
     run_group.add_argument(
-        "--dim", type=int, nargs="+", default=[64, 64],
-        help="domain shape, 2 or 3 ints",
+        "--config", default=None, metavar="NAME",
+        help="start from a named run configuration (see --list-configs); "
+        "explicit --dim/--steps/--num-infections override it",
     )
-    run_group.add_argument("--steps", type=int, default=50)
+    run_group.add_argument(
+        "--dim", type=int, nargs="+", default=None,
+        help="domain shape, 2 or 3 ints (default 64 64)",
+    )
+    run_group.add_argument("--steps", type=int, default=None)
     run_group.add_argument("--seed", type=int, default=0)
-    run_group.add_argument("--num-infections", type=int, default=2)
+    run_group.add_argument("--num-infections", type=int, default=None)
+    ens_group = parser.add_argument_group(
+        "ensemble options (run, sequential backend)"
+    )
+    ens_group.add_argument(
+        "--ensemble", type=int, default=None, metavar="N",
+        help="run N replicas (seeds seed..seed+N-1) as one vectorized "
+        "batched simulation; each member is bitwise identical to its "
+        "solo run",
+    )
+    ens_group.add_argument(
+        "--sweep", default=None, metavar="KEY=LO:HI:N",
+        help="parameter sweep: N members with KEY linearly spaced over "
+        "[LO, HI], e.g. --sweep num_infections=1:8:4",
+    )
+    ens_group.add_argument(
+        "--array-module", default=None,
+        choices=["numpy", "cupy", "torch", "auto"],
+        help="array backend for the batched state (default numpy; only "
+        "numpy carries the bitwise guarantee)",
+    )
     run_group.add_argument(
         "--trace", default=None, metavar="PATH",
         help="record structured telemetry to PATH (off by default)",
@@ -438,6 +613,12 @@ def main(argv: list[str] | None = None) -> int:
         "(modes: die, error, stall, slow, freeze_heartbeat)",
     )
     args = parser.parse_args(argv)
+    if args.list_configs:
+        print(format_run_configs())
+        return 0
+    if args.experiment is None:
+        parser.error("an experiment (or 'run'/'trace'/--list-configs) is "
+                     "required")
     if args.experiment == "run":
         return _cmd_run(args)
     if args.experiment == "trace":

@@ -13,6 +13,80 @@ from dataclasses import dataclass
 
 
 @dataclass(frozen=True)
+class RunConfig:
+    """A named single-run / ensemble configuration for ``simcov-repro run``.
+
+    These are reproduction-scale presets (the paper's Table 1 grids are
+    exascale); ``small_2d`` doubles as the ensemble benchmark workload in
+    ``benchmarks/BENCH_step_engine.json``.
+    """
+
+    name: str
+    dim: tuple[int, ...]
+    num_infections: int
+    steps: int
+    description: str
+
+    def params(self):
+        """The :class:`~repro.core.params.SimCovParams` this preset runs."""
+        from repro.core.params import SimCovParams
+
+        return SimCovParams.fast_test(
+            dim=self.dim,
+            num_infections=self.num_infections,
+            num_steps=self.steps,
+        )
+
+
+RUN_CONFIGS = {
+    cfg.name: cfg
+    for cfg in (
+        RunConfig(
+            "small_2d", (16, 16), 2, 100,
+            "16x16 smoke grid; the ensemble sims/sec benchmark workload",
+        ),
+        RunConfig(
+            "medium_2d", (64, 64), 4, 200,
+            "64x64 grid, the fast-test default scale",
+        ),
+        RunConfig(
+            "large_2d", (128, 128), 8, 400,
+            "128x128 grid for longer local studies",
+        ),
+        RunConfig(
+            "small_3d", (16, 16, 8), 2, 100,
+            "16x16x8 volume exercising the 3D code paths",
+        ),
+    )
+}
+
+
+def get_run_config(name: str) -> RunConfig:
+    """Look up a named run config; unknown names raise a ``ValueError``
+    that lists what exists (never a raw ``KeyError``)."""
+    try:
+        return RUN_CONFIGS[name]
+    except KeyError:
+        known = ", ".join(sorted(RUN_CONFIGS))
+        raise ValueError(
+            f"unknown config {name!r}; known configs: {known} "
+            f"(see --list-configs)"
+        ) from None
+
+
+def format_run_configs() -> str:
+    """Human-readable table of the named run configs."""
+    header = f"{'name':<12}{'dim':<14}{'foi':<5}{'steps':<7}description"
+    lines = [header, "-" * len(header)]
+    for cfg in RUN_CONFIGS.values():
+        lines.append(
+            f"{cfg.name:<12}{'x'.join(map(str, cfg.dim)):<14}"
+            f"{cfg.num_infections:<5}{cfg.steps:<7}{cfg.description}"
+        )
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
 class ExperimentConfig:
     """One Table 1 row."""
 

@@ -57,14 +57,19 @@ def counter_hash(seed, stream, step, keys) -> np.ndarray:
     """Hash the 4-tuple ``(seed, stream, step, keys)`` into uint64 words.
 
     ``keys`` is typically an array of global voxel ids (any shape); the
-    result has the same shape.  ``seed``/``stream``/``step`` are scalars.
+    result has the broadcast shape of ``seed`` and ``keys``.
+    ``stream``/``step`` are scalars; ``seed`` is a scalar for one trial,
+    or an array broadcastable against ``keys`` for batched ensembles
+    (e.g. member seeds shaped ``(B, 1, 1)`` against voxel-id keys shaped
+    ``(B, ny, nx)`` — each member's words are then bitwise identical to a
+    scalar-seed call with that member's seed).
 
     The tuple members are folded in sequentially, re-avalanched between
     folds so that low-entropy inputs (small consecutive integers, which is
     exactly what voxel ids and step counters are) still produce
     statistically independent outputs.
     """
-    shape = np.shape(keys)
+    shape = np.broadcast_shapes(np.shape(seed), np.shape(keys))
     s = _mix(_as_u64(seed) + PHI64)
     s = _mix((s ^ (_as_u64(stream) * PHI64)) + PHI64)
     s = _mix((s ^ (_as_u64(step) * _MIX1)) + PHI64)

@@ -63,43 +63,132 @@ class VoxelRNG:
     attempt indices) and return arrays of the keys' shape.  No internal
     state exists; calls may be made in any order, any number of times, from
     any rank or device, and always agree.
+
+    Every method accepts an optional ``member=`` argument so batched
+    kernels can use one call spelling for solo and ensemble runs; a solo
+    RNG has exactly one member and ignores it.
     """
 
     __slots__ = ("seed",)
+
+    #: Whether draws carry a leading ensemble-batch axis (see EnsembleRNG).
+    batched = False
 
     def __init__(self, seed: int):
         self.seed = int(seed)
 
     # -- raw words ---------------------------------------------------------
 
-    def words(self, stream: Stream, step: int, keys) -> np.ndarray:
+    def words(self, stream: Stream, step: int, keys, member=None) -> np.ndarray:
         """Raw uint64 hash words for ``(stream, step, keys)``."""
         return counter_hash(self.seed, int(stream), step, np.asarray(keys))
 
     # -- distribution helpers ---------------------------------------------
 
-    def uniform(self, stream: Stream, step: int, keys) -> np.ndarray:
+    def uniform(self, stream: Stream, step: int, keys, member=None) -> np.ndarray:
         """Uniform [0,1) floats."""
-        return dist.uniform01(self.words(stream, step, keys))
+        return dist.uniform01(self.words(stream, step, keys, member=member))
 
-    def bernoulli(self, stream: Stream, step: int, keys, p) -> np.ndarray:
+    def bernoulli(self, stream: Stream, step: int, keys, p, member=None) -> np.ndarray:
         """Boolean success array with probability ``p``."""
-        return dist.bernoulli(self.words(stream, step, keys), p)
+        return dist.bernoulli(self.words(stream, step, keys, member=member), p)
 
-    def randint(self, stream: Stream, step: int, keys, n: int) -> np.ndarray:
+    def randint(self, stream: Stream, step: int, keys, n: int, member=None) -> np.ndarray:
         """Integers uniform on [0, n)."""
-        return dist.randint_below(self.words(stream, step, keys), n)
+        return dist.randint_below(self.words(stream, step, keys, member=member), n)
 
-    def poisson(self, stream: Stream, step: int, keys, mu) -> np.ndarray:
+    def poisson(self, stream: Stream, step: int, keys, mu, member=None) -> np.ndarray:
         """Poisson integers with mean ``mu``."""
-        return dist.poisson(self.words(stream, step, keys), mu)
+        return dist.poisson(self.words(stream, step, keys, member=member), mu)
 
-    def bids(self, step: int, keys) -> np.ndarray:
+    def bids(self, step: int, keys, member=None) -> np.ndarray:
         """T-cell tiebreak bids: uint64 words with 0 reserved as 'no bid'.
 
         The paper (§3.1) draws bids "from a large range of integers" and
         ignores the negligible true-tie probability; reserving 0 costs one
         value out of 2**64.
         """
-        w = self.words(Stream.TCELL_BID, step, keys)
+        w = self.words(Stream.TCELL_BID, step, keys, member=member)
         return np.maximum(w, np.uint64(1))
+
+
+class EnsembleRNG(VoxelRNG):
+    """Batched randomness: one counter-based stream per ensemble member.
+
+    Draws are keyed ``(member_seed, stream, step, voxel)`` and vectorized
+    across the leading batch axis, so member ``b``'s draws are **bitwise
+    identical** to ``VoxelRNG(seeds[b])`` — the property that makes every
+    batched run exactly reproduce its members' solo runs.  Two call
+    shapes exist:
+
+    - *full-region draws*: ``keys`` carries the leading batch axis
+      (shape ``(B, ...)``, e.g. a broadcast voxel-id view); seeds are
+      folded in shaped ``(B, 1, ..., 1)`` and broadcast;
+    - *gathered draws* (``member=`` given): ``keys`` is a flat gather of
+      voxel ids and ``member`` the same-shape gather of batch indices;
+      each element hashes with its own member's seed.
+
+    The hash always runs on the host; draws are transferred to the
+    configured array module (a no-op view for numpy).
+    """
+
+    __slots__ = ("seeds", "xp")
+
+    batched = True
+
+    def __init__(self, seeds, xp=None):
+        from repro.core.xp import NUMPY
+
+        self.seeds = np.asarray(seeds, dtype=np.int64)
+        if self.seeds.ndim != 1 or self.seeds.size == 0:
+            raise ValueError(f"seeds must be a non-empty 1-D sequence, got "
+                             f"shape {self.seeds.shape}")
+        self.seed = int(self.seeds[0])
+        self.xp = NUMPY if xp is None else xp
+
+    @property
+    def batch(self) -> int:
+        return int(self.seeds.size)
+
+    def member_rng(self, b: int) -> VoxelRNG:
+        """The solo RNG whose draws member ``b`` reproduces bitwise."""
+        return VoxelRNG(int(self.seeds[b]))
+
+    def _host_words(self, stream: Stream, step: int, keys, member) -> np.ndarray:
+        keys = self.xp.asnumpy(keys)
+        if member is None:
+            if keys.ndim < 1 or keys.shape[0] not in (1, self.batch):
+                raise ValueError(
+                    f"batched draw needs keys with leading batch axis "
+                    f"{self.batch}, got shape {keys.shape}"
+                )
+            seed = self.seeds.reshape((self.batch,) + (1,) * (keys.ndim - 1))
+        else:
+            member = self.xp.asnumpy(member)
+            seed = self.seeds[np.asarray(member, dtype=np.int64)]
+        return counter_hash(seed, int(stream), step, keys)
+
+    def _out(self, arr: np.ndarray):
+        """Host result → configured module (identity for numpy)."""
+        return arr if self.xp.name == "numpy" else self.xp.asarray(arr)
+
+    def words(self, stream: Stream, step: int, keys, member=None) -> np.ndarray:
+        return self._out(self._host_words(stream, step, keys, member))
+
+    def uniform(self, stream: Stream, step: int, keys, member=None) -> np.ndarray:
+        return self._out(dist.uniform01(self._host_words(stream, step, keys, member)))
+
+    def bernoulli(self, stream: Stream, step: int, keys, p, member=None) -> np.ndarray:
+        return self._out(dist.bernoulli(self._host_words(stream, step, keys, member), p))
+
+    def randint(self, stream: Stream, step: int, keys, n: int, member=None) -> np.ndarray:
+        return self._out(
+            dist.randint_below(self._host_words(stream, step, keys, member), n)
+        )
+
+    def poisson(self, stream: Stream, step: int, keys, mu, member=None) -> np.ndarray:
+        return self._out(dist.poisson(self._host_words(stream, step, keys, member), mu))
+
+    def bids(self, step: int, keys, member=None) -> np.ndarray:
+        w = self._host_words(Stream.TCELL_BID, step, keys, member)
+        return self._out(np.maximum(w, np.uint64(1)))

@@ -1,0 +1,248 @@
+"""Tests for the batched ensemble backend (N sims as one program)."""
+
+import numpy as np
+import pytest
+
+from repro.core import kernels
+from repro.core.model import SequentialSimCov
+from repro.core.params import ParamsStack, SimCovParams
+from repro.engine.ensemble import (
+    EnsembleSimCov,
+    expand_sweep,
+)
+from repro.rng.streams import EnsembleRNG, VoxelRNG
+
+STATE_FIELDS = (
+    "epi_state", "epi_timer", "virions", "chemokine",
+    "tcell", "tcell_tissue_time", "tcell_bound_time",
+)
+SERIES_FIELDS = (
+    "healthy", "incubating", "expressing", "apoptotic", "dead",
+    "tcells_tissue", "virions_total", "chemokine_total",
+    "tcells_vasculature", "extravasations", "binds", "moves", "infected",
+)
+
+
+def _params(dim=(16, 16), foi=2, steps=60):
+    return SimCovParams.fast_test(
+        dim=dim, num_infections=foi, num_steps=steps,
+    )
+
+
+def _assert_member_matches_solo(ens, b, solo):
+    for f in SERIES_FIELDS:
+        np.testing.assert_array_equal(
+            ens.member_series[b].field(f), solo.series.field(f),
+            err_msg=f"series field {f}, member {b}",
+        )
+    for f in STATE_FIELDS:
+        np.testing.assert_array_equal(
+            ens.gather_field(f, member=b), solo.gather_field(f),
+            err_msg=f"state field {f}, member {b}",
+        )
+
+
+class TestBitwiseEquivalence:
+    def test_uniform_ensemble_matches_solo_runs(self):
+        p = _params()
+        seeds = [3, 11, 42]
+        ens = EnsembleSimCov(p, seeds=seeds)
+        ens.run(60)
+        for b, seed in enumerate(seeds):
+            solo = SequentialSimCov(p, seed=seed)
+            solo.run(60)
+            _assert_member_matches_solo(ens, b, solo)
+
+    def test_sweep_ensemble_matches_solo_runs(self):
+        base = _params()
+        members = expand_sweep(base, "num_infections", [1, 2, 4])
+        seeds = [7, 7, 7]
+        ens = EnsembleSimCov(members, seeds=seeds)
+        ens.run(60)
+        for b, p in enumerate(members):
+            solo = SequentialSimCov(p, seed=seeds[b])
+            solo.run(60)
+            _assert_member_matches_solo(ens, b, solo)
+
+    def test_members_with_different_seeds_diverge(self):
+        p = _params()
+        ens = EnsembleSimCov(p, seeds=[0, 1])
+        ens.run(60)
+        assert not np.array_equal(
+            ens.gather_field("virions", member=0),
+            ens.gather_field("virions", member=1),
+        )
+
+    def test_gating_disabled_still_bitwise(self):
+        p = _params(steps=40)
+        ens = EnsembleSimCov(p, seeds=[5], active_gating=False)
+        ens.run(40)
+        solo = SequentialSimCov(p, seed=5)
+        solo.run(40)
+        _assert_member_matches_solo(ens, 0, solo)
+
+
+class TestConstruction:
+    def test_seed_count_must_match_members(self):
+        with pytest.raises(ValueError, match="seeds"):
+            EnsembleSimCov([_params(), _params()], seeds=[1, 2, 3])
+
+    def test_members_must_share_dim(self):
+        with pytest.raises(ValueError, match="dim"):
+            EnsembleSimCov(
+                [_params(dim=(16, 16)), _params(dim=(20, 20))], seeds=[0, 1]
+            )
+
+    def test_default_seeds_are_base_plus_arange(self):
+        ens = EnsembleSimCov(_params(), batch=3, base_seed=10)
+        assert list(ens.rng.seeds) == [10, 11, 12]
+
+    def test_batch_property(self):
+        ens = EnsembleSimCov(_params(), batch=4)
+        assert ens.batch == 4
+        assert ens.backend.batch == 4
+
+    def test_schedule_matches_sequential_phases(self):
+        ens = EnsembleSimCov(_params(), batch=2)
+        solo = SequentialSimCov(_params(), seed=0)
+        assert [ph.name for ph in ens.backend.schedule()] == [
+            ph.name for ph in solo.backend.schedule()
+        ]
+
+
+class TestMemberSeries:
+    @pytest.fixture(scope="class")
+    def run(self):
+        p = _params(steps=40)
+        ens = EnsembleSimCov(p, seeds=[3, 4])
+        ens.run(40)
+        solo = SequentialSimCov(p, seed=3)
+        solo.run(40)
+        return ens, solo
+
+    def test_len_and_getitem(self, run):
+        ens, solo = run
+        ms = ens.member_series[0]
+        assert len(ms) == len(solo.series) == 40
+        for i in (0, 17, 39):
+            assert ms[i] == solo.series[i]
+
+    def test_steps_and_peak(self, run):
+        ens, solo = run
+        ms = ens.member_series[0]
+        np.testing.assert_array_equal(ms.steps(), solo.series.steps())
+        assert ms.peak("infected") == solo.series.peak("infected")
+
+    def test_to_rows(self, run):
+        ens, solo = run
+        assert ens.member_series[0].to_rows() == solo.series.to_rows()
+
+    def test_unknown_field_raises(self, run):
+        ens, _ = run
+        with pytest.raises(AttributeError, match="bogus"):
+            ens.member_series[0].field("bogus")
+
+    def test_engine_series_is_member_zero(self, run):
+        ens, solo = run
+        assert len(ens.series) == 40
+        assert ens.series[39] == solo.series[39]
+
+    def test_truncate_drops_tail_for_all_members(self):
+        p = _params(steps=20)
+        ens = EnsembleSimCov(p, seeds=[0, 1])
+        ens.run(20)
+        ens.engine.log.truncate(5)
+        assert len(ens.member_series[0]) == 5
+        assert len(ens.member_series[1]) == 5
+
+
+class TestEnsembleGate:
+    def test_union_region_covers_every_member_mask(self):
+        p = _params(steps=40)
+        ens = EnsembleSimCov(p, seeds=[0, 1, 2])
+        ens.run(40)
+        region = ens.gate.region()
+        assert region is not None
+        assert region[0] == slice(0, 3)
+        g = ens.block.ghost
+        for b in range(3):
+            mask = ens.gate.member_mask(b)
+            idx = np.nonzero(mask)
+            for axis, coords in enumerate(idx):
+                if coords.size == 0:
+                    continue
+                lo = region[1 + axis].start - g
+                hi = region[1 + axis].stop - g
+                assert coords.min() >= lo and coords.max() < hi
+
+    def test_member_counts_sum_to_count(self):
+        ens = EnsembleSimCov(_params(steps=40), seeds=[0, 1])
+        ens.run(40)
+        assert ens.gate.count == int(ens.gate.member_counts.sum())
+
+    def test_sweep_period_validated(self):
+        with pytest.raises(ValueError, match="sweep_period"):
+            EnsembleSimCov(_params(), batch=2, sweep_period=99)
+
+    def test_step_record_reports_batch(self):
+        ens = EnsembleSimCov(_params(steps=5), seeds=[0, 1])
+        ens.run(5)
+        rec = ens.step_work[-1]
+        assert rec["ensemble_batch"] == 2
+        assert rec["active_voxels"] == ens.gate.count
+
+
+class TestEnsembleKernels:
+    def test_attempt_schedule_matches_solo(self):
+        p = _params()
+        seeds = np.array([3, 9], dtype=np.int64)
+        rng = EnsembleRNG(seeds)
+        pools = np.array([37.2, 5.9])
+        stack = ParamsStack([p, p])
+        flat = kernels.ensemble_extravasation_attempts(stack, rng, 12, pools)
+        assert flat["gid"].size == int(flat["counts"].sum())
+        for b in range(2):
+            solo = kernels.extravasation_attempts(
+                p, VoxelRNG(int(seeds[b])), 12, float(pools[b])
+            )
+            mine = kernels.member_attempts(flat, b)
+            for key in ("gid", "accept_u", "life"):
+                np.testing.assert_array_equal(mine[key], solo[key], err_msg=key)
+
+    def test_attempt_schedule_empty_pools(self):
+        rng = EnsembleRNG(np.array([1, 2], dtype=np.int64))
+        stack = ParamsStack([_params(), _params()])
+        flat = kernels.ensemble_extravasation_attempts(
+            stack, rng, 0, np.zeros(2)
+        )
+        assert flat["gid"].size == 0
+        assert list(flat["counts"]) == [0, 0]
+
+
+class TestExpandSweep:
+    def test_float_field(self):
+        out = expand_sweep(_params(), "infectivity", [0.1, 0.2])
+        assert [p.infectivity for p in out] == [0.1, 0.2]
+
+    def test_int_field_rounds(self):
+        out = expand_sweep(_params(), "num_infections", [1.2, 3.9])
+        assert [p.num_infections for p in out] == [1, 4]
+
+    def test_unknown_key_lists_fields(self):
+        with pytest.raises(ValueError, match="infectivity"):
+            expand_sweep(_params(), "not_a_param", [1, 2])
+
+
+class TestParamsStack:
+    def test_uniform_attribute_is_scalar(self):
+        stack = ParamsStack([_params(), _params()])
+        assert stack.infectivity == _params().infectivity
+
+    def test_swept_attribute_broadcasts(self):
+        stack = ParamsStack(expand_sweep(_params(), "infectivity", [0.1, 0.3]))
+        arr = stack.infectivity
+        assert arr.shape == (2, 1, 1)
+
+    def test_attribute_cache_returns_same_object(self):
+        stack = ParamsStack(expand_sweep(_params(), "infectivity", [0.1, 0.3]))
+        assert stack.infectivity is stack.infectivity
