@@ -9,10 +9,12 @@ tile sweep), once force-ungated, and once on the distributed runtime
 (``repro.dist``, default 4 worker processes); measures ensemble
 simulations/sec at batch 1/16/64 against a loop of solo runs on the
 ``small_2d`` run config (``repro.experiments.configs.RUN_CONFIGS``); and
-writes ``BENCH_step_engine.json`` at the repo root.  Every run is also
-checked for bitwise identity against the sequential reference — a
-benchmark that drifted from the ground truth is reported as failed, not
-merely slow.
+writes ``BENCH_step_engine.json`` at the repo root.  A strong-scaling
+section sweeps the dist backend over rank counts on ``medium_2d`` with a
+per-rank exchange/wait breakdown and activity-gated strip-skip counts.
+Every run is also checked for bitwise identity against the sequential
+reference — a benchmark that drifted from the ground truth is reported
+as failed, not merely slow.
 
 Distributed numbers are honest: the record includes ``cpu_count`` so a
 reader can see whether the ranks had cores to spread over.  On a
@@ -101,6 +103,20 @@ def _run_dist(params, seed, steps, nranks):
                 {name: round(sec, 4) for name, sec in m.seconds.items()}
                 for m in sim.backend.runtime.per_rank_metrics()
             ],
+            # Barrier-wait seconds per rank, split out of the phase
+            # totals above: a rank whose exchange time is mostly wait is
+            # starved, not communication-bound.
+            "per_rank_wait_seconds": {
+                name: [round(sec, 4) for sec in per_rank]
+                for name, per_rank in
+                sim.backend.runtime.per_rank_wait_seconds().items()
+            },
+        }
+        pulled, skipped = sim.backend.runtime.strip_counts()
+        record["strips"] = {
+            "pulled": pulled,
+            "skipped": skipped,
+            "skipped_fraction": round(skipped / max(pulled + skipped, 1), 4),
         }
         fields = {name: sim.gather_field(name) for name in STATE_FIELDS}
         series = [sim.series[i] for i in range(len(sim.series))]
@@ -267,9 +283,114 @@ def run_config(name, spec, steps_override=None, dist_nranks=4):
     return result
 
 
+#: Rank counts swept by the strong-scaling section.
+STRONG_SCALING_NRANKS = (1, 2, 4)
+
+#: A measured speedup may regress to this fraction of the recorded one
+#: before the floor check fails — headroom for timer jitter and shared
+#: CI runners, not for real regressions (the fused protocol's win over
+#: the seed's 8-barrier step is far larger than 30%).
+FLOOR_FRACTION = 0.7
+
+
+def run_strong_scaling(config="medium_2d", nranks_list=STRONG_SCALING_NRANKS,
+                       steps_override=None):
+    """Strong scaling: fixed problem, growing rank count.
+
+    One gated sequential run is the baseline; every dist run is checked
+    bitwise against it.  The per-rank exchange/wait breakdown is what
+    makes the numbers interpretable: on a single-core box the waits
+    dominate (ranks time-slice one core), with >= nranks cores they
+    shrink toward the copy cost.
+    """
+    spec = CONFIGS[config]
+    steps = steps_override or spec["steps"]
+    params = SimCovParams.fast_test(
+        dim=spec["dim"], num_infections=spec["num_infections"], num_steps=steps,
+    )
+    gated, gated_rec = _run_once(params, spec["seed"], steps, active_gating=True)
+    section = {
+        "config": config,
+        "dim": list(spec["dim"]),
+        "steps": steps,
+        "cpu_count": os.cpu_count(),
+        "sequential_gated": gated_rec,
+        "ranks": {},
+        "bitwise_identical": True,
+    }
+    for nranks in nranks_list:
+        fields, series, rec = _run_dist(params, spec["seed"], steps, nranks)
+        rec["speedup_vs_gated"] = round(
+            rec["steps_per_sec"] / gated_rec["steps_per_sec"], 3
+        )
+        rec["bitwise_identical"] = _dist_identical(fields, series, gated)
+        section["bitwise_identical"] = (
+            section["bitwise_identical"] and rec["bitwise_identical"]
+        )
+        section["ranks"][str(nranks)] = rec
+        waits = rec["per_rank_wait_seconds"]
+        total_wait = sum(sum(per_rank) for per_rank in waits.values())
+        print(
+            f"strong_scaling/{config} nranks={nranks}: "
+            f"{rec['speedup_vs_gated']}x vs gated "
+            f"({rec['steps_per_sec']} steps/s, "
+            f"barrier wait {total_wait:.2f}s summed over ranks, "
+            f"strips skipped {rec['strips']['skipped_fraction']:.0%}, "
+            f"bitwise_identical={rec['bitwise_identical']})"
+        )
+    return section
+
+
+def check_speedup_floor(payload, reference_path):
+    """Fail if any dist/sequential speedup regressed below the recorded
+    BENCH value (times :data:`FLOOR_FRACTION`).
+
+    Only configs present in both payloads are compared, so a smoke run
+    of one config gates just that config.  The recorded file carries
+    ``cpu_count`` so the comparison stays honest across machines: a
+    floor measured on fewer (or equal) cores is conservative for this
+    machine and is enforced; a floor measured on *more* cores than we
+    have would fail spuriously and is skipped with a notice instead.
+    """
+    reference = json.loads(pathlib.Path(reference_path).read_text())
+    ref_cores = reference.get("cpu_count") or 1
+    failures, checked = [], 0
+    for name, cfg in payload.get("configs", {}).items():
+        ref_cfg = reference.get("configs", {}).get(name)
+        if not ref_cfg or "dist" not in ref_cfg or "dist" not in cfg:
+            continue
+        if cfg["dist"]["nranks"] != ref_cfg["dist"]["nranks"]:
+            continue
+        if ref_cores > (os.cpu_count() or 1):
+            print(
+                f"floor check: skipping {name} — reference recorded on "
+                f"{ref_cores} cores, this machine has {os.cpu_count()}"
+            )
+            continue
+        floor = ref_cfg["dist"]["speedup_vs_gated"] * FLOOR_FRACTION
+        got = cfg["dist"]["speedup_vs_gated"]
+        checked += 1
+        if got < floor:
+            failures.append(
+                f"{name}: dist speedup_vs_gated {got} fell below floor "
+                f"{floor:.3f} (recorded {ref_cfg['dist']['speedup_vs_gated']}"
+                f" * {FLOOR_FRACTION})"
+            )
+        else:
+            print(f"floor check: {name} dist speedup {got} >= {floor:.3f} ok")
+    if failures:
+        for line in failures:
+            print(f"FLOOR REGRESSION: {line}", file=sys.stderr)
+        return False
+    if not checked:
+        print("floor check: no comparable configs (nothing gated)")
+    return True
+
+
 def main(argv=None):
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--config", choices=[*CONFIGS, "ensemble", "all"],
+    ap.add_argument("--config",
+                    choices=[*CONFIGS, "ensemble", "strong_scaling", "all"],
                     default="all")
     ap.add_argument("--steps", type=int, default=None,
                     help="override step count (smoke/CI use)")
@@ -278,6 +399,13 @@ def main(argv=None):
     ap.add_argument("--ensemble-batches", type=int, nargs="+",
                     default=list(ENSEMBLE_BATCHES),
                     help="ensemble batch sizes to benchmark (smoke/CI use)")
+    ap.add_argument("--strong-scaling-nranks", type=int, nargs="+",
+                    default=list(STRONG_SCALING_NRANKS),
+                    help="rank counts swept by the strong-scaling section")
+    ap.add_argument("--check-floor", type=pathlib.Path, default=None,
+                    metavar="REFERENCE_JSON",
+                    help="fail if any dist speedup_vs_gated regresses below "
+                    f"{FLOOR_FRACTION}x the value in this recorded BENCH file")
     ap.add_argument("--out", type=pathlib.Path,
                     default=repo_root() / "BENCH_step_engine.json")
     args = ap.parse_args(argv)
@@ -285,9 +413,11 @@ def main(argv=None):
     if args.config == "all":
         names = list(CONFIGS)
         with_ensemble = True
+        with_strong_scaling = args.dist_nranks > 0
     else:
         names = [args.config] if args.config in CONFIGS else []
         with_ensemble = args.config == "ensemble"
+        with_strong_scaling = args.config == "strong_scaling"
     payload = {
         "benchmark": "step_engine_activity_gating",
         "metric": "steps_per_sec (sequential gated/ungated + dist backend) "
@@ -303,11 +433,20 @@ def main(argv=None):
         payload["ensemble"] = run_ensemble_config(
             args.steps, batches=tuple(args.ensemble_batches)
         )
+    if with_strong_scaling:
+        payload["strong_scaling"] = run_strong_scaling(
+            nranks_list=tuple(args.strong_scaling_nranks),
+            steps_override=args.steps,
+        )
     args.out.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.out}")
     ok = all(c["bitwise_identical"] for c in payload["configs"].values())
     if with_ensemble:
         ok = ok and payload["ensemble"]["bitwise_identical"]
+    if with_strong_scaling:
+        ok = ok and payload["strong_scaling"]["bitwise_identical"]
+    if args.check_floor is not None:
+        ok = check_speedup_floor(payload, args.check_floor) and ok
     return 0 if ok else 1
 
 

@@ -53,4 +53,84 @@ def test_entry_point_writes_bench_json(bench_env, tmp_path):
         assert dist["steps_per_sec"] > 0
         assert dist["speedup_vs_gated"] > 0
         assert "diffuse" in dist["worker_phase_seconds"]
+        # Per-rank barrier-wait breakdown and the activity-gated strip
+        # counters ride along in every dist record.
+        waits = dist["per_rank_wait_seconds"]
+        assert "step_start" in waits and "concentration_exchange" in waits
+        assert all(len(per_rank) == 2 for per_rank in waits.values())
+        assert dist["strips"]["pulled"] > 0
     assert payload["cpu_count"] >= 1
+
+
+def test_strong_scaling_section(bench_env, tmp_path):
+    """``--config strong_scaling`` sweeps rank counts on medium_2d and
+    records the per-rank exchange/wait breakdown plus strip-skip counts
+    that make the scaling numbers interpretable."""
+    out = tmp_path / "ss.json"
+    result = subprocess.run(
+        [
+            sys.executable, str(BENCH_DIR / "run_benchmarks.py"),
+            "--config", "strong_scaling", "--steps", "12",
+            "--strong-scaling-nranks", "1", "2", "--out", str(out),
+        ],
+        capture_output=True, text=True, timeout=600,
+        cwd=tmp_path, env=bench_env,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+
+    section = json.loads(out.read_text())["strong_scaling"]
+    assert section["config"] == "medium_2d"
+    assert section["bitwise_identical"]
+    assert section["sequential_gated"]["steps_per_sec"] > 0
+    assert set(section["ranks"]) == {"1", "2"}
+    for n, rec in section["ranks"].items():
+        assert rec["nranks"] == int(n)
+        assert rec["bitwise_identical"]
+        assert rec["speedup_vs_gated"] > 0
+        waits = rec["per_rank_wait_seconds"]
+        assert all(len(per_rank) == int(n) for per_rank in waits.values())
+    # With one focus of infection most boundary strips are quiescent:
+    # the activity gate must actually be skipping exchanges at 2 ranks.
+    strips = section["ranks"]["2"]["strips"]
+    assert strips["skipped"] > strips["pulled"]
+
+
+def test_speedup_floor_check():
+    """The --check-floor gate: regressions below FLOOR_FRACTION of the
+    recorded speedup fail; a reference from a bigger machine is skipped
+    rather than spuriously enforced."""
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location(
+        "run_benchmarks", BENCH_DIR / "run_benchmarks.py"
+    )
+    rb = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(rb)
+
+    import os
+
+    cores = os.cpu_count() or 1
+
+    def payload(speedup, nranks=4, cpu=cores):
+        return {
+            "cpu_count": cpu,
+            "configs": {
+                "medium_2d": {
+                    "dist": {"nranks": nranks, "speedup_vs_gated": speedup}
+                }
+            },
+        }
+
+    def check(got, ref, **ref_kw):
+        import tempfile
+
+        with tempfile.NamedTemporaryFile("w", suffix=".json") as f:
+            json.dump(payload(ref, **ref_kw), f)
+            f.flush()
+            return rb.check_speedup_floor(payload(got), f.name)
+
+    assert check(got=1.0, ref=1.0)
+    assert check(got=0.71, ref=1.0)          # inside the jitter margin
+    assert not check(got=0.5, ref=1.0)       # a real regression fails
+    assert check(got=0.1, ref=1.0, cpu=cores + 8)   # bigger box: skipped
+    assert check(got=0.1, ref=1.0, nranks=2)        # rank mismatch: skipped

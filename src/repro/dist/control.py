@@ -15,7 +15,19 @@ the workers use to run the versioned barrier protocol:
   heartbeat timestamp, the diagnostic surface a barrier timeout dumps;
 - ``results`` — per-rank per-step integer totals (extravasations, moves,
   binds, active voxels);
+- ``region``  — per-rank strip-liveness handshake: each worker publishes
+  its current activity bounding box in global coordinates (or an idle
+  flag) right after its gate refresh; peers consult it to skip pulling
+  halo strips whose source band is dead;
+- ``dirty_epoch`` — a monotonic ghost-invalidation counter the
+  coordinator bumps after writing fields behind the workers' backs
+  (checkpoint restore); workers that see it change re-pull every strip;
 - ``metrics_*`` — per-rank cumulative :class:`PhaseMetrics` counters;
+- ``metrics_wait`` — per-rank barrier-wait seconds attributed to the
+  phase the wait belongs to (plus two trailing columns for the
+  step-start/step-end barriers);
+- ``strips`` — per-rank cumulative (pulled, skipped) halo-strip counts,
+  the activity-gated exchange's effectiveness gauge;
 - ``tel_*`` — per-rank fixed-record telemetry rings (phase/barrier spans
   and counters encoded by :mod:`repro.telemetry.shmring`), present only
   when the runtime was built with ``telemetry_capacity > 0``; the
@@ -46,6 +58,12 @@ CMD_STEP = 0
 STATUS_STEP, STATUS_PHASE, STATUS_ERROR = 0, 1, 2
 #: ``results`` columns.
 RES_EXTRAVASATIONS, RES_MOVES, RES_BINDS, RES_ACTIVE = 0, 1, 2, 3
+#: ``region`` row layout: a liveness flag + a 3D-padded global box.
+REGION_FLAG, REGION_LO, REGION_HI = 0, 1, 4
+#: ``region`` liveness-flag values.
+REGION_IDLE, REGION_LIVE = 0, 1
+#: ``strips`` columns.
+STRIPS_PULLED, STRIPS_SKIPPED = 0, 1
 #: Sentinel published as CMD_STEP to request worker shutdown.
 SHUTDOWN_STEP = -1
 
@@ -86,9 +104,13 @@ def control_layout(nranks: int, nphases: int, telemetry_capacity: int = 0):
         ("status", (nranks, 3), np.dtype(np.int64)),
         ("heartbeat", (nranks,), np.dtype(np.float64)),
         ("results", (nranks, 4), np.dtype(np.int64)),
+        ("region", (nranks, 7), np.dtype(np.int64)),
+        ("dirty_epoch", (1,), np.dtype(np.int64)),
         ("metrics_seconds", (nranks, nphases), np.dtype(np.float64)),
         ("metrics_calls", (nranks, nphases), np.dtype(np.int64)),
         ("metrics_skips", (nranks, nphases), np.dtype(np.int64)),
+        ("metrics_wait", (nranks, nphases + 2), np.dtype(np.float64)),
+        ("strips", (nranks, 2), np.dtype(np.int64)),
         ("tel_data", (nranks, cap, RECORD_WIDTH), np.dtype(np.float64)),
         ("tel_count", (nranks,), np.dtype(np.int64)),
         ("tel_dropped", (nranks,), np.dtype(np.int64)),
@@ -111,9 +133,13 @@ class ControlBlock:
         self.status = a["status"]
         self.heartbeat = a["heartbeat"]
         self.results = a["results"]
+        self.region = a["region"]
+        self.dirty_epoch = a["dirty_epoch"]
         self.metrics_seconds = a["metrics_seconds"]
         self.metrics_calls = a["metrics_calls"]
         self.metrics_skips = a["metrics_skips"]
+        self.metrics_wait = a["metrics_wait"]
+        self.strips = a["strips"]
         self.tel_data = a["tel_data"]
         self.tel_count = a["tel_count"]
         self.tel_dropped = a["tel_dropped"]
@@ -136,6 +162,39 @@ class ControlBlock:
         self.status[rank, STATUS_PHASE] = phase
         if heartbeat:  # a frozen heartbeat (fault injection) stays stale
             self.heartbeat[rank] = time.monotonic()
+
+    # -- strip-liveness handshake --------------------------------------------
+
+    def publish_region(self, rank: int, box) -> None:
+        """Publish ``rank``'s active bounding box (a :class:`Box` in global
+        coordinates, or None when the rank is idle this step).
+
+        Written by the owning worker right after its gate refresh and read
+        by peers only on the far side of a barrier the writer has also
+        passed, so each step's value is stable for every reader.
+        """
+        row = self.region[rank]
+        if box is None:
+            row[REGION_FLAG] = REGION_IDLE
+            return
+        # Pad to 3 axes so one row shape serves 2D and 3D domains.
+        lo = tuple(box.lo) + (0,) * (3 - len(box.lo))
+        hi = tuple(box.hi) + (1,) * (3 - len(box.hi))
+        row[REGION_LO:REGION_LO + 3] = lo
+        row[REGION_HI:REGION_HI + 3] = hi
+        row[REGION_FLAG] = REGION_LIVE
+
+    def read_region(self, rank: int, ndim: int):
+        """The box :meth:`publish_region` stored for ``rank`` (None=idle)."""
+        from repro.grid.box import Box
+
+        row = self.region[rank]
+        if row[REGION_FLAG] != REGION_LIVE:
+            return None
+        return Box(
+            tuple(int(v) for v in row[REGION_LO:REGION_LO + ndim]),
+            tuple(int(v) for v in row[REGION_HI:REGION_HI + ndim]),
+        )
 
     def phase_name(self, index: int) -> str:
         if 0 <= index < len(self.phase_names):

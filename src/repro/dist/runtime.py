@@ -156,6 +156,7 @@ class DistRuntime:
                 barrier_timeout=self.barrier_timeout,
                 fault=self.fault,
                 telemetry_capacity=self.telemetry_capacity,
+                dirty_epoch=int(self.ctrl.dirty_epoch[0]),
             )
             proc = ctx.Process(
                 target=worker_main,
@@ -251,6 +252,30 @@ class DistRuntime:
     def results_row(self, column: int) -> np.ndarray:
         """One column of the per-rank result table (copy)."""
         return self.ctrl.results[:, column].copy()
+
+    def per_rank_wait_seconds(self) -> dict[str, list[float]]:
+        """Cumulative barrier-wait seconds per rank, keyed by phase name
+        plus the two step barriers — the load-imbalance surface of the
+        strong-scaling benchmark."""
+        cols = list(self.phase_names) + ["step_start", "step_end"]
+        return {
+            name: [float(self.ctrl.metrics_wait[r, i]) for r in range(self.nranks)]
+            for i, name in enumerate(cols)
+        }
+
+    def strip_counts(self) -> tuple[int, int]:
+        """Cumulative (pulled, skipped) halo-strip counts over all ranks —
+        how much exchange the activity gating actually avoided."""
+        pulled = int(self.ctrl.strips[:, 0].sum())
+        skipped = int(self.ctrl.strips[:, 1].sum())
+        return pulled, skipped
+
+    def invalidate_ghosts(self) -> None:
+        """Declare every worker's ghost strips stale (call after writing
+        fields behind the workers' backs, e.g. a checkpoint restore).
+        Workers observe the bump at their next step start and re-pull
+        every strip before touching state."""
+        self.ctrl.dirty_epoch[0] += 1
 
     # -- telemetry -----------------------------------------------------------
 

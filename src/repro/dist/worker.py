@@ -15,25 +15,38 @@ combined with the PGAS backend's start-of-step ghost refresh, which
 feeds the per-rank every-step :class:`~repro.engine.activity.ActivityGate`.
 
 Barrier placement per step (W = workers-only phase barrier, S = the
-step barrier shared with the coordinator)::
+step barrier shared with the coordinator) — the *fused* 6-barrier
+protocol (4 phase + 2 step; the seed protocol used 8)::
 
-    S  step start        coordinator published (step, pool)
-       open_exchange     pull ghost strips          ──►  W  (copies done)
-       age_extravasate   gate refresh + kernels
-    W  boundary_exchange (peers done mutating)      ──►  pull T-cell strips
-       intents
-    W  tiebreak_exchange (intents done)  ──►  pull REPLACE strips +
-                                              snapshot MAX strips
-    W                    (snapshots done) ──►  apply MAX merges
+       open pulls        gated ghost pulls in the quiescent window
+                         (peers parked; previous step's fields final)
+    S  step start        coordinator published (step, pool); the barrier
+                         itself is the open wave's exit fence
+       age_extravasate   gate refresh + publish activity box + kernels
+       boundary_exchange clear intents + INTERIOR intents pass (no ghost
+    W                    reads), then (peers done mutating) gated T-cell
+                         strip pulls
+       intents           BOUNDARY-band intents pass (fresh ghosts)
+    W  tiebreak_exchange (intents done) ──► gated REPLACE pulls + merge
+                         MAX bids into *private* buffers (raw bid arrays
+                         are never mutated after intents, so no
+                         snapshot fence is needed)
        resolve / epithelial
-    W  concentration_exchange (production done) ──► pull strips ──► W
-       diffuse, publish per-step results
+    W  concentration_exchange (production done) ──► gated pulls, then
+                         mirror + INTERIOR diffuse into scratch  ──►  W
+       diffuse           BOUNDARY-band diffuse + commit, publish results
     S  step end          coordinator reduces statistics
 
-The two unlabeled edges of each REPLACE wave need no barrier: a reader
-that advances past its copy only mutates the copied fields after a later
-barrier that the writer must also have passed (verified per phase in
-DESIGN.md).
+Unlabeled edges need no barrier: a reader that advances past its copy
+only mutates the copied fields after a later barrier that the writer
+must also have passed (verified per wave in DESIGN.md §4a).  The open
+wave's pulls run *before* the step-start barrier: every peer is parked
+there too, so its previous-step fields are final, and no peer can
+mutate them until this worker arrives — the step-start barrier doubles
+as the copies-done fence that used to cost a dedicated phase barrier.
+Pulls are gated per strip by the activity boxes peers publish in the
+control segment (see ``_pull_state_wave``); a checkpoint restore bumps
+``dirty_epoch`` and forces one full re-pull + resync fence.
 """
 
 from __future__ import annotations
@@ -56,17 +69,20 @@ from repro.dist.control import (
     RES_MOVES,
     SHUTDOWN_STEP,
     STATUS_ERROR,
+    STRIPS_PULLED,
+    STRIPS_SKIPPED,
     ControlBlock,
     DistAborted,
     ShmBarrier,
     control_layout,
 )
 from repro.dist.shm import ShmSegment, block_layout
+from repro.diffusion.stencil import split_interior_boundary
 from repro.engine.activity import ActivityGate
 from repro.engine.metrics import PhaseMetrics
 from repro.engine.phases import FieldSet, Phase, PhaseKind, exchange, kernel
 from repro.grid.box import Box
-from repro.grid.halo import MergeMode, RankPullPlan
+from repro.grid.halo import MergeMode, RankPullPlan, strip_live
 from repro.grid.spec import GridSpec
 from repro.rng.streams import VoxelRNG
 from repro.telemetry.shmring import RingCodec, ShmRingSink
@@ -104,7 +120,7 @@ def dist_schedule() -> tuple[Phase, ...]:
                 "intent", kernels.IntentArrays.REPLACE_FIELDS, MergeMode.REPLACE
             ),
             FieldSet("intent", kernels.IntentArrays.MAX_FIELDS, MergeMode.MAX),
-            doc="the single tiebreak wave of §3.1 (snapshot, barrier, merge)",
+            doc="the single tiebreak wave of §3.1 (pull + private max-merge)",
         ),
         kernel("resolve"),
         exchange("result_exchange", doc="no-op: single-wave tiebreak"),
@@ -134,6 +150,7 @@ def telemetry_name_table(phase_names) -> tuple[str, ...]:
     names += ["barrier:step_start", "barrier:step_end"]
     names += ["comm:halo_bytes", "counter:bids_won", "counter:bids_lost"]
     names += ["gating:active_voxels", "step:step"]
+    names += ["comm:strips_pulled", "comm:strips_skipped", "barrier:resync"]
     return tuple(names)
 
 
@@ -202,6 +219,11 @@ class WorkerSpec:
     fault: FaultSpec | None = None
     #: Per-rank telemetry-ring record capacity; 0 = tracing off.
     telemetry_capacity: int = 0
+    #: Coordinator-side ``dirty_epoch`` snapshot at spawn time.  Workers
+    #: must agree on the baseline (reading the live counter at attach
+    #: time races a coordinator restore, desynchronizing the resync
+    #: fence), and only the coordinator can snapshot it consistently.
+    dirty_epoch: int = 0
 
 
 class InjectedFault(RuntimeError):
@@ -233,6 +255,22 @@ def worker_main(spec: WorkerSpec) -> None:
     # Skip atexit/GC teardown races on the interpreter's way out — all
     # segments are already closed and the parent owns unlinking.
     os._exit(code)
+
+
+class _TiebreakView:
+    """The intent view ``resolve`` reads: REPLACE fields straight from the
+    shared raw arrays, MAX bid fields from this rank's private merged
+    buffers.  Duck-types the :class:`~repro.core.kernels.IntentArrays`
+    surface the resolve kernels touch."""
+
+    __slots__ = ("move_dir", "bind_dir", "bid_self", "move_bid", "bind_bid")
+
+    def __init__(self, raw, merged_move_bid, merged_bind_bid):
+        self.move_dir = raw.move_dir
+        self.bind_dir = raw.bind_dir
+        self.bid_self = raw.bid_self
+        self.move_bid = merged_move_bid
+        self.bind_bid = merged_bind_bid
 
 
 class _RankWorker:
@@ -309,6 +347,46 @@ class _RankWorker:
         )
         self._scratch_v = np.zeros_like(self.block.virions)
         self._scratch_c = np.zeros_like(self.block.chemokine)
+        # -- activity-gated exchange state ---------------------------------
+        #: Global boxes of the REPLACE routes (liveness tests are box math).
+        self._route_boxes = [r.region for r in self.plan.replace]
+        nroutes = len(self.plan.replace)
+        #: Per-(wave, route) staleness: True = the source has written inside
+        #: the route since this wave last pulled it.  Everything starts
+        #: dirty so the first step always pulls.
+        self._dirty_open = [True] * nroutes
+        self._dirty_bnd = [True] * nroutes
+        self._dirty_conc = [True] * nroutes
+        #: Ghost-invalidation epoch last honored (checkpoint restores bump
+        #: the shared counter; see _resync).
+        self._seen_epoch = int(spec.dirty_epoch)
+        #: Stash of the pre-step open pulls: (seconds, bytes, pulled,
+        #: skipped).  Ring-write discipline defers its telemetry to the
+        #: open_exchange phase body, after the step-start barrier.
+        self._pending_open = None
+        # -- fused tiebreak (no snapshot fence) ----------------------------
+        # Raw MAX bid arrays are never mutated after the intents phase;
+        # each rank max-merges neighbor strips into private buffers and
+        # resolves against this view, eliminating the mid-wave barrier.
+        if self.plan.max_merge:
+            self._merged_move_bid = np.zeros_like(self.intents.move_bid)
+            self._merged_bind_bid = np.zeros_like(self.intents.bind_bid)
+            self._resolve_intents = _TiebreakView(
+                self.intents, self._merged_move_bid, self._merged_bind_bid
+            )
+        else:  # single rank: nothing to merge, resolve reads the raw arrays
+            self._merged_move_bid = self._merged_bind_bid = None
+            self._resolve_intents = self.intents
+        #: Boundary-band work deferred by the overlapped interior passes.
+        self._intents_boundary: list | None = None
+        self._diffuse_boundary: list | None = None
+        # -- per-step accounting -------------------------------------------
+        self._phase_index = {n: i for i, n in enumerate(spec.phase_names)}
+        #: Barrier-wait seconds per phase + [step_start, step_end].
+        self._wait = np.zeros(len(spec.phase_names) + 2)
+        self._extra_seconds = 0.0
+        self._pulled_step = 0
+        self._skipped_step = 0
         self.step_bar = ShmBarrier(
             self.ctrl.step_bar, self.rank, self.ctrl, label="step barrier"
         )
@@ -337,10 +415,17 @@ class _RankWorker:
             heartbeat=self._heartbeat_on,
         )
         pending_end = None  # (start, dur, step) of the last step-end wait
+        nphases = len(self.spec.phase_names)
         while True:
+            # Open-wave ghost pulls run here, in the quiescent window:
+            # every peer is parked at this same barrier, so its fields are
+            # final, and none can mutate them until this worker arrives.
+            # No ring writes in this window (the coordinator is draining).
+            self._early_open_pull()
             t0 = perf_counter()
             self.step_bar.wait(self.timeout, heartbeat=hb)
             t1 = perf_counter()
+            self._wait[nphases] += t1 - t0
             step = int(self.ctrl.command[CMD_STEP])
             if step == SHUTDOWN_STEP:
                 return
@@ -359,10 +444,17 @@ class _RankWorker:
                 self.tracer.emit_span(
                     "step_start", t0, t1 - t0, cat="barrier", step=step
                 )
+            self._pulled_step = self._skipped_step = 0
+            epoch = int(self.ctrl.dirty_epoch[0])
+            if epoch != self._seen_epoch:
+                self._seen_epoch = epoch
+                self._resync(step)
             self._run_step(step, float(self.ctrl.pool[0]))
             t2 = perf_counter()
             self.step_bar.wait(self.timeout, heartbeat=hb)
-            pending_end = (t2, perf_counter() - t2, step)
+            dur = perf_counter() - t2
+            self._wait[nphases + 1] += dur
+            pending_end = (t2, dur, step)
 
     def close(self) -> None:
         for seg in self._segments:
@@ -388,7 +480,10 @@ class _RankWorker:
             self._maybe_fault(step, phase.name)
             start = perf_counter()
             ran = self._execute(phase, step, attempts)
-            elapsed = perf_counter() - start
+            # Work done outside the phase loop on this phase's behalf
+            # (the pre-step open pulls, a resync) is charged here.
+            elapsed = perf_counter() - start + self._extra_seconds
+            self._extra_seconds = 0.0
             skipped = ran is False
             self.metrics.record(phase.name, elapsed, skipped=skipped)
             if self.tracer:
@@ -453,116 +548,340 @@ class _RankWorker:
             self.ctrl.metrics_seconds[self.rank, i] = self.metrics.seconds.get(name, 0.0)
             self.ctrl.metrics_calls[self.rank, i] = self.metrics.calls.get(name, 0)
             self.ctrl.metrics_skips[self.rank, i] = self.metrics.skips.get(name, 0)
+        self.ctrl.metrics_wait[self.rank] = self._wait
+        self.ctrl.strips[self.rank, STRIPS_PULLED] += self._pulled_step
+        self.ctrl.strips[self.rank, STRIPS_SKIPPED] += self._skipped_step
+        if self.tracer and (self._pulled_step or self._skipped_step):
+            self.tracer.counter(
+                "strips_pulled", self._pulled_step, cat="comm", step=step
+            )
+            self.tracer.counter(
+                "strips_skipped", self._skipped_step, cat="comm", step=step
+            )
 
     # -- exchange phases -----------------------------------------------------
 
     def _phase_barrier(self, name: str) -> None:
-        """One phase-barrier wait, timed as a ``cat="barrier"`` span."""
-        if not self.tracer:
-            self.phase_bar.wait(self.timeout)
-            return
+        """One phase-barrier wait, timed as a ``cat="barrier"`` span and
+        charged to the owning phase's wait column."""
         start = perf_counter()
         self.phase_bar.wait(self.timeout)
-        self.tracer.emit_span(
-            name, start, perf_counter() - start, cat="barrier",
-            step=self._step,
-        )
+        dur = perf_counter() - start
+        idx = self._phase_index.get(name)
+        if idx is None:  # the resync fence is charged to the open wave
+            idx = self._phase_index["open_exchange"]
+        self._wait[idx] += dur
+        if self.tracer:
+            self.tracer.emit_span(
+                name, start, dur, cat="barrier", step=self._step
+            )
 
     def _exchange(self, phase: Phase):
         if not phase.exchanges:
             return False
-        barrier = lambda: self._phase_barrier(phase.name)
         if phase.name == "open_exchange":
-            # Peers finished their previous step (step barrier); copy, then
-            # fence so nobody mutates state another rank is still reading.
-            self._pull_replace(phase, (fs for fs in phase.exchanges
-                                       if fs.merge is MergeMode.REPLACE))
-            barrier()
-        elif phase.name == "tiebreak_exchange":
-            # Halo wave B: everyone's intents are written (entry barrier);
-            # REPLACE-copy neighbor intents into ghosts and snapshot the
-            # bid strips, fence, then max-merge the snapshots — the exact
-            # "send pre-exchange values" semantics of HaloExchanger.
-            barrier()
-            self._pull_replace(phase, (fs for fs in phase.exchanges
-                                       if fs.merge is MergeMode.REPLACE))
-            snaps = self._snapshot_max(phase)
-            barrier()
-            self._apply_max(snaps)
-        elif phase.name == "concentration_exchange":
-            # Production done everywhere (entry); copies done (exit) before
-            # any rank's diffusion commit overwrites its owned strips.
-            barrier()
-            self._pull_replace(phase, phase.exchanges)
-            barrier()
-        else:  # boundary_exchange
-            # Entry barrier only: peers are done mutating T-cell fields;
-            # the next mutation (resolve) sits behind the tiebreak
-            # barriers, which every reader passes first.
-            barrier()
-            self._pull_replace(phase, phase.exchanges)
-        return True
+            return self._open_exchange(phase)
+        if phase.name == "boundary_exchange":
+            return self._boundary_exchange(phase)
+        if phase.name == "tiebreak_exchange":
+            return self._tiebreak_exchange(phase)
+        return self._concentration_exchange(phase)
 
     def _keys(self, fs: FieldSet) -> list[str]:
         prefix = "intent_" if fs.scope == "intent" else ""
         return [prefix + name for name in fs.fields]
 
-    def _pull_replace(self, phase: Phase, field_sets) -> None:
+    # -- copy primitives ----------------------------------------------------
+
+    def _copy_route(self, route, keys) -> int:
+        """Copy one route's full strip for ``keys``; returns bytes moved."""
+        src = self.arrays[route.src]
         mine = self.arrays[self.rank]
-        keys = [k for fs in field_sets for k in self._keys(fs)]
+        ssl = self.plan.src_slices(route)
+        dsl = self.plan.dst_slices(route)
         nbytes = 0
-        for route in self.plan.replace:
-            src = self.arrays[route.src]
-            ssl = self.plan.src_slices(route)
-            dsl = self.plan.dst_slices(route)
-            for key in keys:
-                strip = src[key][ssl]
-                mine[key][dsl] = strip
-                nbytes += strip.nbytes
+        for key in keys:
+            strip = src[key][ssl]
+            mine[key][dsl] = strip
+            nbytes += strip.nbytes
+        return nbytes
+
+    def _copy_box(self, src_rank: int, box: Box, keys) -> int:
+        """Copy an arbitrary global sub-box from ``src_rank`` (the cropped
+        tiebreak pulls); returns bytes moved."""
+        src = self.arrays[src_rank]
+        mine = self.arrays[self.rank]
+        ssl = box.slices_from(self.plan.origins[src_rank])
+        dsl = box.slices_from(self.plan.origins[self.rank])
+        nbytes = 0
+        for key in keys:
+            strip = src[key][ssl]
+            mine[key][dsl] = strip
+            nbytes += strip.nbytes
+        return nbytes
+
+    # -- the gated waves ----------------------------------------------------
+
+    def _early_open_pull(self) -> None:
+        """Gated open-wave ghost pulls in the pre-step quiescent window.
+
+        Every peer is parked at the step-start barrier, so its previous-
+        step fields are final and stay frozen until this worker arrives —
+        the barrier itself is the copies-done fence.  Liveness is judged
+        against the regions peers published *last* step (exactly the box
+        their writes since our previous pull were confined to).  No ring
+        writes here (the coordinator is draining); telemetry is stashed
+        and accounted in the open_exchange phase body.
+        """
+        if not self.plan.replace:
+            self._pending_open = (0.0, 0, 0, 0)
+            return
+        start = perf_counter()
+        ndim = len(self.plan.origins[self.rank])
+        keys = list(OPEN_FIELDS)
+        nbytes = pulled = skipped = 0
+        for i, route in enumerate(self.plan.replace):
+            if strip_live(
+                self._route_boxes[i], self.ctrl.read_region(route.src, ndim)
+            ):
+                self._dirty_open[i] = True
+                self._dirty_bnd[i] = True
+                self._dirty_conc[i] = True
+            if self._dirty_open[i]:
+                nbytes += self._copy_route(route, keys)
+                pulled += 1
+                # OPEN_FIELDS covers the concentration fields, so the conc
+                # wave's view of this strip is fresh too; the tissue/bound
+                # times are *not* in the open wave, so the boundary wave
+                # stays dirty until it pulls them itself.
+                self._dirty_open[i] = False
+                self._dirty_conc[i] = False
+            else:
+                skipped += 1
+        self._pending_open = (perf_counter() - start, nbytes, pulled, skipped)
+
+    def _open_exchange(self, phase: Phase):
+        """Account the pre-step pulls (see :meth:`_early_open_pull`): the
+        copies themselves already ran in the quiescent window."""
+        seconds, nbytes, pulled, skipped = self._pending_open
+        self._pending_open = None
+        self._extra_seconds += seconds
+        self._pulled_step += pulled
+        self._skipped_step += skipped
         if self.tracer and nbytes:
             self.tracer.counter(
                 "halo_bytes", nbytes, cat="comm", step=self._step,
                 phase=phase.name,
             )
+        return pulled > 0
 
-    def _snapshot_max(self, phase: Phase):
-        snaps = []
-        keys = [
+    def _pull_state_wave(self, phase: Phase, dirty) -> bool:
+        """One gated in-step REPLACE wave: a strip is pulled iff it was
+        left dirty by an earlier wave or the source's *current* activity
+        box touches it; pulling cleans it."""
+        keys = [k for fs in phase.exchanges for k in self._keys(fs)]
+        ndim = len(self.plan.origins[self.rank])
+        nbytes = pulled = skipped = 0
+        for i, route in enumerate(self.plan.replace):
+            if strip_live(
+                self._route_boxes[i], self.ctrl.read_region(route.src, ndim)
+            ):
+                dirty[i] = True
+            if dirty[i]:
+                nbytes += self._copy_route(route, keys)
+                dirty[i] = False
+                pulled += 1
+            else:
+                skipped += 1
+        self._pulled_step += pulled
+        self._skipped_step += skipped
+        if self.tracer and nbytes:
+            self.tracer.counter(
+                "halo_bytes", nbytes, cat="comm", step=self._step,
+                phase=phase.name,
+            )
+        return pulled > 0
+
+    def _boundary_exchange(self, phase: Phase):
+        """Overlap: clear intents and run the *interior* intents pass —
+        whose stencil never leaves this rank's non-ghost cells — before
+        fencing on peers, then pull the T-cell strips the boundary band
+        needs.  The full clear (not a dirty-slab fast path) is required:
+        tiebreak copies write ghost strips behind IntentArrays' tracking,
+        and a stale merged bid anywhere would leak into every neighbor's
+        next merge."""
+        self.intents.clear()
+        region = self.gate.region()
+        interior = None
+        if region is None:
+            self._intents_boundary = None
+        else:
+            interior, slabs = split_interior_boundary(
+                region, self.block.virions.shape, self.block.ghost
+            )
+            if interior is None:
+                # Too thin for a safe core: the whole region waits for
+                # fresh ghosts (the slabs from a failed split don't tile).
+                self._intents_boundary = [region]
+            else:
+                self._intents_boundary = slabs
+                kernels.tcell_intents(
+                    self.params, self.rng, self._step, self.block,
+                    self.intents, interior,
+                )
+        # Entry barrier: peers are done mutating T-cell fields; the next
+        # mutation (resolve) sits behind the tiebreak barrier, which every
+        # reader passes first.
+        self._phase_barrier(phase.name)
+        ran = self._pull_state_wave(phase, self._dirty_bnd)
+        return ran or interior is not None
+
+    def _tiebreak_exchange(self, phase: Phase):
+        """The single tiebreak wave: entry barrier (everyone's intents are
+        final — raw arrays are never mutated after the intents phase),
+        then gated REPLACE pulls of neighbor intents cropped to the
+        one-voxel neighborhood resolve actually reads, then max-merge the
+        bid strips into this rank's *private* buffers.  No exit fence:
+        peers still copying read only raw arrays, whose next mutation
+        (next step's clear) sits behind the concentration barriers."""
+        self._phase_barrier(phase.name)
+        nroutes = len(self.plan.replace) + len(self.plan.max_merge)
+        my_box = self.gate.region_box()
+        if my_box is None:
+            # No resolve this step: no intent ghosts are read.  Peers pull
+            # this rank's raw (fully cleared) arrays directly.
+            self._skipped_step += nroutes
+            return False
+        read_box = my_box.expand(1)
+        ndim = len(self.plan.origins[self.rank])
+        rep_keys = [
             k
             for fs in phase.exchanges
-            if fs.merge is MergeMode.MAX
+            if fs.merge is MergeMode.REPLACE
             for k in self._keys(fs)
         ]
-        for route in self.plan.max_merge:
-            src = self.arrays[route.src]
-            ssl = self.plan.src_slices(route)
-            dsl = self.plan.dst_slices(route)
-            for key in keys:
-                snaps.append((key, dsl, src[key][ssl].copy()))
-        return snaps
+        nbytes = 0
+        for route in self.plan.replace:
+            box = route.region.intersect(read_box)
+            if not box.is_empty and strip_live(
+                box, self.ctrl.read_region(route.src, ndim), dilate=1
+            ):
+                nbytes += self._copy_box(route.src, box, rep_keys)
+                self._pulled_step += 1
+            else:
+                self._skipped_step += 1
+        nbytes += self._merge_max_bids(read_box, ndim)
+        if self.tracer and nbytes:
+            self.tracer.counter(
+                "halo_bytes", nbytes, cat="comm", step=self._step,
+                phase=phase.name,
+            )
+        return True
 
-    def _apply_max(self, snaps) -> None:
-        mine = self.arrays[self.rank]
+    def _merge_max_bids(self, read_box: Box, ndim: int) -> int:
+        """Refresh the private merged-bid buffers: copy this rank's raw
+        bids over the resolve read neighborhood, then max-merge every live
+        neighbor strip (cropped to that neighborhood) on top.  Raw bid
+        arrays — this rank's and every peer's — are left untouched, which
+        is what makes the merge fence-free."""
+        if self._merged_move_bid is None:
+            return 0
+        region = self.gate.region()
+        shape = self._merged_move_bid.shape
+        mr = tuple(
+            slice(max(0, s.start - 1), min(n, s.stop + 1))
+            for s, n in zip(region, shape)
+        )
+        self._merged_move_bid[mr] = self.intents.move_bid[mr]
+        self._merged_bind_bid[mr] = self.intents.bind_bid[mr]
+        merged = {
+            "intent_move_bid": self._merged_move_bid,
+            "intent_bind_bid": self._merged_bind_bid,
+        }
         trace = bool(self.tracer)
+        nbytes = 0
         won = lost = 0
-        for key, dsl, payload in snaps:
-            view = mine[key][dsl]
-            if trace:
-                # A conflict is a boundary slot both sides bid on; this
-                # rank loses where the incoming bid beats the local one.
-                contested = (payload > 0) & (view > 0)
-                lost_here = int((contested & (payload > view)).sum())
-                lost += lost_here
-                won += int(contested.sum()) - lost_here
-            np.maximum(view, payload, out=view)
+        for route in self.plan.max_merge:
+            box = route.region.intersect(read_box)
+            if box.is_empty or not strip_live(
+                box, self.ctrl.read_region(route.src, ndim), dilate=1
+            ):
+                self._skipped_step += 1
+                continue
+            ssl = box.slices_from(self.plan.origins[route.src])
+            dsl = box.slices_from(self.plan.origins[self.rank])
+            for key, buf in merged.items():
+                payload = self.arrays[route.src][key][ssl]
+                view = buf[dsl]
+                if trace:
+                    # A conflict is a boundary slot both sides bid on;
+                    # this rank loses where the incoming bid beats its own.
+                    contested = (payload > 0) & (view > 0)
+                    lost_here = int((contested & (payload > view)).sum())
+                    lost += lost_here
+                    won += int(contested.sum()) - lost_here
+                np.maximum(view, payload, out=view)
+                nbytes += payload.nbytes
+            self._pulled_step += 1
         if trace and (won or lost):
             self.tracer.counter("bids_won", won, step=self._step)
             self.tracer.counter("bids_lost", lost, step=self._step)
+        return nbytes
+
+    def _concentration_exchange(self, phase: Phase):
+        """Entry barrier (production done everywhere), gated concentration
+        pulls, then — overlapping any peer still copying — the no-flux
+        mirror and the *interior* diffusion pass into scratch.  The exit
+        barrier fences the copies from the diffuse phase's commit, which
+        overwrites the owned strips peers read."""
+        self._phase_barrier(phase.name)
+        self._pull_state_wave(phase, self._dirty_conc)
+        region = self.gate.region()
+        if region is None:
+            self._diffuse_boundary = None
+        else:
+            kernels.mirror_fields(self.block)
+            interior, slabs = split_interior_boundary(
+                region, self.block.virions.shape, self.block.ghost
+            )
+            if interior is None:
+                self._diffuse_boundary = [region]
+            else:
+                self._diffuse_boundary = slabs
+                kernels.concentration_update(
+                    self.params, self.block, interior, self._scratch_v,
+                    self._scratch_c,
+                )
+        self._phase_barrier(phase.name)
+        return True
+
+    def _resync(self, step: int) -> None:
+        """Honor a ghost-invalidation epoch bump (checkpoint restore wrote
+        fields behind the workers' backs): every strip may be stale, so
+        re-pull every exchanged field unconditionally, then fence so no
+        rank starts mutating restored state a peer is still copying.
+        Every worker observes the same bump at the same step-start, so the
+        extra phase-barrier epoch stays in lock step."""
+        start = perf_counter()
+        keys = sorted({*OPEN_FIELDS, *BOUNDARY_FIELDS, *CONCENTRATION_FIELDS})
+        for i, route in enumerate(self.plan.replace):
+            self._copy_route(route, keys)
+            self._dirty_open[i] = False
+            self._dirty_bnd[i] = False
+            self._dirty_conc[i] = False
+            self._pulled_step += 1
+        self._phase_barrier("resync")
+        self._extra_seconds += perf_counter() - start
 
     # -- kernel phases (mirror the PGAS backend's per-rank bodies) -----------
 
     def phase_age_extravasate(self, step: int, attempts):
         self.gate.refresh()
+        # Strip-liveness handshake: peers gate their pulls on this box.
+        # Published before this rank's boundary-entry barrier arrival, so
+        # every in-step reader (fenced behind that barrier) sees it; the
+        # next step's early pulls are fenced by step_end/step_start.
+        self.ctrl.publish_region(self.rank, self.gate.region_box())
         self._active = self.gate.count
         if self.tracer:
             self.tracer.gauge(
@@ -579,30 +898,36 @@ class _RankWorker:
         )
 
     def phase_intents(self, step: int, attempts):
-        region = self.gate.region()
-        # Full clear, not the dirty-slab fast path: the tiebreak copies
-        # write ghost strips behind IntentArrays' tracking, and a stale
-        # merged bid *anywhere* in this array would leak into every
-        # neighbor's next max-merge snapshot (the GPU backend clears
-        # fully for the same reason).
-        self.intents.clear()
-        if region is None:
+        # The clear + interior pass already ran in the boundary_exchange
+        # body (overlap); only the boundary band — which reads the freshly
+        # pulled ghost strips — remains.  Bitwise-equal to the monolithic
+        # pass: the slabs tile the region exactly, every draw is keyed by
+        # (seed, stream, step, gid), and the bid scatter is a commutative
+        # elementwise max.
+        slabs = self._intents_boundary
+        if not slabs:
             return False
-        kernels.tcell_intents(
-            self.params, self.rng, step, self.block, self.intents, region
-        )
+        for slab in slabs:
+            kernels.tcell_intents(
+                self.params, self.rng, step, self.block, self.intents, slab
+            )
 
     def phase_resolve(self, step: int, attempts):
         # Purely local: ghost intents + merged bids make the winner
         # computation identical on both sides of every boundary.  An idle
         # region is sound — any inbound mover was visible in this rank's
-        # padded activity mask at refresh time.
+        # padded activity mask at refresh time.  Reads the tiebreak view
+        # (raw REPLACE fields + private merged bids); raw arrays stay
+        # untouched for peers still copying.
         region = self.gate.region()
         if region is None:
             return False
-        self._moves = kernels.resolve_moves(self.block, self.intents, region)
+        self._moves = kernels.resolve_moves(
+            self.block, self._resolve_intents, region
+        )
         self._binds = kernels.resolve_binds(
-            self.params, self.rng, step, self.block, self.intents, region
+            self.params, self.rng, step, self.block, self._resolve_intents,
+            region,
         )
 
     def phase_apply_results(self, step: int, attempts):
@@ -618,13 +943,18 @@ class _RankWorker:
         kernels.production_update(self.params, self.block, region, step=step)
 
     def phase_diffuse(self, step: int, attempts):
+        # The mirror + interior pass ran in the concentration_exchange
+        # body (overlap); finish the boundary band against the fresh
+        # ghosts, then commit the whole region from scratch — elementwise
+        # identical to the monolithic update it replaces.
         region = self.gate.region()
         if region is None:
             return False
-        kernels.mirror_fields(self.block)
-        kernels.concentration_update(
-            self.params, self.block, region, self._scratch_v, self._scratch_c
-        )
+        for slab in self._diffuse_boundary:
+            kernels.concentration_update(
+                self.params, self.block, slab, self._scratch_v,
+                self._scratch_c,
+            )
         kernels.concentration_commit(
             self.params, self.block, [region], self._scratch_v,
             self._scratch_c, step=step,

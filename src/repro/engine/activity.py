@@ -162,6 +162,22 @@ class ActivityGate:
             return self.block.interior
         return self._region
 
+    def region_box(self):
+        """The current region as a global-coordinate :class:`Box`, or None
+        when idle — the value a dist worker publishes into the control
+        segment's strip-liveness row (every kernel's writes this step are
+        confined to this box, so peers may skip pulls it cannot touch)."""
+        region = self.region()
+        if region is None:
+            return None
+        from repro.grid.box import Box
+
+        origin = self.block.origin
+        return Box(
+            tuple(o + s.start for o, s in zip(origin, region)),
+            tuple(o + s.stop for o, s in zip(origin, region)),
+        )
+
     @property
     def count(self) -> int:
         """Active voxels (the perf model's work unit)."""

@@ -83,6 +83,23 @@ class RankPullPlan:
         )
 
 
+def strip_live(route_region: Box, src_region: Box | None, dilate: int = 0) -> bool:
+    """Whether a pull route can carry fresh data, given the source rank's
+    published activity bounding box (None = idle rank).
+
+    A strip is dead — and its pull skippable, bitwise invisibly — when the
+    source wrote nothing inside the route's region since the destination
+    last pulled it: every state kernel confines its writes to the gate's
+    bounding region.  ``dilate`` widens the source region for waves whose
+    writes spill past it (the intent scatter-max reaches one voxel out).
+    """
+    if src_region is None:
+        return False
+    if dilate:
+        src_region = src_region.expand(dilate)
+    return not route_region.intersect(src_region).is_empty
+
+
 class HaloExchanger:
     """Precomputed message routes for one decomposition + ghost width.
 

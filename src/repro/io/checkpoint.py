@@ -165,6 +165,11 @@ def restore_state(sim, snapshot: dict) -> None:
     _scatter_into_blocks(blocks, snapshot["arrays"])
     sim.step_num = snapshot["step_num"]
     sim.pool = snapshot["pool"]
+    if hasattr(sim, "invalidate_ghosts"):
+        # Distributed runs: the workers' activity-gated exchange must not
+        # trust strips pulled before this scatter.  The scatter above is
+        # already visible when a worker observes the epoch bump.
+        sim.invalidate_ghosts()
 
 
 # -- on-disk format ----------------------------------------------------------

@@ -1,0 +1,197 @@
+"""The interior/boundary split behind communication overlap.
+
+:func:`split_interior_boundary` carves a kernel region into a
+stencil-safe core (computable before a halo pull lands) plus boundary
+slabs (computed after).  Three contracts keep the overlap bitwise
+invisible:
+
+- the pieces tile the region exactly (disjoint + covering);
+- a region too thin for a safe core reports ``interior=None`` (the
+  caller falls back to the monolithic pass);
+- running ``diffuse``/``intents`` interior-then-slabs produces results
+  element-for-element identical to one monolithic call, in 2D and 3D.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import kernels
+from repro.core.params import SimCovParams
+from repro.core.state import EpiState, VoxelBlock
+from repro.diffusion.stencil import diffuse_region, split_interior_boundary
+from repro.grid.spec import GridSpec
+from repro.rng.streams import VoxelRNG
+
+GHOST = 1
+
+
+def _region_strategy(ndim):
+    """A padded shape plus a non-empty region inside its non-ghost cells."""
+
+    @st.composite
+    def strat(draw):
+        shape, region = [], []
+        for _ in range(ndim):
+            n = draw(st.integers(min_value=2 * GHOST + 1, max_value=14))
+            lo = draw(st.integers(min_value=GHOST, max_value=n - GHOST - 1))
+            hi = draw(st.integers(min_value=lo + 1, max_value=n - GHOST))
+            shape.append(n)
+            region.append(slice(lo, hi))
+        return tuple(shape), tuple(region)
+
+    return strat()
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.one_of(_region_strategy(2), _region_strategy(3)))
+def test_split_tiles_region_exactly(case):
+    """Interior + slabs are disjoint and cover the region — and nothing
+    else.  When the interior is None the region is genuinely too thin
+    for a stencil-safe core on some axis."""
+    shape, region = case
+    interior, slabs = split_interior_boundary(region, shape, GHOST)
+    cover = np.zeros(shape, dtype=np.int64)
+    if interior is None:
+        # Thin case: some axis of the region misses the safe core.
+        core = tuple(slice(2 * GHOST, n - 2 * GHOST) for n in shape)
+        assert any(
+            max(r.start, c.start) >= min(r.stop, c.stop)
+            for r, c in zip(region, core)
+        )
+        return
+    cover[interior] += 1
+    for slab in slabs:
+        cover[slab] += 1
+    expected = np.zeros(shape, dtype=np.int64)
+    expected[region] = 1
+    np.testing.assert_array_equal(cover, expected)
+    # The interior really is stencil-safe: its ±ghost neighborhood stays
+    # inside the non-ghost cells.
+    for s, n in zip(interior, shape):
+        assert s.start - GHOST >= GHOST
+        assert s.stop + GHOST <= n - GHOST
+
+
+@pytest.mark.parametrize(
+    "shape,region",
+    [
+        # Full interiors, 2D and 3D.
+        ((10, 12), (slice(1, 9), slice(1, 11))),
+        ((6, 7, 8), (slice(1, 5), slice(1, 6), slice(1, 7))),
+        # Off-center sub-regions (gated active boxes).
+        ((16, 16), (slice(3, 9), slice(5, 14))),
+        ((8, 9, 7), (slice(2, 6), slice(1, 8), slice(3, 6))),
+    ],
+)
+def test_diffuse_interior_then_boundary_matches_monolithic(shape, region):
+    rng = np.random.default_rng(3)
+    src = rng.uniform(0.0, 5.0, size=shape)
+    mono = np.zeros(shape)
+    split = np.zeros(shape)
+    diffuse_region(src, mono, region, 0.37)
+    interior, slabs = split_interior_boundary(region, shape, GHOST)
+    assert interior is not None
+    diffuse_region(src, split, interior, 0.37)
+    for slab in slabs:
+        diffuse_region(src, split, slab, 0.37)
+    np.testing.assert_array_equal(split, mono)
+
+
+@pytest.mark.parametrize(
+    "shape,region",
+    [
+        # Blocks thinner than twice the halo width on some axis.
+        ((2 * GHOST + 1, 12), (slice(1, 2), slice(1, 11))),
+        ((4, 4, 9), (slice(1, 3), slice(1, 3), slice(2, 8))),
+        # Region that misses the core despite a roomy block.
+        ((16, 16), (slice(1, 2), slice(3, 12))),
+    ],
+)
+def test_thin_blocks_report_no_interior(shape, region):
+    interior, _ = split_interior_boundary(region, shape, GHOST)
+    assert interior is None
+
+
+def _seeded_block(dim, seed):
+    """A block with random T cells, occupancy and epithelial states."""
+    spec = GridSpec(dim)
+    block = VoxelBlock(spec, spec.domain)
+    rng = np.random.default_rng(seed)
+    interior = block.interior
+    tmask = rng.random(block.tcell[interior].shape) < 0.25
+    block.tcell[interior][tmask] = 1
+    block.tcell_tissue_time[interior][tmask] = rng.integers(
+        1, 50, size=int(tmask.sum())
+    )
+    bound = tmask & (rng.random(tmask.shape) < 0.3)
+    block.tcell_bound_time[interior][bound] = rng.integers(
+        1, 5, size=int(bound.sum())
+    )
+    states = rng.choice(
+        [int(EpiState.HEALTHY), int(EpiState.EXPRESSING), int(EpiState.DEAD)],
+        p=[0.6, 0.3, 0.1],
+        size=block.epi_state[interior].shape,
+    )
+    block.epi_state[interior][...] = states
+    block.virions[interior][...] = rng.uniform(0, 2, size=states.shape)
+    block.chemokine[interior][...] = rng.uniform(0, 1, size=states.shape)
+    return block
+
+
+@pytest.mark.parametrize("dim", [(14, 15), (7, 8, 6)])
+@pytest.mark.parametrize("step", [0, 5])
+def test_intents_interior_then_boundary_matches_monolithic(dim, step):
+    """The overlapped intents pass is bitwise-identical to one monolithic
+    call: draws are keyed by (seed, stream, step, gid) — not by execution
+    order — and the bid scatter is an elementwise max."""
+    params = SimCovParams.fast_test(dim=dim, num_infections=1)
+    block = _seeded_block(dim, seed=step + 1)
+    region = block.interior
+    shape = block.virions.shape
+
+    mono = kernels.IntentArrays(shape)
+    kernels.tcell_intents(params, VoxelRNG(11), step, block, mono, region)
+
+    split = kernels.IntentArrays(shape)
+    interior, slabs = split_interior_boundary(region, shape, GHOST)
+    assert interior is not None
+    kernels.tcell_intents(params, VoxelRNG(11), step, block, split, interior)
+    for slab in slabs:
+        kernels.tcell_intents(params, VoxelRNG(11), step, block, split, slab)
+
+    for name in (*kernels.IntentArrays.REPLACE_FIELDS,
+                 *kernels.IntentArrays.MAX_FIELDS):
+        np.testing.assert_array_equal(
+            getattr(split, name), getattr(mono, name), err_msg=name
+        )
+
+
+@pytest.mark.parametrize("dim", [(14, 15), (7, 8, 6)])
+def test_concentration_interior_then_boundary_matches_monolithic(dim):
+    """The overlapped diffusion pass (interior into scratch before the
+    ghosts land, boundary band after) commits bitwise the same fields as
+    the monolithic update."""
+    params = SimCovParams.fast_test(dim=dim, num_infections=1)
+
+    def run(split: bool):
+        block = _seeded_block(dim, seed=42)
+        region = block.interior
+        sv = np.zeros_like(block.virions)
+        sc = np.zeros_like(block.chemokine)
+        kernels.mirror_fields(block)
+        if split:
+            interior, slabs = split_interior_boundary(
+                region, block.virions.shape, GHOST
+            )
+            assert interior is not None
+            for piece in (interior, *slabs):
+                kernels.concentration_update(params, block, piece, sv, sc)
+        else:
+            kernels.concentration_update(params, block, region, sv, sc)
+        kernels.concentration_commit(params, block, [region], sv, sc, step=3)
+        return block
+
+    mono, overlapped = run(split=False), run(split=True)
+    np.testing.assert_array_equal(overlapped.virions, mono.virions)
+    np.testing.assert_array_equal(overlapped.chemokine, mono.chemokine)

@@ -1,0 +1,139 @@
+"""Unit + regression tests for the fused-epoch barrier protocol.
+
+The :class:`ShmBarrier` is a versioned arrival vector: slots only grow,
+so any number of phases can share one vector per epoch with no reset
+round — the property barrier fusion leans on.  These tests drive the
+protocol in process (no worker spawn) and then pin the fused per-step
+barrier budget on a real run: 4 phase waits + 2 step waits, down from
+the seed protocol's 6 + 2.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dist import DistSimCov
+from repro.dist.control import (
+    BarrierTimeoutError,
+    ControlBlock,
+    DistAborted,
+    ShmBarrier,
+    control_layout,
+)
+from repro.dist.shm import ShmSegment, make_segment_name
+from repro.dist.worker import dist_schedule
+
+PHASES = tuple(p.name for p in dist_schedule())
+
+#: The fused protocol's per-step phase-barrier budget (boundary entry,
+#: tiebreak entry, concentration entry + exit) and step-barrier budget.
+FUSED_PHASE_WAITS = 4
+STEP_WAITS = 2
+SEED_TOTAL_WAITS = 8
+
+
+@pytest.fixture
+def ctrl():
+    seg = ShmSegment.create(
+        make_segment_name("barrier_test"), control_layout(2, len(PHASES))
+    )
+    try:
+        yield ControlBlock(seg, 2, PHASES)
+    finally:
+        seg.close()
+
+
+def test_multi_phase_epochs_share_one_vector(ctrl):
+    """Consecutive barriers reuse the vector with no reset phase: each
+    wait bumps this party's epoch, and a peer pre-advanced through many
+    phases satisfies every older epoch."""
+    slots = np.zeros(2, dtype=np.int64)
+    bar = ShmBarrier(slots, 0, ctrl)
+    slots[1] = FUSED_PHASE_WAITS  # the peer already ran its whole step
+    for expected in range(1, FUSED_PHASE_WAITS + 1):
+        bar.wait(timeout=1.0)
+        assert bar.epoch == expected
+        assert slots[0] == expected
+    # Our own slot never decreased — there is no reset to race with.
+    assert slots[0] == FUSED_PHASE_WAITS
+
+
+def test_out_of_order_arrival_is_monotonic(ctrl):
+    """A fast party at epoch e+k trivially satisfies waiters at e, and a
+    late waiter is satisfied by slots that have already moved on."""
+    slots = np.zeros(2, dtype=np.int64)
+    fast = ShmBarrier(slots, 0, ctrl)
+    late = ShmBarrier(slots, 1, ctrl)
+    slots[1] = 1          # peer arrived at epoch 1 first (out of order)
+    fast.wait(timeout=1.0)
+    # Fast party races three epochs ahead of the shared vector's party 1.
+    slots[1] = 4
+    for _ in range(3):
+        fast.wait(timeout=1.0)
+    assert slots[0] == 4
+    # The late party's single overdue wait (epoch 2) passes immediately
+    # against the grown slots — epochs never need to match exactly.
+    late.epoch = 1
+    late.wait(timeout=1.0)
+    assert slots[1] == 2
+
+
+def test_timeout_attribution_names_rank_phase_step(ctrl):
+    """A timeout dump must single out the stalled rank with the phase
+    name and step it last reported."""
+    slots = np.zeros(2, dtype=np.int64)
+    bar = ShmBarrier(slots, 0, ctrl, label="phase barrier")
+    stalled_phase = PHASES.index("tiebreak_exchange")
+    ctrl.set_status(0, step=7, phase=stalled_phase)
+    ctrl.set_status(1, step=7, phase=stalled_phase)
+    ctrl.heartbeat[1] = 0.0  # rank 1 has not heartbeat since the epoch
+    with pytest.raises(BarrierTimeoutError) as err:
+        bar.wait(timeout=0.05)
+    msg = str(err.value)
+    assert "phase barrier" in msg
+    assert "missing rank 1" in msg
+    assert "rank 0" not in msg  # the healthy arrival is not blamed
+    assert "tiebreak_exchange" in msg
+    assert "step 7" in msg
+
+
+def test_timeout_attribution_names_coordinator(ctrl):
+    """Party ``nranks`` is the coordinator; its absence is named as such
+    rather than dressed up as a worker rank."""
+    slots = np.zeros(3, dtype=np.int64)  # 2 workers + coordinator
+    bar = ShmBarrier(slots, 0, ctrl, label="step barrier")
+    slots[1] = 1
+    with pytest.raises(BarrierTimeoutError) as err:
+        bar.wait(timeout=0.05)
+    assert "missing party 2 (coordinator)" in str(err.value)
+
+
+def test_abort_unblocks_waiter(ctrl):
+    slots = np.zeros(2, dtype=np.int64)
+    bar = ShmBarrier(slots, 0, ctrl)
+    ctrl.abort()
+    with pytest.raises(DistAborted):
+        bar.wait(timeout=5.0)
+
+
+def test_per_step_barrier_count_is_fused():
+    """Regression gate for barrier fusion: a real run must spend exactly
+    4 phase-barrier epochs and 2 step-barrier epochs per step.  The seed
+    protocol spent 6 + 2; open-wave exit, the tiebreak mid-wave fence
+    and the boundary-entry double all collapsed into existing barriers.
+    """
+    from repro.core.params import SimCovParams
+
+    steps = 6
+    params = SimCovParams.fast_test(dim=(24, 24), num_infections=1)
+    with DistSimCov(params, nranks=2, seed=9) as sim:
+        sim.run(steps)
+        phase_slots = sim.backend.runtime.ctrl.phase_bar.copy()
+        step_slots = sim.backend.runtime.ctrl.step_bar.copy()
+    assert list(phase_slots) == [FUSED_PHASE_WAITS * steps] * 2
+    # Coordinator slot: exactly 2 epochs per step.  Worker slots may
+    # already show the *next* step's arrival (they park at step-start).
+    assert step_slots[2] == STEP_WAITS * steps
+    for worker_slot in step_slots[:2]:
+        assert STEP_WAITS * steps <= worker_slot <= STEP_WAITS * steps + 1
+    total_per_step = FUSED_PHASE_WAITS + STEP_WAITS
+    assert total_per_step < SEED_TOTAL_WAITS

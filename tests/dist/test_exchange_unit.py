@@ -1,0 +1,125 @@
+"""Fast-tier unit tests for :meth:`HaloExchanger.pull_plan`.
+
+These exercise the pull-route geometry *in process* — no worker spawn,
+no shared memory — by replaying each rank's serialized plan against
+plain numpy arrays and checking it reproduces the reference
+:meth:`HaloExchanger.exchange` results exactly.  This is the route
+table every dist worker runs, so a geometry bug here is a dist bug.
+"""
+
+import numpy as np
+import pytest
+
+from repro.grid.box import Box
+from repro.grid.decomposition import Decomposition, DecompositionKind
+from repro.grid.halo import HaloExchanger, MergeMode, strip_live
+from repro.grid.spec import GridSpec
+
+
+def _exchanger(shape, nranks, kind=DecompositionKind.BLOCK):
+    spec = GridSpec(shape)
+    decomp = Decomposition.make(spec, nranks, kind)
+    return HaloExchanger(decomp, ghost=1)
+
+
+def _random_arrays(ex, rng, dtype=np.float64):
+    return [
+        rng.uniform(1.0, 9.0, size=ex.local_shape(r)).astype(dtype)
+        for r in range(ex.decomp.nranks)
+    ]
+
+
+def _replay_replace(ex, arrays):
+    """Run every rank's pull plan (REPLACE) over ``arrays`` in place."""
+    for rank in range(ex.decomp.nranks):
+        plan = ex.pull_plan(rank)
+        for route in plan.replace:
+            arrays[rank][plan.dst_slices(route)] = arrays[route.src][
+                plan.src_slices(route)
+            ]
+
+
+def _replay_max(ex, arrays):
+    """Run every rank's pull plan (MAX) with pre-exchange snapshots."""
+    snaps = []
+    for rank in range(ex.decomp.nranks):
+        plan = ex.pull_plan(rank)
+        for route in plan.max_merge:
+            snaps.append(
+                (rank, plan.dst_slices(route),
+                 arrays[route.src][plan.src_slices(route)].copy())
+            )
+    for rank, dsl, payload in snaps:
+        view = arrays[rank][dsl]
+        np.maximum(view, payload, out=view)
+
+
+CASES = [
+    ((24, 18), 2, DecompositionKind.BLOCK),
+    ((24, 18), 4, DecompositionKind.BLOCK),
+    ((24, 18), 4, DecompositionKind.LINEAR),
+    ((10, 12, 8), 4, DecompositionKind.BLOCK),
+    # Slabs thinner than the halo width: MAX routes reach past box
+    # neighbors (extent-overlap geometry).
+    ((5, 6), 5, DecompositionKind.LINEAR),
+]
+
+
+@pytest.mark.parametrize("shape,ranks,kind", CASES)
+def test_pull_plan_replace_matches_exchange(shape, ranks, kind):
+    ex = _exchanger(shape, ranks, kind)
+    rng = np.random.default_rng(7)
+    ref = _random_arrays(ex, rng)
+    got = [a.copy() for a in ref]
+    ex.exchange(ref, MergeMode.REPLACE)
+    _replay_replace(ex, got)
+    for r, (a, b) in enumerate(zip(got, ref)):
+        np.testing.assert_array_equal(a, b, err_msg=f"rank {r}")
+
+
+@pytest.mark.parametrize("shape,ranks,kind", CASES)
+def test_pull_plan_max_matches_exchange(shape, ranks, kind):
+    ex = _exchanger(shape, ranks, kind)
+    rng = np.random.default_rng(11)
+    ref = [
+        rng.integers(0, 50, size=ex.local_shape(r)).astype(np.uint64)
+        for r in range(ex.decomp.nranks)
+    ]
+    got = [a.copy() for a in ref]
+    ex.exchange(ref, MergeMode.MAX)
+    _replay_max(ex, got)
+    for r, (a, b) in enumerate(zip(got, ref)):
+        np.testing.assert_array_equal(a, b, err_msg=f"rank {r}")
+
+
+@pytest.mark.parametrize("shape,ranks,kind", CASES)
+def test_pull_plan_route_geometry(shape, ranks, kind):
+    """Replace routes live in the receiver's ghost ring and inside the
+    source's owned box; neighbor_ranks is exactly the set of sources."""
+    ex = _exchanger(shape, ranks, kind)
+    for rank in range(ex.decomp.nranks):
+        plan = ex.pull_plan(rank)
+        own = ex.decomp.boxes[rank]
+        srcs = set()
+        for route in plan.replace:
+            srcs.add(route.src)
+            region = route.region
+            assert not region.is_empty
+            # Inside the source's owned cells...
+            assert region.intersect(ex.decomp.boxes[route.src]) == region
+            # ...and fully outside the receiver's own box (ghost ring).
+            assert region.intersect(own).is_empty
+        for route in plan.max_merge:
+            srcs.add(route.src)
+        assert plan.neighbor_ranks == tuple(sorted(srcs))
+        assert rank not in srcs
+
+
+def test_strip_live_geometry():
+    route = Box((4, 0), (6, 8))
+    assert not strip_live(route, None)                 # idle source
+    assert strip_live(route, Box((0, 0), (10, 10)))    # covering
+    assert not strip_live(route, Box((6, 0), (9, 8)))  # abutting, disjoint
+    # One-voxel dilation (the intent scatter reach) flips it live.
+    assert strip_live(route, Box((6, 0), (9, 8)), dilate=1)
+    assert not strip_live(route, Box((7, 0), (9, 8)), dilate=1)
