@@ -1,0 +1,342 @@
+#!/usr/bin/env python
+"""Load test for the serving layer (:mod:`repro.serve`).
+
+Simulates a large fleet of concurrent clients hammering one server with
+a repeated-request workload — many clients asking for the same small set
+of distinct runs, which is the serving layer's design case (parameter
+sweeps and dashboards re-requesting canonical configurations).  Each
+client POSTs a job and then opens the job's SSE stream, timing
+**submit-to-first-event** end to end over real sockets.
+
+Three gates (process exits nonzero if any fails):
+
+1. cache hit rate >= 90% on the repeated-request workload (hits + joins
+   over all submissions);
+2. p99 submit-to-first-event latency < 1 s;
+3. a preemption scenario — a high-priority job lands mid-run of a
+   low-priority one on a single-worker server — where both jobs complete
+   and the preempted job's final stats are **bitwise identical** to an
+   in-process run that was never preempted.
+
+Results are merged into ``BENCH_step_engine.json`` at the repo root as
+the ``serving`` section (read-modify-write; the step-engine sections are
+left untouched).
+
+Usage (from the repo root, no install needed)::
+
+    python benchmarks/load_test_serve.py                   # full: 1000 clients
+    python benchmarks/load_test_serve.py --clients 200 --steps 30   # CI smoke
+"""
+
+import argparse
+import asyncio
+import json
+import logging
+import pathlib
+import sys
+import time
+
+# Clients drop their SSE sockets after the first event on purpose; the
+# loop's "socket.send() raised exception" lines are that, not a failure.
+logging.getLogger("asyncio").setLevel(logging.CRITICAL)
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro.core.model import SequentialSimCov  # noqa: E402
+from repro.serve.jobs import JobSpec, stats_rows  # noqa: E402
+from repro.serve.server import ServeApp  # noqa: E402
+
+CONFIG = "small_2d"
+
+
+# -- minimal async HTTP (raw sockets: thousands of concurrent clients) --------
+
+async def http_json(port, method, path, body=None, retries=3):
+    for attempt in range(retries + 1):
+        try:
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            break
+        except OSError:
+            if attempt == retries:
+                raise
+            await asyncio.sleep(0.05 * (attempt + 1))
+    try:
+        payload = b"" if body is None else json.dumps(body).encode()
+        writer.write(
+            (
+                f"{method} {path} HTTP/1.1\r\nHost: localhost\r\n"
+                f"Content-Length: {len(payload)}\r\nConnection: close\r\n\r\n"
+            ).encode()
+            + payload
+        )
+        await writer.drain()
+        status = int((await reader.readline()).split()[1])
+        length = 0
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.partition(b":")
+            if name.strip().lower() == b"content-length":
+                length = int(value)
+        data = await reader.readexactly(length)
+        return status, json.loads(data or b"{}")
+    finally:
+        writer.close()
+
+
+async def submit_and_first_event(port, spec):
+    """One simulated client: POST the job, subscribe to its SSE stream,
+    return (submit-to-first-event seconds, cache disposition)."""
+    t0 = time.perf_counter()
+    status, resp = await http_json(port, "POST", "/jobs", body=spec)
+    assert status in (200, 201), resp
+    job_id = resp["job"]["id"]
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        writer.write(
+            f"GET /jobs/{job_id}/events HTTP/1.1\r\nHost: localhost\r\n"
+            f"Connection: close\r\n\r\n".encode()
+        )
+        await writer.drain()
+        while (await reader.readline()) not in (b"\r\n", b""):
+            pass  # response headers
+        while True:
+            line = await reader.readline()
+            if not line:
+                raise RuntimeError(f"stream for {job_id} ended eventless")
+            if line.startswith(b"event:"):
+                return time.perf_counter() - t0, resp["cache"]
+    finally:
+        writer.close()
+
+
+async def wait_done(port, job_id, timeout=300.0):
+    deadline = time.monotonic() + timeout
+    while True:
+        _, summary = await http_json(port, "GET", f"/jobs/{job_id}")
+        if summary["state"] in ("done", "failed", "cancelled"):
+            return summary
+        if time.monotonic() > deadline:
+            raise TimeoutError(f"job {job_id} stuck in {summary['state']}")
+        await asyncio.sleep(0.05)
+
+
+def pct(sorted_vals, p):
+    if not sorted_vals:
+        return 0.0
+    return sorted_vals[min(len(sorted_vals) - 1, int(p * len(sorted_vals)))]
+
+
+# -- phases -------------------------------------------------------------------
+
+async def run_load_phase(app, args):
+    """args.clients concurrent clients over args.distinct distinct specs."""
+    specs = [
+        {
+            "config": CONFIG,
+            "steps": args.steps,
+            "seed": i,
+            "backend": "sequential",
+            "client": f"tenant{i % 4}",
+        }
+        for i in range(args.distinct)
+    ]
+    # Warm the cache: one cold run per distinct spec.
+    warm_t0 = time.perf_counter()
+    warm = await asyncio.gather(
+        *(submit_and_first_event(app.port, s) for s in specs)
+    )
+    _, jobs = await http_json(app.port, "GET", "/jobs")
+    await asyncio.gather(
+        *(wait_done(app.port, j["id"]) for j in jobs["jobs"])
+    )
+    warm_seconds = time.perf_counter() - warm_t0
+
+    # The measured wave: every client submits concurrently.
+    wave_t0 = time.perf_counter()
+    results = await asyncio.gather(
+        *(
+            submit_and_first_event(app.port, specs[i % len(specs)])
+            for i in range(args.clients)
+        )
+    )
+    wave_seconds = time.perf_counter() - wave_t0
+    latencies = sorted(
+        [lat for lat, _ in warm] + [lat for lat, _ in results]
+    )
+    dispositions = [how for _, how in results]
+    free = dispositions.count("hit") + dispositions.count("join")
+    _, metrics = await http_json(app.port, "GET", "/metrics")
+    return {
+        "clients": args.clients,
+        "distinct_specs": args.distinct,
+        "steps_per_job": args.steps,
+        "warmup_seconds": round(warm_seconds, 3),
+        "wave_seconds": round(wave_seconds, 3),
+        "submits_per_sec": round(args.clients / wave_seconds, 1),
+        "wave_hits": dispositions.count("hit"),
+        "wave_joins": dispositions.count("join"),
+        "wave_misses": dispositions.count("miss"),
+        #: Gate metric: the repeated-request wave (the warmup's cold
+        #: misses are the cache being filled, not the workload).
+        "cache_hit_rate": free / len(dispositions),
+        "session_hit_rate": metrics["cache_hit_rate"],
+        "latency_p50_seconds": round(pct(latencies, 0.50), 4),
+        "latency_p99_seconds": round(pct(latencies, 0.99), 4),
+        "latency_max_seconds": round(latencies[-1], 4),
+        "server_metrics": {
+            k: metrics[k]
+            for k in (
+                "submitted", "completed", "cache_hits", "coalesced",
+                "wait_p50_seconds", "wait_p99_seconds",
+            )
+        },
+    }
+
+
+async def run_preemption_phase(port, steps):
+    """Low-priority long job preempted by a high-priority one; the
+    resumed result must be bitwise identical to an unpreempted run."""
+    low_spec = {
+        "config": CONFIG, "steps": steps, "seed": 9091,
+        "backend": "sequential", "priority": 0, "client": "batch",
+    }
+    _, low = await http_json(port, "POST", "/jobs", body=low_spec)
+    low_id = low["job"]["id"]
+    deadline = time.monotonic() + 30
+    while True:
+        _, summary = await http_json(port, "GET", f"/jobs/{low_id}")
+        if summary["state"] == "running":
+            break
+        if time.monotonic() > deadline:
+            raise TimeoutError("low-priority job never started")
+        await asyncio.sleep(0.005)
+    _, high = await http_json(
+        port, "POST", "/jobs",
+        body={
+            "config": CONFIG, "steps": 10, "seed": 1,
+            "backend": "sequential", "priority": 5, "client": "urgent",
+        },
+    )
+    high_final = await wait_done(port, high["job"]["id"])
+    low_final = await wait_done(port, low_id)
+    _, low_result = await http_json(port, "GET", f"/jobs/{low_id}/result")
+
+    spec = JobSpec.from_json(
+        {k: v for k, v in low_spec.items()
+         if k in ("config", "steps", "seed")}
+    )
+    params, nsteps = spec.resolve_params()
+    control = SequentialSimCov(params, seed=spec.seed)
+    control.run(nsteps)
+    identical = json.dumps(
+        low_result["result"]["rows"], sort_keys=True
+    ) == json.dumps(stats_rows(control.series), sort_keys=True)
+    return {
+        "low_job_steps": steps,
+        "preemptions": low_final["preemptions"],
+        "both_completed": (
+            high_final["state"] == "done" and low_final["state"] == "done"
+        ),
+        "bitwise_identical_to_unpreempted": identical,
+    }
+
+
+async def main_async(args):
+    app = ServeApp(port=0, max_workers=args.workers)
+    await app.start()
+    serve_task = asyncio.ensure_future(app.serve_forever())
+    try:
+        print(
+            f"load phase: {args.clients} clients, {args.distinct} distinct "
+            f"specs, {args.steps} steps each, {args.workers} workers"
+        )
+        load = await run_load_phase(app, args)
+        print(
+            f"  hit rate {load['cache_hit_rate']:.1%}, "
+            f"p50/p99/max first-event latency "
+            f"{load['latency_p50_seconds'] * 1e3:.1f}/"
+            f"{load['latency_p99_seconds'] * 1e3:.1f}/"
+            f"{load['latency_max_seconds'] * 1e3:.1f} ms, "
+            f"{load['submits_per_sec']:.0f} submits/s"
+        )
+    finally:
+        app.stop()
+        await serve_task
+
+    # Fresh single-worker server: preemption needs a full slot table.
+    app2 = ServeApp(port=0, max_workers=1)
+    await app2.start()
+    serve_task2 = asyncio.ensure_future(app2.serve_forever())
+    try:
+        preemption = await run_preemption_phase(
+            app2.port, max(120, 4 * args.steps)
+        )
+        print(
+            f"preemption phase: {preemption['preemptions']} preemption(s), "
+            f"bitwise identical: "
+            f"{preemption['bitwise_identical_to_unpreempted']}"
+        )
+    finally:
+        app2.stop()
+        await serve_task2
+    return load, preemption
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--clients", type=int, default=1000,
+        help="concurrent clients in the measured wave (default 1000)",
+    )
+    parser.add_argument(
+        "--distinct", type=int, default=25,
+        help="distinct job specs the clients cycle through",
+    )
+    parser.add_argument(
+        "--steps", type=int, default=50,
+        help="steps per job (small_2d config)",
+    )
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument(
+        "--out",
+        default=str(
+            pathlib.Path(__file__).resolve().parents[1]
+            / "BENCH_step_engine.json"
+        ),
+        help="benchmark JSON to merge the 'serving' section into",
+    )
+    args = parser.parse_args(argv)
+
+    load, preemption = asyncio.run(main_async(args))
+
+    gates = {
+        "cache_hit_rate>=0.9": load["cache_hit_rate"] >= 0.9,
+        "latency_p99<1s": load["latency_p99_seconds"] < 1.0,
+        "preemption_resume_bitwise": (
+            preemption["preemptions"] >= 1
+            and preemption["both_completed"]
+            and preemption["bitwise_identical_to_unpreempted"]
+        ),
+    }
+    section = {
+        "load": load,
+        "preemption": preemption,
+        "gates": gates,
+    }
+    out = pathlib.Path(args.out)
+    payload = json.loads(out.read_text()) if out.exists() else {}
+    payload["serving"] = section
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"serving section written to {out}")
+    failed = [name for name, ok in gates.items() if not ok]
+    if failed:
+        print(f"GATE FAILURES: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    print("all gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

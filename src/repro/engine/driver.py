@@ -47,6 +47,23 @@ class EngineDriver:
     def run(self, num_steps: int | None = None) -> TimeSeries:
         return self.engine.run(num_steps)
 
+    # -- streaming / preemption (serving-layer surface) ------------------------
+
+    def add_step_listener(self, listener) -> None:
+        """Call ``listener(stats)`` after every step executed by
+        :meth:`run` (per-step streaming: SSE, progress reporting)."""
+        self.engine.step_listeners.append(listener)
+
+    def request_preempt(self) -> None:
+        """Stop the in-flight :meth:`run` at the next step boundary
+        (thread-safe; see :meth:`StepEngine.request_preempt`)."""
+        self.engine.request_preempt()
+
+    @property
+    def preempted(self) -> bool:
+        """Whether the last :meth:`run` exited on a preemption request."""
+        return self.engine.preempted
+
     # -- engine state (checkpointable scalars have setters) -------------------
 
     @property

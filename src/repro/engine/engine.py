@@ -84,6 +84,12 @@ class StepEngine:
         #: Per-step records: phase timings + backend extras (ledger deltas,
         #: comm counters, active counts) for the performance model.
         self.step_work: list[dict] = []
+        #: Callables invoked with each step's StepStats from :meth:`run`
+        #: (streaming consumers: the serving layer's SSE publisher).
+        self.step_listeners: list = []
+        #: Step-boundary preemption handshake (see :meth:`request_preempt`).
+        self._preempt_requested = False
+        self.preempted = False
 
     # -- driver --------------------------------------------------------------
 
@@ -150,10 +156,37 @@ class StepEngine:
         self.step_num += 1
         return stats
 
+    # -- step-boundary preemption ---------------------------------------------
+
+    def request_preempt(self) -> None:
+        """Ask :meth:`run` to stop before its next step.
+
+        Safe to call from another thread (a bare bool write under the
+        GIL): the serving layer's scheduler preempts a long job this way,
+        snapshots its state at the quiescent step boundary
+        (:func:`repro.io.checkpoint.snapshot_state`) and resumes it later
+        — bitwise identically, because no step is ever torn mid-phase.
+        """
+        self._preempt_requested = True
+
     def run(self, num_steps: int | None = None) -> TimeSeries:
         """Run ``num_steps`` (default ``params.num_steps``); return the
-        accumulated time series."""
+        accumulated time series.
+
+        Stops early at a step boundary when :meth:`request_preempt` was
+        called; ``preempted`` reports whether the last :meth:`run` exited
+        that way (the request is consumed either by the break or, when it
+        lands after the final step, on return).
+        """
         n = num_steps if num_steps is not None else self.params.num_steps
+        self.preempted = False
         for _ in range(n):
-            self.step()
+            if self._preempt_requested:
+                self._preempt_requested = False
+                self.preempted = True
+                break
+            stats = self.step()
+            for listener in self.step_listeners:
+                listener(stats)
+        self._preempt_requested = False
         return self.series

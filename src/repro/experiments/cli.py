@@ -17,6 +17,14 @@ comm counters, occupancy gauges) to PATH — ``--trace-format jsonl``
     simcov-repro run --backend dist --nranks 4 --trace out.json \
         --trace-format chrome
     simcov-repro trace report out.json
+
+``simcov-repro serve`` starts the SIMCoV-as-a-service job server
+(:mod:`repro.serve`); ``submit`` posts a run to it and ``status`` lists
+jobs / streams metrics::
+
+    simcov-repro serve --port 8642 --workers 4 --cache-dir /tmp/cache
+    simcov-repro submit --config small_2d --steps 50 --watch
+    simcov-repro status
 """
 
 from __future__ import annotations
@@ -45,6 +53,7 @@ from repro.experiments.scaling import (
     run_strong_scaling,
     run_weak_scaling,
 )
+from repro.experiments.signals import abort_on_signals
 
 
 def _cmd_table1(outdir: str) -> None:
@@ -181,50 +190,6 @@ def _parse_fault(spec: str):
         )
     except ValueError as err:
         raise argparse.ArgumentTypeError(str(err)) from err
-
-
-def _abort_on_signals(sim):
-    """Context manager: SIGINT/SIGTERM abort the runtime before the
-    normal teardown path runs.
-
-    Without this, Ctrl-C while the coordinator waits at a barrier leaves
-    the workers parked until *their* (longer) timeouts expire, and a
-    SIGTERM relies on ``atexit`` best effort — this handler flips the
-    shared abort flag first, so every worker unblocks and exits and
-    ``close()`` (the caller's ``finally``) releases all ``/dev/shm``
-    segments immediately.
-    """
-    import contextlib
-    import signal
-    import threading
-
-    @contextlib.contextmanager
-    def guard():
-        if threading.current_thread() is not threading.main_thread():
-            yield  # signals only reach the main thread
-            return
-
-        def handler(signum, frame):
-            abort = getattr(sim, "abort", None)
-            if abort is not None:
-                abort()
-            if signum == signal.SIGINT:
-                raise KeyboardInterrupt
-            raise SystemExit(128 + signum)
-
-        previous = {}
-        for signum in (signal.SIGINT, signal.SIGTERM):
-            try:
-                previous[signum] = signal.signal(signum, handler)
-            except (ValueError, OSError):  # pragma: no cover - exotic host
-                pass
-        try:
-            yield
-        finally:
-            for signum, old in previous.items():
-                signal.signal(signum, old)
-
-    return guard()
 
 
 def _make_tracer(args: argparse.Namespace):
@@ -439,7 +404,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 ),
             )
     try:
-        with _abort_on_signals(sim):
+        with abort_on_signals(sim):
             sim.run(args.steps)
         for i in range(len(sim.series)):
             stats = sim.series[i]
@@ -490,6 +455,154 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """``simcov-repro serve`` — run the job server until interrupted."""
+    import asyncio
+
+    from repro.serve import ServeApp
+
+    app = ServeApp(
+        host=args.host,
+        port=args.port,
+        max_workers=args.workers,
+        cache_dir=args.cache_dir,
+        checkpoint_dir=args.checkpoint_dir,
+        trace_path=args.trace,
+    )
+
+    async def _main() -> None:
+        await app.start()
+        cache = "disk+memory" if args.cache_dir else "memory"
+        print(
+            f"serving on http://{app.host}:{app.port} "
+            f"(workers={args.workers}, cache={cache})",
+            flush=True,
+        )
+        await app.serve_forever()
+
+    try:
+        with abort_on_signals(app):
+            asyncio.run(_main())
+    except KeyboardInterrupt:
+        print(
+            "interrupted: running jobs preempted, server stopped",
+            file=sys.stderr,
+        )
+        return 130
+    return 0
+
+
+def _parse_set(items) -> dict:
+    """``--set key=value`` pairs -> an overrides dict (JSON-ish values)."""
+    import json as _json
+
+    overrides = {}
+    for item in items or ():
+        key, sep, value = item.partition("=")
+        if not sep or not key:
+            raise ValueError(
+                f"malformed --set {item!r}; expected key=value, "
+                "e.g. --set virion_production=800"
+            )
+        try:
+            overrides[key] = _json.loads(value)
+        except _json.JSONDecodeError:
+            overrides[key] = value
+    return overrides
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    """``simcov-repro submit`` — post a job to a running server."""
+    from repro.serve.client import ServeClient, ServeError
+
+    try:
+        overrides = _parse_set(args.set)
+    except ValueError as err:
+        print(str(err), file=sys.stderr)
+        return 2
+    backend = "ensemble" if args.ensemble is not None else args.backend
+    spec = {
+        "config": args.config,
+        "overrides": overrides,
+        "dim": list(args.dim) if args.dim else None,
+        "steps": args.steps,
+        "seed": args.seed,
+        "backend": backend,
+        "ensemble": args.ensemble,
+        "nranks": args.nranks,
+        "priority": args.priority,
+        "client": args.client,
+    }
+    spec = {k: v for k, v in spec.items() if v is not None}
+    client = ServeClient(args.host, args.port)
+    try:
+        resp = client.submit(spec)
+    except (ServeError, OSError) as err:
+        print(f"submit failed: {err}", file=sys.stderr)
+        return 1
+    job = resp["job"]
+    print(f"job {job['id']}: state={job['state']} cache={resp['cache']}")
+    if not args.watch:
+        return 0
+    try:
+        for name, data in client.iter_events(job["id"]):
+            if name == "step":
+                print(
+                    f"  step {data['steps_done']:>5}/{data['steps_total']}"
+                    f"  healthy={data['healthy']:.6g}"
+                    f"  expressing={data['expressing']:.6g}"
+                    f"  virions={data['virions_total']:.6g}"
+                )
+            elif name == "preempted":
+                print(f"  preempted at step {data['at_step']} (will resume)")
+            elif name in ("done", "error"):
+                print(f"job {job['id']}: state={data['state']}")
+                if data.get("error"):
+                    print(f"  error: {data['error']}", file=sys.stderr)
+    except (ServeError, OSError) as err:
+        print(f"event stream lost: {err}", file=sys.stderr)
+        return 1
+    final = client.status(job["id"])
+    return 0 if final["state"] == "done" else 1
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    """``simcov-repro status [JOB_ID]`` — job table or one job's JSON."""
+    import json as _json
+
+    from repro.serve.client import ServeClient, ServeError
+
+    client = ServeClient(args.host, args.port)
+    try:
+        if args.extra:
+            print(_json.dumps(client.status(args.extra[0]), indent=2))
+            return 0
+        jobs = client.jobs()
+        metrics = client.metrics()
+    except (ServeError, OSError) as err:
+        print(f"status failed: {err}", file=sys.stderr)
+        return 1
+    print(
+        f"{'id':>12} {'state':>9} {'cache':>5} {'prio':>4} "
+        f"{'steps':>11} {'preempt':>7} client"
+    )
+    for job in jobs:
+        print(
+            f"{job['id']:>12} {job['state']:>9} {job['cache']:>5} "
+            f"{job['priority']:>4} "
+            f"{job['steps_done']:>5}/{job['steps']:<5} "
+            f"{job['preemptions']:>7} {job['client']}"
+        )
+    print(
+        f"workers {metrics['busy_workers']}/{metrics['max_workers']} busy, "
+        f"queue depth {metrics['queue_depth']}, "
+        f"cache hit rate {metrics['cache_hit_rate']:.1%}, "
+        f"wait p50/p99 {metrics['wait_p50_seconds'] * 1e3:.1f}/"
+        f"{metrics['wait_p99_seconds'] * 1e3:.1f} ms"
+    )
+    return 0
+
+
 COMMANDS = {
     "table1": _cmd_table1,
     "fig4": _cmd_fig4,
@@ -510,9 +623,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment", nargs="?", default=None,
-        choices=sorted(COMMANDS) + ["all", "run", "trace"],
+        choices=sorted(COMMANDS) + [
+            "all", "run", "trace", "serve", "submit", "status",
+        ],
         help="which table/figure to regenerate, 'run' for one simulation, "
-        "or 'trace report PATH' to summarize a recorded trace",
+        "'trace report PATH' to summarize a recorded trace, or "
+        "'serve'/'submit'/'status' for the job server",
     )
     parser.add_argument(
         "--list-configs", action="store_true",
@@ -612,6 +728,43 @@ def main(argv: list[str] | None = None) -> int:
         help="chaos testing: inject a worker fault, e.g. 1:7:intents:die "
         "(modes: die, error, stall, slow, freeze_heartbeat)",
     )
+    serve_group = parser.add_argument_group(
+        "serving options (serve/submit/status)"
+    )
+    serve_group.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (serve) / server address (submit, status)",
+    )
+    serve_group.add_argument(
+        "--port", type=int, default=8642,
+        help="server port (0 picks an ephemeral port when serving)",
+    )
+    serve_group.add_argument(
+        "--workers", type=int, default=2,
+        help="concurrent job slots on the server",
+    )
+    serve_group.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persist the result cache to DIR (atomic, per-key "
+        "subdirectories); memory-only when omitted",
+    )
+    serve_group.add_argument(
+        "--priority", type=int, default=0,
+        help="job priority 0..9; higher may preempt lower classes",
+    )
+    serve_group.add_argument(
+        "--client", default="cli",
+        help="client name for fair-share accounting",
+    )
+    serve_group.add_argument(
+        "--watch", action="store_true",
+        help="after submit, stream the job's SSE events until it finishes",
+    )
+    serve_group.add_argument(
+        "--set", action="append", default=None, metavar="KEY=VALUE",
+        help="parameter override for submit (repeatable), "
+        "e.g. --set virion_production=800",
+    )
     args = parser.parse_args(argv)
     if args.list_configs:
         print(format_run_configs())
@@ -623,6 +776,12 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_run(args)
     if args.experiment == "trace":
         return _cmd_trace(args)
+    if args.experiment == "serve":
+        return _cmd_serve(args)
+    if args.experiment == "submit":
+        return _cmd_submit(args)
+    if args.experiment == "status":
+        return _cmd_status(args)
     try:
         if args.experiment == "all":
             for name in ("table1", "fig4", "fig5", "table2",

@@ -1,0 +1,61 @@
+"""Shared SIGINT/SIGTERM cleanup for long-running entry points.
+
+Both ``simcov-repro run --backend dist`` and ``simcov-repro serve`` own
+resources a hard exit would leak: ``/dev/shm`` segments, orphan worker
+processes, half-written checkpoints.  :func:`abort_on_signals` installs
+handlers that flip the target's abort flag *first* — so every parked
+worker unblocks immediately instead of waiting out its barrier timeout —
+and then raise into the caller's normal teardown path
+(``KeyboardInterrupt`` for SIGINT, ``SystemExit(128+signum)`` for
+SIGTERM), whose ``finally`` releases everything.
+
+Extracted from the PR 5 CLI so the serving layer reuses the exact same
+discipline instead of growing a second, subtly different handler.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import signal
+import threading
+
+
+@contextlib.contextmanager
+def abort_on_signals(target):
+    """Context manager: SIGINT/SIGTERM call ``target``'s abort hook, then
+    raise into the caller's teardown.
+
+    ``target`` is either an object with an ``abort()`` method (the dist
+    drivers, the serve app) or a plain callable.  Objects without an
+    abort hook are tolerated — the handlers still convert SIGTERM into an
+    orderly ``SystemExit`` so ``finally`` blocks run.
+
+    Installed only on the main thread (signals reach no other thread);
+    previous handlers are restored on exit.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield  # signals only reach the main thread
+        return
+
+    abort = getattr(target, "abort", None)
+    if abort is None and callable(target):
+        abort = target
+
+    def handler(signum, frame):
+        if abort is not None:
+            abort()
+        if signum == signal.SIGINT:
+            raise KeyboardInterrupt
+        raise SystemExit(128 + signum)
+
+    previous = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[signum] = signal.signal(signum, handler)
+        except (ValueError, OSError):  # pragma: no cover - exotic host
+            pass
+    try:
+        yield
+    finally:
+        for signum, old in previous.items():
+            signal.signal(signum, old)

@@ -1,0 +1,52 @@
+"""SIMCoV-as-a-service: the asyncio job server (DESIGN.md §4e).
+
+A thin serving layer over every existing driver: submit a run config +
+overrides + seed + backend, get a job id; results are cached (correct by
+bitwise determinism), long jobs yield to higher-priority work through
+checkpoint-backed preemption, and per-step stats stream live over SSE.
+"""
+
+from repro.serve.cache import ResultCache
+from repro.serve.client import ServeClient, ServeError, parse_sse
+from repro.serve.jobs import (
+    ACTIVE_STATES,
+    BACKENDS,
+    CANCELLED,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    Job,
+    JobSpec,
+    SpecError,
+    result_cache_key,
+)
+from repro.serve.runner import SegmentResult, build_sim, run_segment
+from repro.serve.scheduler import FairShareQueue, Scheduler, job_cost
+from repro.serve.server import BackgroundServer, ServeApp
+
+__all__ = [
+    "ACTIVE_STATES",
+    "BACKENDS",
+    "CANCELLED",
+    "DONE",
+    "FAILED",
+    "QUEUED",
+    "RUNNING",
+    "BackgroundServer",
+    "FairShareQueue",
+    "Job",
+    "JobSpec",
+    "ResultCache",
+    "Scheduler",
+    "SegmentResult",
+    "ServeApp",
+    "ServeClient",
+    "ServeError",
+    "SpecError",
+    "build_sim",
+    "job_cost",
+    "parse_sse",
+    "result_cache_key",
+    "run_segment",
+]

@@ -1,0 +1,138 @@
+"""Stdlib HTTP client for the serve API.
+
+``http.client`` only — the same zero-dependency rule as the server.  The
+CLI (``simcov-repro submit`` / ``status``), the test suite and the load
+harness's synchronous paths all go through this class; the load harness's
+concurrency path speaks raw asyncio streams instead (open sockets scale
+better than thread-per-connection for thousands of clients).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+
+
+class ServeError(RuntimeError):
+    """The server answered with an error status."""
+
+    def __init__(self, status: int, payload):
+        self.status = status
+        self.payload = payload
+        detail = payload.get("error") if isinstance(payload, dict) else payload
+        super().__init__(f"HTTP {status}: {detail}")
+
+
+class ServeClient:
+    """Talk to a running :class:`~repro.serve.server.ServeApp`."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8642,
+                 timeout: float = 60.0):
+        self.host = host
+        self.port = int(port)
+        self.timeout = timeout
+
+    # -- plumbing -------------------------------------------------------------
+
+    def _request(self, method: str, path: str, body: dict | None = None):
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            payload = None if body is None else json.dumps(body)
+            headers = {"Content-Type": "application/json"} if payload else {}
+            conn.request(method, path, body=payload, headers=headers)
+            resp = conn.getresponse()
+            data = json.loads(resp.read() or b"{}")
+            if resp.status >= 400:
+                raise ServeError(resp.status, data)
+            return data
+        finally:
+            conn.close()
+
+    # -- API ------------------------------------------------------------------
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/metrics")
+
+    def submit(self, spec: dict) -> dict:
+        """POST a job spec; returns ``{"cache": ..., "job": {...}}``."""
+        return self._request("POST", "/jobs", body=spec)
+
+    def jobs(self) -> list[dict]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def status(self, job_id: str) -> dict:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def result(self, job_id: str) -> dict:
+        """The finished result payload (409 -> ServeError while running)."""
+        return self._request("GET", f"/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("POST", f"/jobs/{job_id}/cancel")
+
+    def wait(self, job_id: str, timeout: float = 120.0,
+             poll: float = 0.05) -> dict:
+        """Poll until the job leaves the active states; returns the
+        final summary (raises TimeoutError if it never settles)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            summary = self.status(job_id)
+            if summary["state"] in ("done", "failed", "cancelled"):
+                return summary
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {summary['state']} "
+                    f"after {timeout:.0f}s"
+                )
+            time.sleep(poll)
+
+    def iter_events(self, job_id: str, timeout: float | None = None):
+        """Yield ``(event_name, data_dict)`` from the job's SSE stream
+        until the server closes it (the job reached a terminal state)."""
+        conn = http.client.HTTPConnection(
+            self.host, self.port,
+            timeout=self.timeout if timeout is None else timeout,
+        )
+        try:
+            conn.request("GET", f"/jobs/{job_id}/events")
+            resp = conn.getresponse()
+            if resp.status >= 400:
+                raise ServeError(resp.status, json.loads(resp.read() or b"{}"))
+            yield from parse_sse(resp)
+        finally:
+            conn.close()
+
+
+def parse_sse(fh):
+    """Parse an SSE byte stream into ``(event_name, data)`` pairs.
+
+    ``data`` is JSON-decoded when possible (every frame the server emits
+    is JSON), else the raw string.
+    """
+    event_name = "message"
+    data_lines: list[str] = []
+    for raw in fh:
+        line = raw.decode("utf-8").rstrip("\n").rstrip("\r")
+        if not line:  # blank line = frame boundary
+            if data_lines:
+                text = "\n".join(data_lines)
+                try:
+                    yield event_name, json.loads(text)
+                except json.JSONDecodeError:
+                    yield event_name, text
+            event_name, data_lines = "message", []
+            continue
+        if line.startswith(":"):  # comment/keep-alive
+            continue
+        field, _, value = line.partition(":")
+        value = value[1:] if value.startswith(" ") else value
+        if field == "event":
+            event_name = value
+        elif field == "data":
+            data_lines.append(value)

@@ -1,0 +1,204 @@
+"""Job execution: one segment of one job, in a worker thread.
+
+A *segment* is the unit the scheduler dispatches: a fresh job runs its
+first segment from step 0; a preempted job's next segment restores the
+shadow snapshot and continues — bitwise identically, because the
+snapshot is taken at a step boundary and randomness is a pure function
+of ``(seed, step, voxel)`` (the same argument as
+:mod:`repro.dist.resilient` recovery).
+
+The runner is synchronous and asyncio-free by design: the server calls
+:func:`run_segment` through its executor and bridges the ``publish``
+callback into each job's SSE event log with
+``loop.call_soon_threadsafe``.  Per-step stats stream through the
+engine's step listeners; telemetry spans stream through an
+:class:`~repro.telemetry.sinks.SseSink` on the job's tracer.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.io.checkpoint import (
+    auto_checkpoint_path,
+    restore_state,
+    rotate_checkpoints,
+    save_checkpoint,
+    snapshot_state,
+)
+from repro.serve.jobs import Job, stats_row, stats_rows
+from repro.telemetry.sinks import SseSink, sse_frame
+from repro.telemetry.tracer import Tracer
+
+#: Segment outcomes the server's dispatch loop switches on.
+COMPLETED, PREEMPTED, FAILED = "completed", "preempted", "failed"
+
+
+@dataclass
+class SegmentResult:
+    """What one executed segment reports back to the scheduler."""
+
+    outcome: str
+    steps_run: int
+    error: str | None = None
+
+
+def build_sim(job: Job, tracer=None):
+    """Construct the requested backend's driver for this job."""
+    spec = job.spec
+    if spec.backend == "ensemble":
+        from repro.engine.ensemble import EnsembleSimCov
+
+        return EnsembleSimCov(
+            job.params,
+            seeds=np.array(spec.seeds(), dtype=np.int64),
+            tracer=tracer,
+        )
+    if spec.backend == "sequential":
+        from repro.core.model import SequentialSimCov
+
+        return SequentialSimCov(job.params, seed=spec.seed, tracer=tracer)
+    if spec.backend == "cpu":
+        from repro.simcov_cpu.simulation import SimCovCPU
+
+        return SimCovCPU(
+            job.params, nranks=spec.nranks, seed=spec.seed, tracer=tracer
+        )
+    if spec.backend == "gpu":
+        from repro.simcov_gpu.simulation import SimCovGPU
+
+        return SimCovGPU(
+            job.params, num_devices=spec.nranks, seed=spec.seed, tracer=tracer
+        )
+    from repro.dist import DistSimCov
+
+    return DistSimCov(
+        job.params, nranks=spec.nranks, seed=spec.seed, tracer=tracer
+    )
+
+
+def job_checkpoint_dir(root: str, job: Job) -> str:
+    """Per-job shadow-checkpoint subdirectory.
+
+    Collision safety under concurrency: two jobs snapshotting at the
+    same moment write (and rotate) in disjoint directories, so
+    :func:`rotate_checkpoints`'s delete sweep can never reap another
+    job's files.
+    """
+    return os.path.join(root, job.id)
+
+
+def run_segment(
+    job: Job,
+    publish,
+    *,
+    checkpoint_root: str | None = None,
+    keep_checkpoints: int = 2,
+    sse_categories=SseSink.DEFAULT_CATEGORIES,
+) -> SegmentResult:
+    """Execute one segment of ``job`` (thread entry point).
+
+    ``publish(frame)`` receives ready-to-send SSE frame strings: one
+    ``step`` frame per completed step, ``telemetry`` frames for the
+    tracer's step spans, and a ``preempted`` frame when the segment is
+    cut short.  The job's bookkeeping fields (``steps_done``,
+    ``preemptions``, ``snapshot``, ``result``) are updated in place; the
+    caller owns the state machine.
+    """
+    tracer = Tracer(
+        backend=job.spec.backend,
+        sinks=[SseSink(publish, categories=sse_categories)],
+    )
+    sim = None
+    try:
+        sim = build_sim(job, tracer=tracer)
+        if job.snapshot is not None:
+            restore_state(sim, job.snapshot)
+        start_step = job.steps_done
+
+        def on_step(stats):
+            job.steps_done += 1
+            job.rows.append(stats_row(stats))
+            publish(sse_frame("step", _step_payload(job, stats)))
+
+        sim.add_step_listener(on_step)
+        job.preempt_hook = sim.request_preempt
+        if job.preempt_requested:
+            # The scheduler asked before the hook existed (this segment
+            # was still constructing its sim): honor it now.
+            job.preempt_requested = False
+            sim.request_preempt()
+        remaining = job.steps - start_step
+        if remaining > 0:
+            sim.run(remaining)
+        if remaining > 0 and sim.preempted:
+            job.preemptions += 1
+            job.snapshot = snapshot_state(sim)
+            if checkpoint_root is not None:
+                _mirror_snapshot(
+                    checkpoint_root, job, sim, keep=keep_checkpoints
+                )
+            publish(
+                sse_frame(
+                    "preempted",
+                    {
+                        "job": job.id,
+                        "at_step": job.steps_done,
+                        "preemptions": job.preemptions,
+                    },
+                )
+            )
+            return SegmentResult(PREEMPTED, job.steps_done - start_step)
+        job.result = _result_payload(job, sim)
+        return SegmentResult(COMPLETED, job.steps_done - start_step)
+    except Exception as err:  # job failure must never kill the server
+        return SegmentResult(
+            FAILED, 0, error=f"{type(err).__name__}: {err}"
+        )
+    finally:
+        job.preempt_hook = None
+        if sim is not None and hasattr(sim, "close"):
+            sim.close()
+        tracer.close()
+
+
+def _step_payload(job: Job, stats) -> dict:
+    return {
+        "job": job.id,
+        "step": stats.step,
+        "healthy": stats.healthy,
+        "incubating": stats.incubating,
+        "expressing": stats.expressing,
+        "apoptotic": stats.apoptotic,
+        "dead": stats.dead,
+        "tcells_tissue": stats.tcells_tissue,
+        "virions_total": stats.virions_total,
+        "steps_done": job.steps_done,
+        "steps_total": job.steps,
+    }
+
+
+def _result_payload(job: Job, sim) -> dict:
+    if job.spec.backend == "ensemble":
+        return {
+            "kind": "ensemble",
+            "seeds": [int(s) for s in job.spec.seeds()],
+            "members": [
+                stats_rows(series) for series in sim.member_series
+            ],
+        }
+    # job.rows, not sim.series: a resumed sim's series only holds the
+    # final segment — the job accumulated every segment's rows in order.
+    return {"kind": "solo", "seed": job.spec.seed, "rows": list(job.rows)}
+
+
+def _mirror_snapshot(root: str, job: Job, sim, keep: int) -> None:
+    """Persist the preemption snapshot under the job's own subdirectory
+    (atomic tmp + ``os.replace`` via :func:`save_checkpoint`), rotated
+    to the newest ``keep``."""
+    directory = job_checkpoint_dir(root, job)
+    save_checkpoint(auto_checkpoint_path(directory, sim.step_num), sim)
+    rotate_checkpoints(directory, keep)

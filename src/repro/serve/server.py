@@ -1,0 +1,639 @@
+"""The asyncio HTTP/JSON job server.
+
+Stdlib-only (``asyncio`` streams — no web framework): a tiny HTTP/1.1
+front door over the scheduling core.  One connection serves one request
+(``Connection: close``), which keeps the parser ~30 lines and is ample
+for thousands of short-lived clients on localhost.
+
+Routes::
+
+    POST /jobs               submit a JobSpec           -> job summary
+    GET  /jobs               list jobs                  -> summaries
+    GET  /jobs/{id}          job status                 -> summary
+    GET  /jobs/{id}/result   finished stats rows        -> result payload
+    GET  /jobs/{id}/events   live SSE stream (replayed from event 0)
+    POST /jobs/{id}/cancel   cancel queued/running job
+    GET  /metrics            serving counters + latency percentiles
+    GET  /healthz            liveness probe
+
+Execution: simulations are CPU-bound, so segments run in a bounded
+thread pool while the loop thread owns every piece of mutable state
+(jobs table, scheduler, event logs) — worker threads reach it only
+through ``loop.call_soon_threadsafe``.  Preemption is cooperative and
+checkpoint-backed: the scheduler calls the victim's
+``StepEngine.request_preempt``, the engine yields at the next step
+boundary, the runner snapshots, and the job re-enters the queue to be
+resumed bitwise-exactly later.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import json
+import threading
+import time
+import uuid
+
+from repro.serve import runner as runner_mod
+from repro.serve.cache import ResultCache
+from repro.serve.jobs import (
+    ACTIVE_STATES,
+    CANCELLED,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    Job,
+    JobSpec,
+    SpecError,
+    result_cache_key,
+)
+from repro.serve.scheduler import Scheduler, job_cost
+from repro.telemetry.sinks import SseSink, sse_frame
+from repro.telemetry.tracer import NULL_TRACER, Tracer
+
+#: Sentinel closing a job's event log (SSE streams drain then stop).
+_END = None
+
+
+class ServeApp:
+    """The serving application: scheduler + cache + HTTP surface.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address; ``port=0`` picks an ephemeral port (tests, the
+        load harness) — read the resolved one from ``app.port`` after
+        :meth:`start`.
+    max_workers:
+        Concurrent job segments (thread pool size).
+    cache_dir:
+        Optional on-disk result-cache mirror (per-key subdirectories,
+        atomic writes); memory-only when None.
+    checkpoint_dir:
+        Optional root for preemption-snapshot mirrors (per-job
+        subdirectories); in-memory shadow snapshots only when None.
+    trace_path:
+        Optional JSONL telemetry log for the server's own
+        ``cat="serving"`` counters/gauges/spans.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8642,
+        max_workers: int = 2,
+        cache_dir: str | None = None,
+        checkpoint_dir: str | None = None,
+        trace_path: str | None = None,
+        sse_categories=SseSink.DEFAULT_CATEGORIES,
+    ):
+        self.host = host
+        self.port = port
+        self.scheduler = Scheduler(max_workers)
+        self.cache = ResultCache(cache_dir)
+        self.checkpoint_dir = checkpoint_dir
+        self.sse_categories = sse_categories
+        self.jobs: dict[str, Job] = {}
+        #: cache_key -> active job id (in-flight request coalescing).
+        self._inflight: dict[str, str] = {}
+        #: spec signature -> (params, steps, cache_key).  Resolution costs
+        #: ~1ms (params construction + typed encoding + hash); under a
+        #: repeated-request load that is the entire submit latency.
+        self._resolve_memo: dict[str, tuple] = {}
+        self._events: dict[str, list] = {}
+        self._conds: dict[str, asyncio.Condition] = {}
+        self.metrics = {
+            "submitted": 0,
+            "cache_hits": 0,
+            "coalesced": 0,
+            "completed": 0,
+            "failed": 0,
+            "cancelled": 0,
+            "preemptions": 0,
+            "resumes": 0,
+        }
+        #: Submit-to-first-dispatch seconds (queue wait), per cold job.
+        self.wait_seconds: list[float] = []
+        if trace_path is not None:
+            from repro.telemetry.sinks import JsonlSink
+
+            self.tracer = Tracer(backend="serve", sinks=[JsonlSink(trace_path)])
+        else:
+            self.tracer = NULL_TRACER
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._server: asyncio.base_events.Server | None = None
+        self._executor = None
+        self._wake: asyncio.Event | None = None
+        self._stopped: asyncio.Event | None = None
+        self._dispatch_task: asyncio.Task | None = None
+
+    # -- lifecycle ------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind and start serving (returns once listening)."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        self._loop = asyncio.get_running_loop()
+        self._wake = asyncio.Event()
+        self._stopped = asyncio.Event()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.scheduler.max_workers,
+            thread_name_prefix="simcov-serve",
+        )
+        # A deep backlog matters under load-test-scale bursts: with the
+        # default (100) the kernel drops SYNs and clients stall a full
+        # TCP retransmit timeout (~1s) — exactly the latency gate.
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port, backlog=4096
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._dispatch_task = asyncio.ensure_future(self._dispatch_loop())
+
+    async def serve_forever(self) -> None:
+        """:meth:`start` + block until :meth:`abort`/:meth:`stop`."""
+        if self._server is None:
+            await self.start()
+        try:
+            await self._stopped.wait()
+        finally:
+            # Runs on cancellation too (SIGINT lands while parked on the
+            # wait): worker threads must join and the trace sink must
+            # flush even when the loop is being torn down around us.
+            await self._shutdown()
+
+    def stop(self) -> None:
+        """Initiate shutdown from inside the loop thread."""
+        if self._stopped is not None:
+            self._stopped.set()
+
+    def abort(self) -> None:
+        """Thread/signal-safe shutdown trigger (the
+        :func:`~repro.experiments.signals.abort_on_signals` hook): asks
+        every running segment to preempt and stops the loop, so Ctrl-C
+        never leaks worker threads, dist shm segments or torn caches."""
+        for job in list(self.scheduler.running.values()):
+            hook = job.preempt_hook
+            if hook is not None:
+                hook()
+        loop = self._loop
+        if loop is not None and not loop.is_closed():
+            try:
+                loop.call_soon_threadsafe(self.stop)
+            except RuntimeError:  # loop already closing
+                pass
+
+    async def _shutdown(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._dispatch_task is not None:
+            self._dispatch_task.cancel()
+        for job in list(self.scheduler.running.values()):
+            hook = job.preempt_hook
+            if hook is not None:
+                hook()
+        if self._executor is not None:
+            # Wait for in-flight segments: their ``finally`` blocks close
+            # sims (dist workers, /dev/shm) — the no-leak guarantee.
+            await asyncio.get_running_loop().run_in_executor(
+                None, functools.partial(self._executor.shutdown, wait=True)
+            )
+        self.tracer.close()
+
+    # -- submission / scheduling ----------------------------------------------
+
+    def submit(self, spec: JobSpec) -> tuple[Job, str]:
+        """Create (or reuse) a job for ``spec``; returns ``(job, how)``
+        with ``how`` one of ``"hit"`` / ``"join"`` / ``"miss"``.
+
+        Loop-thread only (HTTP handlers run here).
+        """
+        self.metrics["submitted"] += 1
+        signature = spec.cache_signature()
+        memo = self._resolve_memo.get(signature)
+        if memo is None:
+            params, steps = spec.resolve_params()
+            key = result_cache_key(params, spec.seeds(), steps)
+            while len(self._resolve_memo) >= 4096:
+                self._resolve_memo.pop(next(iter(self._resolve_memo)))
+            self._resolve_memo[signature] = (params, steps, key)
+        else:
+            params, steps, key = memo
+        inflight_id = self._inflight.get(key)
+        if inflight_id is not None:
+            peer = self.jobs[inflight_id]
+            if peer.state in ACTIVE_STATES:
+                peer.attached += 1
+                self.metrics["coalesced"] += 1
+                if self.tracer:
+                    self.tracer.counter("serve:coalesced", 1, cat="serving")
+                return peer, "join"
+            self._inflight.pop(key, None)
+        cached = self.cache.get(key)
+        if cached is not None:
+            job = self._make_job(spec, params, steps, key)
+            job.state = DONE
+            job.cache = "hit"
+            job.result = cached
+            job.steps_done = steps
+            job.finished_at = time.time()
+            self.metrics["cache_hits"] += 1
+            if self.tracer:
+                self.tracer.counter("serve:cache_hit", 1, cat="serving")
+            self._publish(job, sse_frame("done", job.summary()))
+            self._finish_events(job)
+            return job, "hit"
+        job = self._make_job(spec, params, steps, key)
+        self._inflight[key] = job.id
+        self.scheduler.submit(job)
+        if self.tracer:
+            self.tracer.counter("serve:cache_miss", 1, cat="serving")
+            self.tracer.gauge(
+                "serve:queue_depth", len(self.scheduler.queue), cat="serving"
+            )
+        self._publish(job, sse_frame("state", job.summary()))
+        self._maybe_preempt_for(job)
+        if self._wake is not None:
+            self._wake.set()
+        return job, "miss"
+
+    def _make_job(self, spec, params, steps, key) -> Job:
+        job = Job(
+            id=uuid.uuid4().hex[:12],
+            spec=spec,
+            params=params,
+            steps=steps,
+            cache_key=key,
+        )
+        self.jobs[job.id] = job
+        self._events[job.id] = []
+        self._conds[job.id] = asyncio.Condition()
+        return job
+
+    def _maybe_preempt_for(self, candidate: Job) -> None:
+        victim = self.scheduler.pick_victim(candidate)
+        if victim is None:
+            return
+        # Flag first, then read the hook: whichever side wins the race
+        # (this thread calling the hook, or the runner seeing the flag
+        # right after installing it) the request lands exactly once —
+        # request_preempt is idempotent if both do.
+        victim.preempt_requested = True
+        hook = victim.preempt_hook
+        if hook is not None:
+            victim.preempt_requested = False
+            hook()
+        self.metrics["preemptions"] += 1
+        if self.tracer:
+            self.tracer.counter(
+                "serve:preemptions", 1, cat="serving",
+                victim=victim.id, for_job=candidate.id,
+            )
+
+    async def _dispatch_loop(self) -> None:
+        while True:
+            await self._wake.wait()
+            self._wake.clear()
+            while True:
+                job = self.scheduler.next_dispatch()
+                if job is None:
+                    break
+                if job.state == CANCELLED:
+                    self.scheduler.release(job)
+                    continue
+                self._start_segment(job)
+
+    def _start_segment(self, job: Job) -> None:
+        resumed = job.snapshot is not None
+        if job.started_at is None:
+            job.started_at = time.time()
+            self.wait_seconds.append(job.started_at - job.submitted_at)
+            if self.tracer:
+                self.tracer.counter(
+                    "serve:wait_seconds", self.wait_seconds[-1],
+                    cat="serving", job=job.id,
+                )
+        if resumed:
+            self.metrics["resumes"] += 1
+        job.state = RUNNING
+        loop = self._loop
+
+        def publish(frame, _job=job):
+            loop.call_soon_threadsafe(self._publish, _job, frame)
+
+        future = loop.run_in_executor(
+            self._executor,
+            functools.partial(
+                runner_mod.run_segment,
+                job,
+                publish,
+                checkpoint_root=self.checkpoint_dir,
+                sse_categories=self.sse_categories,
+            ),
+        )
+        future.add_done_callback(
+            lambda fut, _job=job: loop.call_soon_threadsafe(
+                self._segment_done, _job, fut
+            )
+        )
+
+    def _segment_done(self, job: Job, future) -> None:
+        try:
+            result = future.result()
+        except Exception as err:  # pragma: no cover - runner catches its own
+            result = runner_mod.SegmentResult(
+                runner_mod.FAILED, 0, error=f"{type(err).__name__}: {err}"
+            )
+        self.scheduler.charge(
+            job.spec.client, job_cost(job, steps=result.steps_run)
+        )
+        if job.state == CANCELLED:
+            self.scheduler.release(job)
+            self._inflight.pop(job.cache_key, None)
+            self._publish(job, sse_frame("done", job.summary()))
+            self._finish_events(job)
+        elif result.outcome == runner_mod.COMPLETED:
+            job.state = DONE
+            job.finished_at = time.time()
+            self.metrics["completed"] += 1
+            self.cache.put(job.cache_key, job.result)
+            self.scheduler.release(job)
+            self._inflight.pop(job.cache_key, None)
+            if self.tracer:
+                self.tracer.emit_span(
+                    "job", job.started_at,
+                    job.finished_at - job.started_at, cat="serving",
+                    job=job.id, steps=job.steps,
+                    preemptions=job.preemptions,
+                )
+            self._publish(job, sse_frame("done", job.summary()))
+            self._finish_events(job)
+        elif result.outcome == runner_mod.PREEMPTED:
+            job.state = QUEUED
+            self.scheduler.release(job, requeue=True)
+            if self.tracer:
+                self.tracer.gauge(
+                    "serve:queue_depth", len(self.scheduler.queue),
+                    cat="serving",
+                )
+        else:
+            job.state = FAILED
+            job.error = result.error
+            job.finished_at = time.time()
+            self.metrics["failed"] += 1
+            self.scheduler.release(job)
+            self._inflight.pop(job.cache_key, None)
+            self._publish(job, sse_frame("error", job.summary()))
+            self._finish_events(job)
+        self._wake.set()
+
+    def cancel(self, job: Job) -> bool:
+        """Cancel a queued or running job (loop thread)."""
+        if job.state not in ACTIVE_STATES:
+            return False
+        was_queued = job.id in self.scheduler.queue
+        job.state = CANCELLED
+        job.finished_at = time.time()
+        self.metrics["cancelled"] += 1
+        self._inflight.pop(job.cache_key, None)
+        if was_queued:
+            self.scheduler.queue.remove(job.id)
+            self._publish(job, sse_frame("done", job.summary()))
+            self._finish_events(job)
+        else:
+            job.preempt_requested = True
+            hook = job.preempt_hook
+            if hook is not None:
+                job.preempt_requested = False
+                hook()
+            # The event stream closes when the segment reports back.
+        return True
+
+    # -- event streams ---------------------------------------------------------
+
+    def _publish(self, job: Job, frame) -> None:
+        log = self._events.get(job.id)
+        if log is None or (log and log[-1] is _END):
+            return
+        log.append(frame)
+        cond = self._conds.get(job.id)
+        if cond is not None:
+            asyncio.ensure_future(self._notify(cond))
+
+    def _finish_events(self, job: Job) -> None:
+        log = self._events.get(job.id)
+        if log is not None and (not log or log[-1] is not _END):
+            log.append(_END)
+            cond = self._conds.get(job.id)
+            if cond is not None:
+                asyncio.ensure_future(self._notify(cond))
+
+    @staticmethod
+    async def _notify(cond: asyncio.Condition) -> None:
+        async with cond:
+            cond.notify_all()
+
+    # -- metrics ---------------------------------------------------------------
+
+    def metrics_payload(self) -> dict:
+        waits = sorted(self.wait_seconds)
+
+        def pct(p):
+            if not waits:
+                return 0.0
+            return waits[min(len(waits) - 1, int(p * len(waits)))]
+
+        submitted = self.metrics["submitted"]
+        free = self.metrics["cache_hits"] + self.metrics["coalesced"]
+        return {
+            **self.metrics,
+            "queue_depth": len(self.scheduler.queue),
+            "busy_workers": len(self.scheduler.running),
+            "max_workers": self.scheduler.max_workers,
+            "cache_entries": len(self.cache),
+            "cache_hit_rate": free / submitted if submitted else 0.0,
+            "wait_p50_seconds": pct(0.50),
+            "wait_p99_seconds": pct(0.99),
+            "fair_share_spent": dict(self.scheduler.queue.spent),
+        }
+
+    # -- HTTP ------------------------------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        try:
+            request = await _read_request(reader)
+            if request is None:
+                return
+            method, path, body = request
+            await self._route(method, path, body, writer)
+        except (ConnectionResetError, BrokenPipeError, asyncio.TimeoutError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _route(self, method, path, body, writer) -> None:
+        parts = [p for p in path.split("?")[0].split("/") if p]
+        if method == "GET" and parts == ["healthz"]:
+            return await _respond(writer, 200, {"ok": True})
+        if method == "GET" and parts == ["metrics"]:
+            return await _respond(writer, 200, self.metrics_payload())
+        if method == "POST" and parts == ["jobs"]:
+            try:
+                spec = JobSpec.from_json(json.loads(body or b"{}"))
+                job, how = self.submit(spec)
+            except (SpecError, json.JSONDecodeError) as err:
+                return await _respond(writer, 400, {"error": str(err)})
+            status = 200 if how in ("hit", "join") else 201
+            return await _respond(
+                writer, status, {"cache": how, "job": job.summary()}
+            )
+        if method == "GET" and parts == ["jobs"]:
+            return await _respond(
+                writer, 200,
+                {"jobs": [j.summary() for j in self.jobs.values()]},
+            )
+        if len(parts) >= 2 and parts[0] == "jobs":
+            job = self.jobs.get(parts[1])
+            if job is None:
+                return await _respond(
+                    writer, 404, {"error": f"no such job {parts[1]!r}"}
+                )
+            tail = parts[2:]
+            if method == "GET" and not tail:
+                return await _respond(writer, 200, job.summary())
+            if method == "GET" and tail == ["result"]:
+                if job.state != DONE:
+                    return await _respond(
+                        writer, 409,
+                        {"error": f"job is {job.state}", "job": job.summary()},
+                    )
+                return await _respond(
+                    writer, 200, {"job": job.summary(), "result": job.result}
+                )
+            if method == "GET" and tail == ["events"]:
+                return await self._stream_events(job, writer)
+            if method == "POST" and tail == ["cancel"]:
+                ok = self.cancel(job)
+                return await _respond(
+                    writer, 200 if ok else 409, job.summary()
+                )
+        await _respond(
+            writer, 404, {"error": f"no route {method} {path}"}
+        )
+
+    async def _stream_events(self, job: Job, writer) -> None:
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: text/event-stream\r\n"
+            b"Cache-Control: no-cache\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        await writer.drain()
+        log = self._events[job.id]
+        cond = self._conds[job.id]
+        sent = 0
+        while not writer.is_closing():
+            while sent < len(log):
+                frame = log[sent]
+                sent += 1
+                if frame is _END:
+                    return
+                writer.write(frame.encode())
+            await writer.drain()
+            async with cond:
+                await cond.wait_for(
+                    lambda: len(log) > sent or writer.is_closing()
+                )
+
+
+# -- HTTP plumbing -------------------------------------------------------------
+
+async def _read_request(reader):
+    """Parse one HTTP/1.1 request; returns (method, path, body) or None."""
+    line = await reader.readline()
+    if not line:
+        return None
+    try:
+        method, path, _version = line.decode("latin1").split()
+    except ValueError:
+        return None
+    content_length = 0
+    while True:
+        header = await reader.readline()
+        if header in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = header.decode("latin1").partition(":")
+        if name.strip().lower() == "content-length":
+            content_length = int(value.strip())
+    body = await reader.readexactly(content_length) if content_length else b""
+    return method.upper(), path, body
+
+
+_STATUS_TEXT = {
+    200: "OK", 201: "Created", 400: "Bad Request", 404: "Not Found",
+    409: "Conflict", 500: "Internal Server Error",
+}
+
+
+async def _respond(writer, status: int, payload: dict) -> None:
+    body = json.dumps(payload).encode()
+    writer.write(
+        (
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'OK')}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n"
+        ).encode()
+    )
+    writer.write(body)
+    await writer.drain()
+
+
+class BackgroundServer:
+    """Run a :class:`ServeApp` on a daemon thread with its own loop.
+
+    The synchronous embedding used by tests, the load harness's
+    reference runs and anything else that wants a live server without
+    owning an event loop::
+
+        with BackgroundServer(ServeApp(port=0)) as app:
+            client = ServeClient(port=app.port)
+            ...
+    """
+
+    def __init__(self, app: ServeApp, startup_timeout: float = 10.0):
+        self.app = app
+        self.startup_timeout = startup_timeout
+        self._ready = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="simcov-serve-loop", daemon=True
+        )
+
+    def _run(self) -> None:
+        async def main():
+            await self.app.start()
+            self._ready.set()
+            await self.app.serve_forever()
+
+        try:
+            asyncio.run(main())
+        finally:
+            self._ready.set()  # unblock __enter__ on startup failure
+
+    def __enter__(self) -> ServeApp:
+        self._thread.start()
+        if not self._ready.wait(self.startup_timeout):  # pragma: no cover
+            raise RuntimeError("serve app did not start in time")
+        if self.app._loop is None:  # pragma: no cover - startup failed
+            raise RuntimeError("serve app failed to start")
+        return self.app
+
+    def __exit__(self, *exc) -> None:
+        self.app.abort()
+        self._thread.join(timeout=30)

@@ -22,7 +22,9 @@ from repro.telemetry.sinks import (
     JsonlSink,
     PhaseMetricsSink,
     RingBufferSink,
+    SseSink,
     read_jsonl,
+    sse_frame,
 )
 from repro.telemetry.tracer import NULL_TRACER, NullTracer, Tracer
 
@@ -41,10 +43,12 @@ __all__ = [
     "RingBufferSink",
     "RingCodec",
     "ShmRingSink",
+    "SseSink",
     "Tracer",
     "drain_ring",
     "format_report",
     "load_events",
     "read_jsonl",
+    "sse_frame",
     "summarize",
 ]

@@ -15,7 +15,12 @@ A sink is any object with ``on_event(event)`` and (optionally)
 - :class:`PhaseMetricsSink` — aggregates ``cat="phase"`` spans into a
   :class:`~repro.engine.metrics.PhaseMetrics`-compatible object (it only
   needs ``record(name, seconds, skipped=...)``), which is how the
-  engine's metrics surface becomes a view over the tracer.
+  engine's metrics surface becomes a view over the tracer;
+- :class:`SseSink` — formats each event as a server-sent-events frame
+  (:func:`sse_frame`) and fans the text to subscriber callables; the
+  serving layer (:mod:`repro.serve`) bridges those callables into each
+  job's event stream, so ``GET /jobs/{id}/events`` is just another sink
+  on the same tracer every backend already feeds.
 """
 
 from __future__ import annotations
@@ -53,11 +58,16 @@ class RingBufferSink:
 
 
 class JsonlSink:
-    """One JSON object per line, streamed as events arrive."""
+    """One JSON object per line, streamed as events arrive.
+
+    Line-buffered: each event reaches the file as it happens, so a trace
+    from a crashed or signalled process is still readable up to the last
+    complete event (the serve CI job uploads these as artifacts).
+    """
 
     def __init__(self, path):
         self.path = path
-        self._fh = open(path, "w")
+        self._fh = open(path, "w", buffering=1)
 
     def on_event(self, event: Event) -> None:
         self._fh.write(json.dumps(event.to_json()) + "\n")
@@ -145,6 +155,67 @@ class ChromeTraceSink:
                 }
             out.append(rec)
         return {"traceEvents": out, "displayTimeUnit": "ms"}
+
+
+def sse_frame(event_name: str, data) -> str:
+    """One server-sent-events frame: ``event:`` + one ``data:`` line.
+
+    ``data`` may be a pre-serialized string or any JSON-dumpable object.
+    JSON never contains raw newlines, so a single ``data:`` line is
+    always a valid frame (the SSE spec would otherwise need one line per
+    newline).
+    """
+    if not isinstance(data, str):
+        data = json.dumps(data)
+    return f"event: {event_name}\ndata: {data}\n\n"
+
+
+class SseSink:
+    """Fan telemetry events out as server-sent-events frames.
+
+    Subscribers are plain callables receiving the formatted frame text —
+    thread-agnostic on purpose: the simulation runs in a worker thread,
+    and the serving layer's subscriber does the thread hop into its
+    asyncio loop (``loop.call_soon_threadsafe``).  A bounded
+    ``categories`` filter keeps job streams compact (per-phase spans at
+    13+/step would swamp an event log that every SSE client replays);
+    pass ``categories=None`` to forward everything.
+    """
+
+    #: Default forwarded categories: step spans plus the serving and
+    #: resilience control-plane events — the signal a client dashboard
+    #: needs, without the per-phase firehose.
+    DEFAULT_CATEGORIES = frozenset({"step", "serving", "resilience"})
+
+    def __init__(self, subscriber=None, categories=DEFAULT_CATEGORIES):
+        self._subscribers = []
+        self.categories = None if categories is None else frozenset(categories)
+        self.dropped = 0
+        if subscriber is not None:
+            self.subscribe(subscriber)
+
+    def subscribe(self, callback):
+        """Add a frame consumer; returns an unsubscribe callable."""
+        self._subscribers.append(callback)
+
+        def unsubscribe():
+            try:
+                self._subscribers.remove(callback)
+            except ValueError:
+                pass
+
+        return unsubscribe
+
+    def on_event(self, event: Event) -> None:
+        if self.categories is not None and event.cat not in self.categories:
+            self.dropped += 1
+            return
+        frame = sse_frame("telemetry", event.to_json())
+        for callback in tuple(self._subscribers):
+            callback(frame)
+
+    def close(self) -> None:
+        self._subscribers = []
 
 
 class PhaseMetricsSink:

@@ -1,0 +1,120 @@
+"""Property tests for the serving result-cache key.
+
+The key must be a *canonical* function of ``(params, seeds, steps)``:
+equal inputs — however they were constructed — produce the identical
+key, and changing any single params field, any seed, or the step count
+produces a different key.  Both directions ride on the typed params
+codec (:func:`repro.io.checkpoint.encode_params`, format v2), which is
+why these tests live next to the format tests.
+"""
+
+from dataclasses import fields as dc_fields
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.params import SimCovParams
+from repro.io.checkpoint import decode_params, encode_params
+from repro.serve.jobs import result_cache_key
+
+SETTINGS = settings(max_examples=50, deadline=None)
+
+#: Fields perturbable without tripping cross-field validation.
+MUTABLE_INT = (
+    "num_steps", "incubation_period", "expressing_period",
+    "apoptosis_period", "tcell_initial_delay", "tcell_vascular_period",
+    "tcell_tissue_period", "tcell_binding_period",
+)
+#: Unbounded-above float fields (rates); [0, 1]-bounded ones are
+#: perturbed by halving instead.
+MUTABLE_FLOAT = ("chemokine_production", "tcell_generation_rate",
+                 "antibody_factor")
+BOUNDED_FLOAT = (
+    "infectivity", "virion_production", "virion_clearance",
+    "virion_diffusion", "chemokine_decay", "chemokine_diffusion",
+    "extravasate_fraction", "antiviral_factor", "min_chemokine",
+)
+
+
+def base_params(side=12, foi=2, steps=30):
+    return SimCovParams.fast_test(
+        dim=(side, side), num_infections=foi, num_steps=steps
+    )
+
+
+@st.composite
+def params_strategy(draw):
+    return base_params(
+        side=draw(st.integers(min_value=8, max_value=24)),
+        foi=draw(st.integers(min_value=1, max_value=4)),
+        steps=draw(st.integers(min_value=1, max_value=200)),
+    )
+
+
+class TestKeyCanonical:
+    @SETTINGS
+    @given(params_strategy(), st.integers(0, 2**31 - 1), st.integers(1, 500))
+    def test_equal_inputs_equal_key(self, params, seed, steps):
+        rebuilt = decode_params(encode_params(params))
+        assert result_cache_key(params, (seed,), steps) == \
+            result_cache_key(rebuilt, (seed,), steps)
+
+    @SETTINGS
+    @given(params_strategy(), st.integers(0, 1000))
+    def test_numpy_seed_types_collapse(self, params, seed):
+        assert result_cache_key(params, (seed,), 10) == \
+            result_cache_key(params, np.array([seed], dtype=np.int64), 10)
+
+
+class TestKeySensitive:
+    @SETTINGS
+    @given(
+        st.sampled_from(MUTABLE_INT + MUTABLE_FLOAT + BOUNDED_FLOAT),
+        st.integers(1, 7),
+    )
+    def test_any_single_field_change_changes_key(self, field, bump):
+        params = base_params()
+        old = getattr(params, field)
+        if field in BOUNDED_FLOAT:
+            new = old / (1 + bump)  # stays inside [0, 1]
+        elif isinstance(old, int):
+            new = old + bump
+        else:
+            new = old * (1 + bump / 8)
+        changed = params.with_(**{field: new})
+        assert result_cache_key(params, (0,), 10) != \
+            result_cache_key(changed, (0,), 10)
+
+    def test_every_encoded_field_feeds_the_key(self):
+        # Structural guarantee behind the property above: the key hashes
+        # the full typed encoding, so no params field can be silently
+        # dropped from it.
+        import json
+
+        params = base_params()
+        assert set(json.loads(encode_params(params))) == {
+            f.name for f in dc_fields(params)
+        }
+
+    @SETTINGS
+    @given(st.integers(0, 100), st.integers(1, 8))
+    def test_seed_set_changes_key(self, seed, width):
+        params = base_params()
+        solo = result_cache_key(params, (seed,), 10)
+        assert result_cache_key(params, (seed + 1,), 10) != solo
+        ensemble = result_cache_key(
+            params, range(seed, seed + width + 1), 10
+        )
+        assert ensemble != solo
+
+    @SETTINGS
+    @given(st.integers(1, 400))
+    def test_steps_change_key(self, steps):
+        params = base_params()
+        assert result_cache_key(params, (0,), steps) != \
+            result_cache_key(params, (0,), steps + 1)
+
+    def test_dim_changes_key(self):
+        a = base_params(side=12)
+        b = base_params(side=13)
+        assert result_cache_key(a, (0,), 10) != result_cache_key(b, (0,), 10)
