@@ -43,6 +43,7 @@ logging.getLogger("asyncio").setLevel(logging.CRITICAL)
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
 
 from repro.core.model import SequentialSimCov  # noqa: E402
+from repro.obs.runmeta import run_metadata  # noqa: E402
 from repro.serve.jobs import JobSpec, stats_rows  # noqa: E402
 from repro.serve.server import ServeApp  # noqa: E402
 
@@ -167,7 +168,7 @@ async def run_load_phase(app, args):
     )
     dispositions = [how for _, how in results]
     free = dispositions.count("hit") + dispositions.count("join")
-    _, metrics = await http_json(app.port, "GET", "/metrics")
+    _, metrics = await http_json(app.port, "GET", "/metrics.json")
     return {
         "clients": args.clients,
         "distinct_specs": args.distinct,
@@ -321,6 +322,7 @@ def main(argv=None):
         ),
     }
     section = {
+        "meta": run_metadata(config=CONFIG),
         "load": load,
         "preemption": preemption,
         "gates": gates,

@@ -46,6 +46,7 @@ import numpy as np
 
 from repro.core.model import SequentialSimCov
 from repro.core.params import SimCovParams
+from repro.obs.runmeta import run_metadata
 from repro.testing import repo_root
 
 #: Canonical benchmark configs.  ``small_2d`` is the early-infection
@@ -196,6 +197,7 @@ def run_ensemble_config(steps_override=None, batches=ENSEMBLE_BATCHES):
         "num_infections": cfg.num_infections,
         "steps": steps,
         "cpu_count": os.cpu_count(),
+        "meta": run_metadata(config=cfg.name),
         "batches": {},
         "bitwise_identical": True,
     }
@@ -246,6 +248,7 @@ def run_config(name, spec, steps_override=None, dist_nranks=4):
         "steps": steps,
         "seed": spec["seed"],
         "cpu_count": os.cpu_count(),
+        "meta": run_metadata(config=name),
         "gated": gated_rec,
         "ungated": ungated_rec,
         "speedup": round(gated_rec["steps_per_sec"] / ungated_rec["steps_per_sec"], 3),
@@ -314,6 +317,7 @@ def run_strong_scaling(config="medium_2d", nranks_list=STRONG_SCALING_NRANKS,
         "dim": list(spec["dim"]),
         "steps": steps,
         "cpu_count": os.cpu_count(),
+        "meta": run_metadata(config=config),
         "sequential_gated": gated_rec,
         "ranks": {},
         "bitwise_identical": True,
@@ -424,6 +428,9 @@ def main(argv=None):
         "and ensemble sims_per_sec vs solo loop",
         # Distributed/ensemble speedups only mean something relative to this.
         "cpu_count": os.cpu_count(),
+        # Which environment produced the numbers — bench diff refuses to
+        # compare payloads whose host/cpu_count differ.
+        "meta": run_metadata(),
         "configs": {
             n: run_config(n, CONFIGS[n], args.steps, args.dist_nranks)
             for n in names

@@ -41,6 +41,8 @@ from repro.engine.backend import ExecutionBackend
 from repro.engine.phases import Phase
 from repro.grid.decomposition import Decomposition, DecompositionKind
 from repro.grid.halo import HaloExchanger
+from repro.obs.imbalance import ImbalanceMonitor
+from repro.obs.registry import get_registry
 from repro.telemetry.events import GAUGE, Event
 from repro.telemetry.tracer import NULL_TRACER
 
@@ -134,6 +136,46 @@ class DistBackend(ExecutionBackend):
         #: sums are bitwise identical to the reference.
         self._stats_block = VoxelBlock(self.spec, self.spec.domain)
         self._active_counts: list[int] = []
+        # Always-on metrics + the rolling imbalance index (ROADMAP open
+        # item 5's trigger signal).  The per-step deltas come from the
+        # same shm counter tables the benchmark reads cumulatively; the
+        # _prev_* copies turn them into per-step observations.
+        reg = get_registry()
+        self._obs_barrier_wait = reg.counter(
+            "simcov_dist_barrier_wait_seconds_total",
+            "Cumulative barrier-wait seconds summed over ranks",
+        )
+        self._obs_strips_pulled = reg.counter(
+            "simcov_dist_strips_pulled_total",
+            "Halo strips actually pulled (activity gate let them through)",
+        )
+        self._obs_strips_skipped = reg.counter(
+            "simcov_dist_strips_skipped_total",
+            "Halo strips the activity gate skipped",
+        )
+        self._obs_imbalance = reg.gauge(
+            "simcov_dist_imbalance_index",
+            "Rolling per-rank busy-time imbalance (max/mean - 1)",
+        )
+        self._obs_dropped = reg.gauge(
+            "simcov_dist_telemetry_dropped_events",
+            "Telemetry ring records lost to overflow, summed over ranks",
+        )
+        self._obs_rank_busy = [
+            reg.counter(
+                "simcov_dist_rank_busy_seconds_total",
+                "Per-rank busy seconds (phase time minus in-phase waits)",
+                rank=r,
+            )
+            for r in range(nranks)
+        ]
+        self.imbalance = ImbalanceMonitor(nranks)
+        self._nphases = len(self.runtime.phase_names)
+        self._prev_phase_seconds = np.zeros(nranks)
+        self._prev_phase_wait = np.zeros(nranks)
+        self._prev_wait_total = 0.0
+        self._prev_strips = (0, 0)
+        self._last_dropped = [0] * nranks
         self.runtime.start()
         if self.tracer:
             for role, nbytes in self.runtime.segment_sizes().items():
@@ -189,8 +231,53 @@ class DistBackend(ExecutionBackend):
             for name in _STATS_FIELDS:
                 getattr(sb, name)[dst] = getattr(block, name)[src]
         ctx.reduced = stats_vector(sb)
+        self._observe_step(ctx.step)
         if self.tracer:
             self._drain_telemetry(ctx.step)
+
+    def _observe_step(self, step: int) -> None:
+        """Fold this step's shm counter deltas into the registry and the
+        imbalance monitor.  Runs in the quiescent window after the
+        step-end barrier (every worker parked), so the reads are stable;
+        numpy sums over nranks-sized tables cost microseconds."""
+        ctrl = self.runtime.ctrl
+        phase_seconds = np.asarray(
+            ctrl.metrics_seconds, dtype=np.float64
+        ).sum(axis=1)
+        # metrics_wait columns = phase names (in-phase barrier waits)
+        # then the two step barriers; busy excludes only the in-phase
+        # portion — the step barriers sit outside any phase.
+        wait = np.asarray(ctrl.metrics_wait, dtype=np.float64)
+        phase_wait = wait[:, : self._nphases].sum(axis=1)
+        wait_total = float(wait.sum())
+
+        busy_delta = (phase_seconds - self._prev_phase_seconds) - (
+            phase_wait - self._prev_phase_wait
+        )
+        self._prev_phase_seconds = phase_seconds
+        self._prev_phase_wait = phase_wait
+        for counter, delta in zip(self._obs_rank_busy, busy_delta):
+            counter.inc(max(0.0, float(delta)))
+        index = self.imbalance.observe(step, busy_delta)
+        self._obs_imbalance.set(index)
+
+        self._obs_barrier_wait.inc(max(0.0, wait_total - self._prev_wait_total))
+        self._prev_wait_total = wait_total
+
+        pulled, skipped = self.runtime.strip_counts()
+        self._obs_strips_pulled.inc(pulled - self._prev_strips[0])
+        self._obs_strips_skipped.inc(skipped - self._prev_strips[1])
+        self._prev_strips = (pulled, skipped)
+
+        dropped = self.runtime.telemetry_dropped()
+        self._obs_dropped.set(sum(dropped))
+
+        if self.tracer:
+            # The report's imbalance-over-time panel reads this gauge
+            # series off the coordinator (rank -1) lane.
+            self.tracer.gauge(
+                "imbalance_index", index, cat="obs", step=step
+            )
 
     def _drain_telemetry(self, step: int) -> None:
         """Forward this step's worker events; sample liveness gauges.
@@ -209,6 +296,18 @@ class DistBackend(ExecutionBackend):
                     rank=rank, step=step,
                 )
             )
+        # Ring overflow means the trace is *incomplete* — record that in
+        # the trace itself so `trace report` can warn loudly instead of
+        # silently presenting partial data.
+        for rank, count in enumerate(self.runtime.telemetry_dropped()):
+            if count != self._last_dropped[rank]:
+                self._last_dropped[rank] = count
+                self.tracer.emit(
+                    Event(
+                        GAUGE, "telemetry_dropped", now, value=count,
+                        cat="telemetry", rank=rank, step=step,
+                    )
+                )
 
     def step_record(self, ctx) -> dict:
         return {"active_per_rank": list(self._active_counts)}

@@ -23,6 +23,7 @@ from repro.core.stats import StepStats, TimeSeries
 from repro.engine.backend import ExecutionBackend
 from repro.engine.metrics import PhaseMetrics
 from repro.engine.phases import Phase, validate_schedule
+from repro.obs.registry import get_registry
 from repro.telemetry.sinks import PhaseMetricsSink
 from repro.telemetry.tracer import NULL_TRACER
 
@@ -57,6 +58,7 @@ class StepEngine:
         backend: ExecutionBackend,
         schedule: tuple[Phase, ...] | None = None,
         tracer=None,
+        registry=None,
     ):
         self.backend = backend
         self.params = backend.params
@@ -78,6 +80,37 @@ class StepEngine:
                 PhaseMetricsSink(self.metrics, rank=self.tracer.rank)
             )
             backend.tracer = self.tracer
+        #: Always-on metrics (:mod:`repro.obs`): instrument handles are
+        #: resolved once here so the step loop pays only bound-method
+        #: calls.  Unlike the tracer these never record per-event
+        #: timelines — just counters/gauges/histograms — which is why
+        #: they can afford to be on by default.
+        self.registry = registry if registry is not None else get_registry()
+        reg = self.registry
+        self._obs_steps = reg.counter(
+            "simcov_steps_total", "Engine steps executed"
+        )
+        self._obs_step_seconds = reg.histogram(
+            "simcov_step_seconds", "Wall seconds per engine step"
+        )
+        self._obs_phases = {
+            name: (
+                reg.histogram(
+                    "simcov_phase_seconds",
+                    "Wall seconds per engine phase",
+                    phase=name,
+                ),
+                reg.counter(
+                    "simcov_phase_skips_total",
+                    "Phase executions skipped by the activity gate",
+                    phase=name,
+                ),
+            )
+            for name in {ph.name for ph in self.schedule}
+        }
+        self._obs_active_voxels = reg.gauge(
+            "simcov_active_voxels", "Voxels the activity gate considers live"
+        )
         self.pool = 0.0
         self.step_num = 0
         self.series = TimeSeries()
@@ -111,11 +144,16 @@ class StepEngine:
         tracer = self.tracer
         step_start = perf_counter()
         phase_seconds: dict[str, float] = {}
+        obs_phases = self._obs_phases
         for phase in self.schedule:
             start = perf_counter()
             ran = self.backend.execute(phase, ctx)
             elapsed = perf_counter() - start
             skipped = ran is False
+            hist, skips = obs_phases[phase.name]
+            hist.observe(elapsed)
+            if skipped:
+                skips.inc()
             if tracer.enabled:
                 # Metrics update via the PhaseMetricsSink attached at
                 # construction — one span stream feeds both surfaces.
@@ -127,10 +165,12 @@ class StepEngine:
                 self.metrics.record(phase.name, elapsed, skipped=skipped)
             if not skipped:
                 phase_seconds[phase.name] = elapsed
+        step_elapsed = perf_counter() - step_start
+        self._obs_step_seconds.observe(step_elapsed)
+        self._obs_steps.inc()
         if tracer.enabled:
             tracer.emit_span(
-                "step", step_start, perf_counter() - step_start,
-                cat="step", step=t,
+                "step", step_start, step_elapsed, cat="step", step=t,
             )
 
         if ctx.reduced is None:
@@ -152,6 +192,8 @@ class StepEngine:
         self.series.append(stats)
         record = {"step": t, "phase_seconds": phase_seconds}
         record.update(self.backend.step_record(ctx))
+        if "active_voxels" in record:
+            self._obs_active_voxels.set(record["active_voxels"])
         self.step_work.append(record)
         self.step_num += 1
         return stats

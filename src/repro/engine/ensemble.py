@@ -579,9 +579,20 @@ class EnsembleEngine(StepEngine):
     attribute) tracks member 0.
     """
 
-    def __init__(self, backend: EnsembleBackend, schedule=None, tracer=None):
-        super().__init__(backend, schedule, tracer=tracer)
+    def __init__(
+        self, backend: EnsembleBackend, schedule=None, tracer=None,
+        registry=None,
+    ):
+        super().__init__(backend, schedule, tracer=tracer, registry=registry)
         self.batch = backend.batch
+        self.registry.gauge(
+            "simcov_ensemble_batch", "Members in the batched ensemble"
+        ).set(backend.batch)
+        self._obs_member_rate = self.registry.gauge(
+            "simcov_ensemble_member_steps_per_sec",
+            "Ensemble throughput: member-steps per wall second",
+        )
+        self._obs_t0 = None
         stack = backend.params
         self.pools = np.zeros(self.batch, dtype=np.float64)
         self.log = EnsembleSeries(self.batch)
@@ -628,11 +639,16 @@ class EnsembleEngine(StepEngine):
         tracer = self.tracer
         step_start = perf_counter()
         phase_seconds: dict[str, float] = {}
+        obs_phases = self._obs_phases
         for phase in self.schedule:
             start = perf_counter()
             ran = self.backend.execute(phase, ctx)
             elapsed = perf_counter() - start
             skipped = ran is False
+            hist, skips = obs_phases[phase.name]
+            hist.observe(elapsed)
+            if skipped:
+                skips.inc()
             if tracer.enabled:
                 tracer.emit_span(
                     phase.name, start, elapsed, cat="phase", step=t,
@@ -642,9 +658,20 @@ class EnsembleEngine(StepEngine):
                 self.metrics.record(phase.name, elapsed, skipped=skipped)
             if not skipped:
                 phase_seconds[phase.name] = elapsed
+        step_elapsed = perf_counter() - step_start
+        self._obs_step_seconds.observe(step_elapsed)
+        self._obs_steps.inc()
+        # Ensemble throughput: member-steps/sec over the engine's
+        # lifetime so far (batch members advance together, so one engine
+        # step is `batch` member-steps).
+        if self._obs_t0 is None:
+            self._obs_t0 = step_start
+        wall = perf_counter() - self._obs_t0
+        if wall > 0:
+            self._obs_member_rate.set((self.step_num + 1) * n / wall)
         if tracer.enabled:
             tracer.emit_span(
-                "step", step_start, perf_counter() - step_start,
+                "step", step_start, step_elapsed,
                 cat="step", step=t, ensemble=n,
             )
 
@@ -670,6 +697,8 @@ class EnsembleEngine(StepEngine):
         first = self.member_series[0][-1]
         record = {"step": t, "phase_seconds": phase_seconds}
         record.update(self.backend.step_record(ctx))
+        if "active_voxels" in record:
+            self._obs_active_voxels.set(record["active_voxels"])
         self.step_work.append(record)
         self.step_num += 1
         return first

@@ -1,0 +1,207 @@
+"""Benchmark regression reports: ``bench report`` / ``bench diff``.
+
+``BENCH_step_engine.json`` accumulates one committed snapshot per PR;
+until now a silent slowdown only surfaced if a human eyeballed the
+numbers.  This module flattens the interesting numeric leaves of a
+benchmark payload into ``section.path.metric`` keys with a
+direction (throughput/speedup/hit-rate up is good, seconds down is
+good), and diffs two payloads against a relative threshold.  The CI
+``obs`` job runs ``bench diff --check`` so a regression beyond the
+threshold fails the build, with the human-readable table uploaded as an
+artifact.
+
+Cross-host honesty: payloads stamped with run metadata
+(:mod:`repro.obs.runmeta`) refuse to diff across hosts unless
+``allow_cross_host`` is set — comparing a laptop number against a CI
+number produces exactly the false alarm this gate exists to prevent.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.runmeta import compatible, format_meta
+
+__all__ = [
+    "load_bench",
+    "flatten_metrics",
+    "bench_diff",
+    "format_report",
+    "format_diff",
+    "CrossHostError",
+]
+
+#: Sub-dicts too noisy to gate on (per-phase and per-rank breakdowns
+#: jitter far more than the headline throughputs they roll up into).
+_SKIP_SEGMENTS = frozenset(
+    {
+        "phase_seconds",
+        "worker_phase_seconds",
+        "worker_phase_calls",
+        "per_rank_phase_seconds",
+        "per_rank_wait_seconds",
+        "meta",
+        "gates",
+    }
+)
+
+
+class CrossHostError(ValueError):
+    """Two payloads' run metadata says their numbers aren't comparable."""
+
+
+def load_bench(path) -> dict:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def _direction(key: str) -> str | None:
+    """``"higher"``/``"lower"`` = which way is *better*; None = skip."""
+    if key.endswith("_per_sec") or key.startswith("speedup"):
+        return "higher"
+    if key.endswith("hit_rate"):
+        return "higher"
+    if key.endswith("_seconds") or key.endswith("_fraction"):
+        return "lower"
+    return None
+
+
+def flatten_metrics(payload: dict, prefix: str = "") -> dict[str, tuple[float, str]]:
+    """``{dotted.key: (value, direction)}`` for every gateable leaf."""
+    out: dict[str, tuple[float, str]] = {}
+    for key, value in payload.items():
+        if key in _SKIP_SEGMENTS:
+            continue
+        path = f"{prefix}.{key}" if prefix else key
+        if isinstance(value, dict):
+            out.update(flatten_metrics(value, path))
+        elif isinstance(value, (int, float)) and not isinstance(value, bool):
+            direction = _direction(key)
+            if direction is not None:
+                out[path] = (float(value), direction)
+    return out
+
+
+def bench_diff(
+    current: dict,
+    previous: dict,
+    threshold: float = 0.15,
+    allow_cross_host: bool = False,
+) -> dict:
+    """Compare two payloads; raise :class:`CrossHostError` when their
+    metadata says the hosts differ (unless ``allow_cross_host``).
+
+    Returns ``{"rows": [...], "regressions": [...], "missing": [...],
+    "meta_warning": str | None}`` where each row is
+    ``{key, previous, current, change, direction, regression}`` and
+    ``change`` is the relative delta in the *better* direction (positive
+    = improved).
+    """
+    meta_cur, meta_prev = current.get("meta"), previous.get("meta")
+    reason = compatible(meta_cur, meta_prev)
+    if reason is not None and not allow_cross_host:
+        raise CrossHostError(
+            f"refusing to compare benchmarks across environments ({reason}); "
+            "pass --allow-cross-host to override"
+        )
+    meta_warning = None
+    if not meta_cur or not meta_prev:
+        meta_warning = (
+            "one or both payloads lack run metadata; host comparability unknown"
+        )
+    elif reason is not None:
+        meta_warning = f"cross-host comparison forced: {reason}"
+
+    cur_flat = flatten_metrics(current)
+    prev_flat = flatten_metrics(previous)
+    rows, regressions = [], []
+    for key in sorted(cur_flat.keys() & prev_flat.keys()):
+        cur_v, direction = cur_flat[key]
+        prev_v, _ = prev_flat[key]
+        if prev_v == 0.0:
+            change = 0.0 if cur_v == 0.0 else float("inf")
+        else:
+            change = (cur_v - prev_v) / abs(prev_v)
+        if direction == "lower":
+            change = -change  # normalize: positive change = better
+        row = {
+            "key": key,
+            "previous": prev_v,
+            "current": cur_v,
+            "change": change,
+            "direction": direction,
+            "regression": change < -threshold,
+        }
+        rows.append(row)
+        if row["regression"]:
+            regressions.append(row)
+    missing = sorted(prev_flat.keys() - cur_flat.keys())
+    return {
+        "rows": rows,
+        "regressions": regressions,
+        "missing": missing,
+        "meta_warning": meta_warning,
+        "threshold": threshold,
+    }
+
+
+def _fmt(v: float) -> str:
+    if v == float("inf"):
+        return "inf"
+    if abs(v) >= 1000:
+        return f"{v:.0f}"
+    return f"{v:.4g}"
+
+
+def format_report(payload: dict, path: str = "") -> str:
+    """Human table of one payload's gateable metrics."""
+    lines = []
+    title = f"benchmark report — {path}" if path else "benchmark report"
+    lines.append(title)
+    lines.append("=" * len(title))
+    lines.append(format_meta(payload.get("meta")))
+    lines.append("")
+    flat = flatten_metrics(payload)
+    width = max((len(k) for k in flat), default=10)
+    lines.append(f"{'metric':<{width}}  {'value':>12}  better")
+    lines.append("-" * (width + 22))
+    for key in sorted(flat):
+        value, direction = flat[key]
+        lines.append(f"{key:<{width}}  {_fmt(value):>12}  {direction}")
+    return "\n".join(lines)
+
+
+def format_diff(diff: dict) -> str:
+    """Human table of a :func:`bench_diff` result."""
+    lines = []
+    title = f"benchmark diff (threshold {diff['threshold']:.0%})"
+    lines.append(title)
+    lines.append("=" * len(title))
+    if diff["meta_warning"]:
+        lines.append(f"WARNING: {diff['meta_warning']}")
+    rows = diff["rows"]
+    if not rows:
+        lines.append("(no comparable metrics)")
+        return "\n".join(lines)
+    width = max(len(r["key"]) for r in rows)
+    lines.append(
+        f"{'metric':<{width}}  {'previous':>12}  {'current':>12}  {'change':>8}"
+    )
+    lines.append("-" * (width + 40))
+    for row in rows:
+        flag = "  REGRESSION" if row["regression"] else ""
+        change = row["change"]
+        change_txt = "inf" if change == float("inf") else f"{change:+.1%}"
+        lines.append(
+            f"{row['key']:<{width}}  {_fmt(row['previous']):>12}  "
+            f"{_fmt(row['current']):>12}  {change_txt:>8}{flag}"
+        )
+    for key in diff["missing"]:
+        lines.append(f"{key:<{width}}  (missing from current payload)")
+    lines.append("")
+    n = len(diff["regressions"])
+    if n:
+        lines.append(f"{n} regression(s) beyond threshold")
+    else:
+        lines.append("no regressions beyond threshold")
+    return "\n".join(lines)

@@ -1,0 +1,85 @@
+"""Rolling per-rank load-imbalance index.
+
+The dist runtime's per-rank busy seconds (phase time minus in-phase
+barrier wait) already expose the single-focus pathology — the rank
+holding the infection focus computes while the rest wait.  This module
+folds those per-step busy deltas into the classic imbalance index
+
+    index = max(busy) / mean(busy) - 1.0
+
+over a rolling window: 0.0 means perfectly balanced, 1.0 means the
+slowest rank does double the mean work.  ROADMAP open item 5 (dynamic
+re-decomposition) triggers on exactly this signal, so the monitor keeps
+a bounded history that ``trace report`` renders as an
+imbalance-over-time panel and the registry publishes as gauges.
+
+Pure python over tiny vectors (nranks floats per step) — it runs inside
+the coordinator's reduction step, so it must cost effectively nothing.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+__all__ = ["ImbalanceMonitor", "imbalance_index"]
+
+
+def imbalance_index(busy) -> float:
+    """``max/mean - 1`` over per-rank busy seconds; 0.0 when degenerate
+    (no ranks, all-idle window) so callers can publish unconditionally."""
+    busy = [max(0.0, float(b)) for b in busy]
+    if not busy:
+        return 0.0
+    mean = sum(busy) / len(busy)
+    if mean <= 0.0:
+        return 0.0
+    return max(busy) / mean - 1.0
+
+
+class ImbalanceMonitor:
+    """Fold per-step per-rank busy deltas into rolling imbalance stats.
+
+    ``observe(step, busy_deltas)`` returns the windowed index (the gauge
+    value).  ``history`` keeps ``(step, instantaneous_index)`` pairs up
+    to ``max_history`` for the report panel; the rolling window
+    (``window`` steps of per-rank sums) smooths single-step noise like a
+    rank absorbing a virion burst for one step.
+    """
+
+    def __init__(self, nranks: int, window: int = 16, max_history: int = 4096):
+        if nranks < 1:
+            raise ValueError(f"nranks must be >= 1, got {nranks}")
+        self.nranks = int(nranks)
+        self.window: deque[list[float]] = deque(maxlen=int(window))
+        self.history: deque[tuple[int, float]] = deque(maxlen=int(max_history))
+        self.last_index = 0.0
+        self.max_rank = 0
+
+    def observe(self, step: int, busy_deltas) -> float:
+        busy = [max(0.0, float(b)) for b in busy_deltas]
+        if len(busy) != self.nranks:
+            raise ValueError(
+                f"expected {self.nranks} busy values, got {len(busy)}"
+            )
+        self.window.append(busy)
+        # Windowed per-rank totals -> smoothed index (the gauge).
+        totals = [0.0] * self.nranks
+        for row in self.window:
+            for i, b in enumerate(row):
+                totals[i] += b
+        self.last_index = imbalance_index(totals)
+        self.max_rank = max(range(self.nranks), key=totals.__getitem__)
+        # Instantaneous index per step (the report timeseries).
+        self.history.append((int(step), imbalance_index(busy)))
+        return self.last_index
+
+    def summary(self) -> dict:
+        vals = [v for _, v in self.history]
+        return {
+            "nranks": self.nranks,
+            "steps_observed": len(self.history),
+            "index": self.last_index,
+            "max_rank": self.max_rank,
+            "peak_index": max(vals, default=0.0),
+            "mean_index": (sum(vals) / len(vals)) if vals else 0.0,
+        }

@@ -1,0 +1,85 @@
+"""Prometheus text exposition (format version 0.0.4).
+
+Renders a :class:`~repro.obs.registry.MetricsRegistry` into the plain
+text format every Prometheus-compatible scraper understands::
+
+    # HELP simcov_serve_submitted_total Jobs accepted by POST /jobs
+    # TYPE simcov_serve_submitted_total counter
+    simcov_serve_submitted_total 42
+    # HELP simcov_phase_seconds Wall seconds per engine phase
+    # TYPE simcov_phase_seconds histogram
+    simcov_phase_seconds_bucket{phase="diffuse",le="0.001"} 7
+    ...
+    simcov_phase_seconds_bucket{phase="diffuse",le="+Inf"} 30
+    simcov_phase_seconds_sum{phase="diffuse"} 0.0123
+    simcov_phase_seconds_count{phase="diffuse"} 30
+
+Determinism: families sort by name, series by label tuple, so the same
+registry state always renders the same bytes (the endpoint test diffs
+two scrapes).  Histogram buckets render cumulatively with an explicit
+``le="+Inf"`` sample; an empty histogram still renders its full bucket
+ladder (all zeros) — scrapers treat a missing series as "target fell
+over", not "no data yet".
+"""
+
+from __future__ import annotations
+
+__all__ = ["render", "escape_label_value", "format_value"]
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def escape_label_value(value: str) -> str:
+    """Escape per the exposition spec: backslash, double-quote, newline."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def format_value(value: float) -> str:
+    """Integral floats print as ints (``42`` not ``42.0``); everything
+    else keeps full repr precision so round-tripping is lossless."""
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _label_str(key: tuple, extra: tuple = ()) -> str:
+    pairs = [f'{k}="{escape_label_value(v)}"' for k, v in (*key, *extra)]
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def render(registry) -> str:
+    """Render the registry's full state as exposition text."""
+    lines = []
+    fams = registry.families()
+    for name, fam in fams.items():
+        help_text = fam.help or name
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {fam.kind}")
+        for key in sorted(fam.series):
+            inst = fam.series[key]
+            if fam.kind == "histogram":
+                for le, cum in inst.cumulative():
+                    le_txt = "+Inf" if le == float("inf") else format_value(le)
+                    labels = _label_str(key, (("le", le_txt),))
+                    lines.append(f"{name}_bucket{labels} {cum}")
+                labels = _label_str(key)
+                lines.append(f"{name}_sum{labels} {format_value(inst.sum)}")
+                lines.append(f"{name}_count{labels} {inst.count}")
+            else:
+                labels = _label_str(key)
+                lines.append(f"{name}{labels} {format_value(inst.value)}")
+    if registry.dropped_series:
+        name = "simcov_obs_dropped_series_total"
+        lines.append(f"# HELP {name} Label sets refused by the cardinality cap")
+        lines.append(f"# TYPE {name} counter")
+        lines.append(f"{name} {registry.dropped_series}")
+    return "\n".join(lines) + "\n" if lines else ""

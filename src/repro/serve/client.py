@@ -51,13 +51,33 @@ class ServeClient:
         finally:
             conn.close()
 
+    def _request_text(self, method: str, path: str) -> str:
+        """Fetch a non-JSON body (the Prometheus exposition)."""
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            conn.request(method, path)
+            resp = conn.getresponse()
+            data = resp.read().decode("utf-8")
+            if resp.status >= 400:
+                raise ServeError(resp.status, data)
+            return data
+        finally:
+            conn.close()
+
     # -- API ------------------------------------------------------------------
 
     def healthz(self) -> dict:
         return self._request("GET", "/healthz")
 
     def metrics(self) -> dict:
-        return self._request("GET", "/metrics")
+        """The JSON counters payload (``GET /metrics.json``)."""
+        return self._request("GET", "/metrics.json")
+
+    def metrics_text(self) -> str:
+        """The Prometheus text exposition (``GET /metrics``)."""
+        return self._request_text("GET", "/metrics")
 
     def submit(self, spec: dict) -> dict:
         """POST a job spec; returns ``{"cache": ..., "job": {...}}``."""

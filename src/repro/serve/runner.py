@@ -108,10 +108,8 @@ def run_segment(
     ``preemptions``, ``snapshot``, ``result``) are updated in place; the
     caller owns the state machine.
     """
-    tracer = Tracer(
-        backend=job.spec.backend,
-        sinks=[SseSink(publish, categories=sse_categories)],
-    )
+    sse_sink = SseSink(publish, categories=sse_categories)
+    tracer = Tracer(backend=job.spec.backend, sinks=[sse_sink])
     sim = None
     try:
         sim = build_sim(job, tracer=tracer)
@@ -163,6 +161,16 @@ def run_segment(
         if sim is not None and hasattr(sim, "close"):
             sim.close()
         tracer.close()
+        if sse_sink.dropped:
+            # Category-filtered (not lost) events — surfaced so a stream
+            # that looks sparse can be told apart from one that is.
+            from repro.obs.registry import get_registry
+
+            get_registry().counter(
+                "simcov_serve_sse_filtered_events_total",
+                "Telemetry events the SSE category filter withheld "
+                "from job streams",
+            ).inc(sse_sink.dropped)
 
 
 def _step_payload(job: Job, stats) -> dict:

@@ -13,8 +13,9 @@ Routes::
     GET  /jobs/{id}/result   finished stats rows        -> result payload
     GET  /jobs/{id}/events   live SSE stream (replayed from event 0)
     POST /jobs/{id}/cancel   cancel queued/running job
-    GET  /metrics            serving counters + latency percentiles
-    GET  /healthz            liveness probe
+    GET  /metrics            Prometheus text exposition (scrapers)
+    GET  /metrics.json       serving counters + latency percentiles
+    GET  /healthz            liveness probe with scheduler/worker status
 
 Execution: simulations are CPU-bound, so segments run in a bounded
 thread pool while the loop thread owns every piece of mutable state
@@ -35,6 +36,8 @@ import threading
 import time
 import uuid
 
+from repro.obs.prometheus import CONTENT_TYPE as _PROM_CONTENT_TYPE
+from repro.obs.registry import get_registry
 from repro.serve import runner as runner_mod
 from repro.serve.cache import ResultCache
 from repro.serve.jobs import (
@@ -75,8 +78,11 @@ class ServeApp:
         Optional root for preemption-snapshot mirrors (per-job
         subdirectories); in-memory shadow snapshots only when None.
     trace_path:
-        Optional JSONL telemetry log for the server's own
-        ``cat="serving"`` counters/gauges/spans.
+        Optional telemetry log for the server's own ``cat="serving"``
+        counters/gauges/spans.  With ``trace_format="jsonl"`` (default)
+        a :class:`~repro.obs.snapshot.MetricsSnapshotSink` rides along,
+        so the one artifact carries spans *and* periodic registry
+        snapshots; ``"chrome"`` writes a Perfetto-loadable trace.
     """
 
     def __init__(
@@ -87,6 +93,7 @@ class ServeApp:
         cache_dir: str | None = None,
         checkpoint_dir: str | None = None,
         trace_path: str | None = None,
+        trace_format: str = "jsonl",
         sse_categories=SseSink.DEFAULT_CATEGORIES,
     ):
         self.host = host
@@ -116,10 +123,63 @@ class ServeApp:
         }
         #: Submit-to-first-dispatch seconds (queue wait), per cold job.
         self.wait_seconds: list[float] = []
+        #: Always-on registry instruments.  The `metrics` dict above
+        #: stays as the JSON payload's source of truth; `_count` keeps
+        #: the Prometheus counters in lockstep with it.
+        self.registry = get_registry()
+        reg = self.registry
+        self._obs_counters = {
+            name: reg.counter(f"simcov_serve_{name}_total", help_text)
+            for name, help_text in (
+                ("submitted", "Jobs accepted by POST /jobs"),
+                ("cache_hits", "Submits answered from the result cache"),
+                ("cache_misses", "Submits that scheduled a fresh run"),
+                ("coalesced", "Submits joined onto an in-flight twin"),
+                ("completed", "Jobs finished successfully"),
+                ("failed", "Jobs that errored"),
+                ("cancelled", "Jobs cancelled by clients"),
+                ("preemptions", "Running jobs preempted for higher priority"),
+                ("resumes", "Preempted jobs resumed from checkpoint"),
+                ("sse_frames", "Event frames appended to job streams"),
+                ("sse_streams", "GET /jobs/{id}/events streams opened"),
+            )
+        }
+        self._obs_wait = reg.histogram(
+            "simcov_serve_submit_to_first_event_seconds",
+            "Submit-to-first-dispatch latency (cache hits observe ~0)",
+        )
+        self._obs_gauges = {
+            name: reg.gauge(f"simcov_serve_{name}", help_text)
+            for name, help_text in (
+                ("queue_depth", "Jobs waiting for a worker"),
+                ("busy_workers", "Worker threads running a segment"),
+                ("max_workers", "Worker-pool size"),
+                ("cache_entries", "Result-cache entries resident"),
+            )
+        }
         if trace_path is not None:
-            from repro.telemetry.sinks import JsonlSink
+            if trace_format == "chrome":
+                from repro.telemetry.sinks import ChromeTraceSink
 
-            self.tracer = Tracer(backend="serve", sinks=[JsonlSink(trace_path)])
+                sinks = [ChromeTraceSink(trace_path)]
+            elif trace_format == "jsonl":
+                from repro.obs.snapshot import MetricsSnapshotSink
+                from repro.telemetry.sinks import JsonlSink
+
+                jsonl = JsonlSink(trace_path)
+                # Snapshot sink first: tracer.close() closes sinks in
+                # order, and the final snapshot must land before the
+                # JSONL file handle goes away.
+                sinks = [
+                    MetricsSnapshotSink(jsonl.write_record, registry=reg),
+                    jsonl,
+                ]
+            else:
+                raise ValueError(
+                    f"trace_format must be 'jsonl' or 'chrome', "
+                    f"got {trace_format!r}"
+                )
+            self.tracer = Tracer(backend="serve", sinks=sinks)
         else:
             self.tracer = NULL_TRACER
         self._loop: asyncio.AbstractEventLoop | None = None
@@ -128,6 +188,13 @@ class ServeApp:
         self._wake: asyncio.Event | None = None
         self._stopped: asyncio.Event | None = None
         self._dispatch_task: asyncio.Task | None = None
+        self._started_wall: float | None = None
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        """Bump a serving counter on both surfaces (JSON dict + registry)."""
+        if name in self.metrics:
+            self.metrics[name] += amount
+        self._obs_counters[name].inc(amount)
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -136,6 +203,7 @@ class ServeApp:
         from concurrent.futures import ThreadPoolExecutor
 
         self._loop = asyncio.get_running_loop()
+        self._started_wall = time.time()
         self._wake = asyncio.Event()
         self._stopped = asyncio.Event()
         self._executor = ThreadPoolExecutor(
@@ -210,7 +278,7 @@ class ServeApp:
 
         Loop-thread only (HTTP handlers run here).
         """
-        self.metrics["submitted"] += 1
+        self._count("submitted")
         signature = spec.cache_signature()
         memo = self._resolve_memo.get(signature)
         if memo is None:
@@ -226,7 +294,7 @@ class ServeApp:
             peer = self.jobs[inflight_id]
             if peer.state in ACTIVE_STATES:
                 peer.attached += 1
-                self.metrics["coalesced"] += 1
+                self._count("coalesced")
                 if self.tracer:
                     self.tracer.counter("serve:coalesced", 1, cat="serving")
                 return peer, "join"
@@ -239,7 +307,8 @@ class ServeApp:
             job.result = cached
             job.steps_done = steps
             job.finished_at = time.time()
-            self.metrics["cache_hits"] += 1
+            self._count("cache_hits")
+            self._obs_wait.observe(0.0)
             if self.tracer:
                 self.tracer.counter("serve:cache_hit", 1, cat="serving")
             self._publish(job, sse_frame("done", job.summary()))
@@ -248,6 +317,7 @@ class ServeApp:
         job = self._make_job(spec, params, steps, key)
         self._inflight[key] = job.id
         self.scheduler.submit(job)
+        self._count("cache_misses")
         if self.tracer:
             self.tracer.counter("serve:cache_miss", 1, cat="serving")
             self.tracer.gauge(
@@ -285,7 +355,7 @@ class ServeApp:
         if hook is not None:
             victim.preempt_requested = False
             hook()
-        self.metrics["preemptions"] += 1
+        self._count("preemptions")
         if self.tracer:
             self.tracer.counter(
                 "serve:preemptions", 1, cat="serving",
@@ -310,13 +380,14 @@ class ServeApp:
         if job.started_at is None:
             job.started_at = time.time()
             self.wait_seconds.append(job.started_at - job.submitted_at)
+            self._obs_wait.observe(self.wait_seconds[-1])
             if self.tracer:
                 self.tracer.counter(
                     "serve:wait_seconds", self.wait_seconds[-1],
                     cat="serving", job=job.id,
                 )
         if resumed:
-            self.metrics["resumes"] += 1
+            self._count("resumes")
         job.state = RUNNING
         loop = self._loop
 
@@ -357,7 +428,7 @@ class ServeApp:
         elif result.outcome == runner_mod.COMPLETED:
             job.state = DONE
             job.finished_at = time.time()
-            self.metrics["completed"] += 1
+            self._count("completed")
             self.cache.put(job.cache_key, job.result)
             self.scheduler.release(job)
             self._inflight.pop(job.cache_key, None)
@@ -382,7 +453,7 @@ class ServeApp:
             job.state = FAILED
             job.error = result.error
             job.finished_at = time.time()
-            self.metrics["failed"] += 1
+            self._count("failed")
             self.scheduler.release(job)
             self._inflight.pop(job.cache_key, None)
             self._publish(job, sse_frame("error", job.summary()))
@@ -396,7 +467,7 @@ class ServeApp:
         was_queued = job.id in self.scheduler.queue
         job.state = CANCELLED
         job.finished_at = time.time()
-        self.metrics["cancelled"] += 1
+        self._count("cancelled")
         self._inflight.pop(job.cache_key, None)
         if was_queued:
             self.scheduler.queue.remove(job.id)
@@ -418,6 +489,7 @@ class ServeApp:
         if log is None or (log and log[-1] is _END):
             return
         log.append(frame)
+        self._obs_counters["sse_frames"].inc()
         cond = self._conds.get(job.id)
         if cond is not None:
             asyncio.ensure_future(self._notify(cond))
@@ -437,7 +509,40 @@ class ServeApp:
 
     # -- metrics ---------------------------------------------------------------
 
+    def _refresh_gauges(self) -> None:
+        """Sample the lazily-scraped gauges (queue/pool/cache state is
+        cheap to read but pointless to push on every mutation)."""
+        g = self._obs_gauges
+        g["queue_depth"].set(len(self.scheduler.queue))
+        g["busy_workers"].set(len(self.scheduler.running))
+        g["max_workers"].set(self.scheduler.max_workers)
+        g["cache_entries"].set(len(self.cache))
+
+    def metrics_text(self) -> str:
+        """Prometheus exposition of the process registry."""
+        self._refresh_gauges()
+        return self.registry.render_prometheus()
+
+    def health_payload(self) -> dict:
+        states: dict[str, int] = {}
+        for job in self.jobs.values():
+            states[job.state] = states.get(job.state, 0) + 1
+        return {
+            "ok": True,
+            "scheduler": {
+                "queue_depth": len(self.scheduler.queue),
+                "busy_workers": len(self.scheduler.running),
+                "max_workers": self.scheduler.max_workers,
+            },
+            "jobs": states,
+            "uptime_seconds": (
+                time.time() - self._started_wall
+                if self._started_wall is not None else 0.0
+            ),
+        }
+
     def metrics_payload(self) -> dict:
+        self._refresh_gauges()
         waits = sorted(self.wait_seconds)
 
         def pct(p):
@@ -480,8 +585,12 @@ class ServeApp:
     async def _route(self, method, path, body, writer) -> None:
         parts = [p for p in path.split("?")[0].split("/") if p]
         if method == "GET" and parts == ["healthz"]:
-            return await _respond(writer, 200, {"ok": True})
+            return await _respond(writer, 200, self.health_payload())
         if method == "GET" and parts == ["metrics"]:
+            return await _respond_text(
+                writer, 200, self.metrics_text(), _PROM_CONTENT_TYPE
+            )
+        if method == "GET" and parts == ["metrics.json"]:
             return await _respond(writer, 200, self.metrics_payload())
         if method == "POST" and parts == ["jobs"]:
             try:
@@ -535,6 +644,7 @@ class ServeApp:
             b"Connection: close\r\n\r\n"
         )
         await writer.drain()
+        self._obs_counters["sse_streams"].inc()
         log = self._events[job.id]
         cond = self._conds[job.id]
         sent = 0
@@ -587,6 +697,21 @@ async def _respond(writer, status: int, payload: dict) -> None:
         (
             f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'OK')}\r\n"
             f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n"
+        ).encode()
+    )
+    writer.write(body)
+    await writer.drain()
+
+
+async def _respond_text(writer, status: int, text: str,
+                        content_type: str = "text/plain") -> None:
+    body = text.encode()
+    writer.write(
+        (
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'OK')}\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: close\r\n\r\n"
         ).encode()

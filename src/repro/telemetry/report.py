@@ -21,7 +21,20 @@ from __future__ import annotations
 import json
 
 from repro.telemetry.events import COUNTER, GAUGE, SPAN, Event
-from repro.telemetry.sinks import read_jsonl
+from repro.telemetry.sinks import read_jsonl, read_meta
+
+
+def load_meta(path) -> dict | None:
+    """Run-metadata header of a trace file, either format (or None)."""
+    with open(path) as fh:
+        text = fh.read()
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError:
+        payload = None
+    if isinstance(payload, dict) and "traceEvents" in payload:
+        return payload.get("otherData")
+    return read_meta(path)
 
 
 def load_events(path) -> list[Event]:
@@ -83,9 +96,18 @@ def summarize(events: list[Event]) -> dict:
         "recovery_seconds": 0.0,
         "incidents": [],
     }
+    dropped: dict[int, int] = {}
+    imbalance_series: list[tuple[int, float]] = []
     for e in events:
         if e.step >= 0:
             steps.add(e.step)
+        if e.kind == GAUGE and e.name == "telemetry_dropped":
+            # Cumulative per-rank ring-overflow count; keep the max.
+            dropped[e.rank] = max(dropped.get(e.rank, 0), int(e.value))
+            continue
+        if e.kind == GAUGE and e.name == "imbalance_index":
+            imbalance_series.append((e.step, float(e.value)))
+            continue
         if e.cat == "resilience":
             if e.kind == COUNTER and e.name == "restarts":
                 resilience["restarts"] += int(e.value)
@@ -163,6 +185,8 @@ def summarize(events: list[Event]) -> dict:
             r: {**ranks[r], "busy_seconds": busy[r]} for r in sorted(ranks)
         },
         "imbalance": imbalance,
+        "imbalance_series": imbalance_series,
+        "dropped": {r: n for r, n in sorted(dropped.items()) if n > 0},
         "resilience": resilience,
     }
 
@@ -181,9 +205,47 @@ def _histogram(durs: list[float]) -> list[dict]:
     return rows
 
 
-def format_report(summary: dict) -> str:
+def _imbalance_panel(series: list[tuple[int, float]], width: int = 40,
+                     max_rows: int = 24) -> list[str]:
+    """ASCII imbalance-over-time: one bar per (downsampled) step window.
+
+    The signal ROADMAP open item 5's dynamic re-decomposition will
+    trigger on — a run where one rank owns the infection focus shows a
+    sustained high band here.
+    """
+    if not series:
+        return []
+    # Downsample by averaging fixed-size step windows so long runs fit.
+    stride = max(1, (len(series) + max_rows - 1) // max_rows)
+    rows = []
+    for i in range(0, len(series), stride):
+        chunk = series[i:i + stride]
+        step = chunk[0][0]
+        val = sum(v for _, v in chunk) / len(chunk)
+        rows.append((step, val))
+    peak = max(v for _, v in rows)
+    scale = width / peak if peak > 0 else 0.0
+    lines = ["", "imbalance over time (index = max/mean busy - 1)"]
+    for step, val in rows:
+        bar = "#" * max(0, round(val * scale))
+        lines.append(f"  step {step:>6} |{bar:<{width}}| {val:.3f}")
+    lines.append(f"  peak {peak:.3f} over {len(series)} samples")
+    return lines
+
+
+def format_report(summary: dict, meta: dict | None = None) -> str:
     """Aligned text rendering of :func:`summarize`."""
-    lines = [
+    lines = []
+    if meta:
+        from repro.obs.runmeta import format_meta
+
+        lines.append(f"run: {format_meta(meta)}")
+    for rank, n in summary.get("dropped", {}).items():
+        lines.append(
+            f"WARNING: DROPPED {n} events (rank {rank}) — telemetry ring "
+            "overflowed; totals below undercount this rank"
+        )
+    lines += [
         f"trace: {summary['events']} events over {summary['steps']} steps",
         "",
         "top phases",
@@ -212,6 +274,7 @@ def format_report(summary: dict) -> str:
             f"{row['barrier_seconds']:>11.4f}{row['busy_seconds']:>10.4f}"
         )
     lines.append(f"  imbalance (max/mean busy): {summary['imbalance']:.3f}")
+    lines += _imbalance_panel(summary.get("imbalance_series", []))
     res = summary.get("resilience", {})
     if res.get("restarts") or res.get("incidents"):
         lines += [

@@ -63,14 +63,33 @@ class JsonlSink:
     Line-buffered: each event reaches the file as it happens, so a trace
     from a crashed or signalled process is still readable up to the last
     complete event (the serve CI job uploads these as artifacts).
+
+    The first line is a ``{"kind": "meta", ...}`` run-metadata header
+    (:func:`repro.obs.runmeta.run_metadata`) — host, cpu count, python,
+    git SHA — so a report or a diff knows which environment produced the
+    numbers; pass ``write_meta=False`` to suppress it, or ``meta=`` to
+    ride extra keys along.  Non-event records (the header, metrics
+    snapshots) share the file via :meth:`write_record`; readers dispatch
+    on ``kind``.
     """
 
-    def __init__(self, path):
+    def __init__(self, path, meta: dict | None = None, write_meta: bool = True):
         self.path = path
         self._fh = open(path, "w", buffering=1)
+        if write_meta:
+            from repro.obs.runmeta import run_metadata
+
+            self.write_record({"kind": "meta", **run_metadata(), **(meta or {})})
 
     def on_event(self, event: Event) -> None:
         self._fh.write(json.dumps(event.to_json()) + "\n")
+
+    def write_record(self, record: dict) -> None:
+        """Append a non-event record (meta header, metrics snapshot);
+        silently dropped after close — record writers (the snapshot
+        sink) may outlive this sink in a tracer's close order."""
+        if self._fh is not None:
+            self._fh.write(json.dumps(record) + "\n")
 
     def close(self) -> None:
         if self._fh is not None:
@@ -78,15 +97,42 @@ class JsonlSink:
             self._fh = None
 
 
+#: Record kinds that decode as telemetry events.
+_EVENT_KINDS = frozenset({"span", "counter", "gauge"})
+
+
 def read_jsonl(path) -> list[Event]:
-    """Load a :class:`JsonlSink` file back into events."""
+    """Load a :class:`JsonlSink` file back into events.
+
+    Non-event records (``kind`` outside span/counter/gauge: the metadata
+    header, metrics snapshots) are skipped — use :func:`read_meta` /
+    :func:`repro.obs.snapshot.read_snapshots` for those.
+    """
     events = []
     with open(path) as fh:
         for line in fh:
             line = line.strip()
             if line:
-                events.append(Event.from_json(json.loads(line)))
+                rec = json.loads(line)
+                if rec.get("kind") in _EVENT_KINDS:
+                    events.append(Event.from_json(rec))
     return events
+
+
+def read_meta(path) -> dict | None:
+    """The run-metadata header of a JSONL trace, or None (older traces,
+    Chrome traces are handled by their own ``otherData`` field)."""
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            rec = json.loads(line)
+            if rec.get("kind") == "meta":
+                rec.pop("kind", None)
+                return rec
+            return None  # header is always first when present
+    return None
 
 
 class ChromeTraceSink:
@@ -97,8 +143,9 @@ class ChromeTraceSink:
     per-rank timelines whose barrier-wait slices line up vertically.
     """
 
-    def __init__(self, path):
+    def __init__(self, path, meta: dict | None = None):
         self.path = path
+        self.meta = meta
         self._events: list[Event] = []
         self._closed = False
 
@@ -109,12 +156,15 @@ class ChromeTraceSink:
         if self._closed:
             return
         self._closed = True
+        from repro.obs.runmeta import run_metadata
+
+        meta = {**run_metadata(), **(self.meta or {})}
         with open(self.path, "w") as fh:
-            json.dump(self.render(self._events), fh)
+            json.dump(self.render(self._events, meta=meta), fh)
         self._events = []
 
     @staticmethod
-    def render(events: list[Event]) -> dict:
+    def render(events: list[Event], meta: dict | None = None) -> dict:
         """The trace-event payload for an event list (pure; testable)."""
         base = min((e.ts for e in events), default=0.0)
         out = []
@@ -154,7 +204,12 @@ class ChromeTraceSink:
                     "args": {e.name: e.value},
                 }
             out.append(rec)
-        return {"traceEvents": out, "displayTimeUnit": "ms"}
+        payload = {"traceEvents": out, "displayTimeUnit": "ms"}
+        if meta:
+            # Chrome's trace format reserves otherData for free-form
+            # run metadata; Perfetto shows it in the trace-info panel.
+            payload["otherData"] = meta
+        return payload
 
 
 def sse_frame(event_name: str, data) -> str:

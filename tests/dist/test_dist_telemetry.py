@@ -114,3 +114,56 @@ class TestDistEventStream:
         assert all(
             calls <= steps for calls in sim.engine.metrics.calls.values()
         )
+
+
+class TestImbalanceObservability:
+    def test_imbalance_gauges_and_monitor(self):
+        """Every step publishes one imbalance_index gauge on the
+        coordinator lane, and the backend's rolling monitor agrees."""
+        config, _, ring, _, _, sim = run_traced()
+        steps = config["steps"]
+        gauges = [e for e in ring.events if e.name == "imbalance_index"]
+        assert len(gauges) == steps
+        assert all(e.rank == -1 and e.cat == "obs" for e in gauges)
+        assert sorted(e.step for e in gauges) == list(range(steps))
+        assert all(e.value >= 0.0 for e in gauges)
+        monitor = sim.backend.imbalance
+        summary = monitor.summary()
+        assert summary["nranks"] == NRANKS
+        assert summary["steps_observed"] == steps
+        assert gauges[-1].value == monitor.last_index
+
+    def test_registry_fed_by_dist_run(self):
+        """The dist backend's counters/gauges land in a swapped-in
+        registry: per-rank busy seconds, strip pulls, the imbalance
+        gauge."""
+        from repro.obs.registry import MetricsRegistry, set_registry
+
+        config, _ = load_trace("trace_2d")
+        reg = MetricsRegistry()
+        prev = set_registry(reg)
+        try:
+            with DistSimCov(
+                make_params(config), nranks=NRANKS, seed=config["seed"]
+            ) as sim:
+                sim.run(config["steps"])
+                # Read shm-backed counters while the segments are mapped.
+                pulled, skipped = sim.backend.runtime.strip_counts()
+        finally:
+            set_registry(prev)
+        fams = reg.families()
+        busy = fams["simcov_dist_rank_busy_seconds_total"].series
+        assert {dict(k)["rank"] for k in busy} == {
+            str(r) for r in range(NRANKS)
+        }
+        assert fams["simcov_dist_strips_pulled_total"].series[()].value == (
+            pulled
+        )
+        assert fams["simcov_dist_strips_skipped_total"].series[()].value == (
+            skipped
+        )
+        assert "simcov_dist_imbalance_index" in fams
+        assert "simcov_dist_barrier_wait_seconds_total" in fams
+        assert fams["simcov_dist_telemetry_dropped_events"].series[
+            ()
+        ].value == 0.0

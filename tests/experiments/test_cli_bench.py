@@ -1,0 +1,92 @@
+"""``simcov-repro bench`` CLI: report/diff wiring and exit codes (the
+contract the CI gate scripts against)."""
+
+import json
+
+import pytest
+
+from repro.experiments.cli import main
+
+META = {"host": "vm", "cpu_count": 1}
+
+
+def write_payload(path, steps_per_sec=100.0, meta=META):
+    payload = {
+        "configs": {
+            "small_2d": {
+                "gated": {"steps_per_sec": steps_per_sec,
+                          "wall_seconds": 1.0},
+                "speedup": 2.0,
+            }
+        },
+    }
+    if meta is not None:
+        payload["meta"] = dict(meta)
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+@pytest.fixture
+def current(tmp_path):
+    return write_payload(tmp_path / "current.json")
+
+
+@pytest.fixture
+def previous(tmp_path):
+    return write_payload(tmp_path / "previous.json")
+
+
+class TestBenchReport:
+    def test_report_prints_metrics(self, capsys, current):
+        assert main(["bench", "report", current]) == 0
+        out = capsys.readouterr().out
+        assert "configs.small_2d.gated.steps_per_sec" in out
+        assert "host=vm" in out
+
+    def test_missing_file_is_usage_error(self, capsys, tmp_path):
+        assert main(["bench", "report", str(tmp_path / "nope.json")]) == 2
+        assert "not found" in capsys.readouterr().err
+
+
+class TestBenchDiff:
+    def test_clean_diff_exits_zero(self, capsys, current, previous):
+        assert main(["bench", "diff", current, previous, "--check"]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_regression_with_check_exits_one(self, capsys, tmp_path,
+                                             previous):
+        slowed = write_payload(tmp_path / "slow.json", steps_per_sec=50.0)
+        assert main(["bench", "diff", slowed, previous, "--check"]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_regression_without_check_exits_zero(self, tmp_path, previous):
+        slowed = write_payload(tmp_path / "slow.json", steps_per_sec=50.0)
+        assert main(["bench", "diff", slowed, previous]) == 0
+
+    def test_threshold_flag_loosens_gate(self, tmp_path, previous):
+        slowed = write_payload(tmp_path / "slow.json", steps_per_sec=60.0)
+        assert main(["bench", "diff", slowed, previous, "--check"]) == 1
+        assert main(["bench", "diff", slowed, previous, "--check",
+                     "--threshold", "0.5"]) == 0
+
+    def test_cross_host_exits_two(self, capsys, tmp_path, previous):
+        other = write_payload(
+            tmp_path / "other.json",
+            meta={"host": "laptop", "cpu_count": 8},
+        )
+        assert main(["bench", "diff", other, previous, "--check"]) == 2
+        assert "--allow-cross-host" in capsys.readouterr().err
+
+    def test_allow_cross_host_overrides(self, capsys, tmp_path, previous):
+        other = write_payload(
+            tmp_path / "other.json",
+            meta={"host": "laptop", "cpu_count": 8},
+        )
+        assert main(["bench", "diff", other, previous, "--check",
+                     "--allow-cross-host"]) == 0
+        assert "cross-host comparison forced" in capsys.readouterr().out
+
+    def test_bad_subcommand_is_usage_error(self, capsys):
+        assert main(["bench", "frobnicate"]) == 2
+        assert "usage" in capsys.readouterr().err
+        assert main(["bench"]) == 2

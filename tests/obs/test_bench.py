@@ -1,0 +1,123 @@
+"""bench report / bench diff: flattening, direction, the regression
+threshold, and the cross-host refusal."""
+
+import pytest
+
+from repro.obs.bench import (
+    CrossHostError,
+    bench_diff,
+    flatten_metrics,
+    format_diff,
+    format_report,
+)
+
+META_VM = {"host": "vm", "cpu_count": 1}
+
+
+def payload(steps_per_sec=100.0, wall=1.0, meta=META_VM):
+    p = {
+        "cpu_count": 1,
+        "configs": {
+            "small_2d": {
+                "gated": {
+                    "steps_per_sec": steps_per_sec,
+                    "wall_seconds": wall,
+                    "phase_seconds": {"diffuse": 0.5},  # skipped segment
+                },
+                "speedup": 2.0,
+                "bitwise_identical": True,  # bool: never a metric
+            }
+        },
+    }
+    if meta is not None:
+        p["meta"] = dict(meta)
+    return p
+
+
+class TestFlatten:
+    def test_directions_and_skips(self):
+        flat = flatten_metrics(payload())
+        assert flat["configs.small_2d.gated.steps_per_sec"] == (
+            100.0, "higher",
+        )
+        assert flat["configs.small_2d.gated.wall_seconds"] == (1.0, "lower")
+        assert flat["configs.small_2d.speedup"] == (2.0, "higher")
+        # Noisy per-phase breakdowns and booleans never become gates.
+        assert not any("phase_seconds" in k for k in flat)
+        assert not any("bitwise" in k for k in flat)
+        assert not any(k == "cpu_count" for k in flat)
+
+
+class TestDiff:
+    def test_regression_flagged_beyond_threshold(self):
+        diff = bench_diff(payload(steps_per_sec=50.0), payload(),
+                          threshold=0.15)
+        keys = {r["key"] for r in diff["regressions"]}
+        assert "configs.small_2d.gated.steps_per_sec" in keys
+        (row,) = [r for r in diff["rows"]
+                  if r["key"].endswith("steps_per_sec")]
+        assert row["change"] == pytest.approx(-0.5)
+
+    def test_improvement_is_positive_both_directions(self):
+        diff = bench_diff(payload(steps_per_sec=200.0, wall=0.5), payload())
+        by_key = {r["key"]: r for r in diff["rows"]}
+        assert by_key["configs.small_2d.gated.steps_per_sec"][
+            "change"
+        ] == pytest.approx(1.0)
+        # Halved wall time is a +50% improvement after normalization.
+        assert by_key["configs.small_2d.gated.wall_seconds"][
+            "change"
+        ] == pytest.approx(0.5)
+        assert diff["regressions"] == []
+
+    def test_within_threshold_not_flagged(self):
+        diff = bench_diff(payload(steps_per_sec=90.0), payload(),
+                          threshold=0.15)
+        assert diff["regressions"] == []
+
+    def test_cross_host_refused(self):
+        other = payload(meta={"host": "laptop", "cpu_count": 8})
+        with pytest.raises(CrossHostError, match="--allow-cross-host"):
+            bench_diff(other, payload())
+
+    def test_cross_host_forced_warns(self):
+        other = payload(meta={"host": "laptop", "cpu_count": 8})
+        diff = bench_diff(other, payload(), allow_cross_host=True)
+        assert "cross-host comparison forced" in diff["meta_warning"]
+
+    def test_missing_meta_warns_but_compares(self):
+        diff = bench_diff(payload(meta=None), payload())
+        assert "lack run metadata" in diff["meta_warning"]
+        assert diff["rows"]
+
+    def test_missing_keys_listed(self):
+        cur = payload()
+        del cur["configs"]["small_2d"]["speedup"]
+        diff = bench_diff(cur, payload())
+        assert diff["missing"] == ["configs.small_2d.speedup"]
+
+    def test_zero_previous_value(self):
+        diff = bench_diff(payload(steps_per_sec=10.0),
+                          payload(steps_per_sec=0.0))
+        (row,) = [r for r in diff["rows"]
+                  if r["key"].endswith("steps_per_sec")]
+        assert row["change"] == float("inf")
+
+
+class TestFormatting:
+    def test_diff_table_flags_regressions(self):
+        diff = bench_diff(payload(steps_per_sec=50.0), payload())
+        text = format_diff(diff)
+        assert "REGRESSION" in text
+        assert "1 regression(s) beyond threshold" in text
+
+    def test_diff_table_clean_run(self):
+        text = format_diff(bench_diff(payload(), payload()))
+        assert "no regressions beyond threshold" in text
+        assert "REGRESSION" not in text
+
+    def test_report_table(self):
+        text = format_report(payload(), "bench.json")
+        assert "bench.json" in text
+        assert "host=vm" in text
+        assert "configs.small_2d.gated.steps_per_sec" in text

@@ -1,0 +1,66 @@
+"""Imbalance-index math and the rolling monitor."""
+
+import pytest
+
+from repro.obs.imbalance import ImbalanceMonitor, imbalance_index
+
+
+class TestIndex:
+    def test_balanced_is_zero(self):
+        assert imbalance_index([1.0, 1.0, 1.0]) == 0.0
+
+    def test_one_rank_doing_everything(self):
+        # max/mean - 1 with 4 ranks, one busy: 1.0/(0.25) - 1 = 3.
+        assert imbalance_index([1.0, 0.0, 0.0, 0.0]) == pytest.approx(3.0)
+
+    def test_degenerate_cases(self):
+        assert imbalance_index([]) == 0.0
+        assert imbalance_index([0.0, 0.0]) == 0.0
+        assert imbalance_index([-1.0, -2.0]) == 0.0  # clamped to idle
+
+
+class TestMonitor:
+    def test_windowed_index_smooths(self):
+        mon = ImbalanceMonitor(nranks=2, window=4)
+        mon.observe(0, [1.0, 1.0])
+        # One noisy step barely moves the windowed value.
+        noisy = mon.observe(1, [2.0, 1.0])
+        assert noisy == pytest.approx(3.0 / 2.5 - 1.0)
+        # But the instantaneous history keeps the spike.
+        assert mon.history[-1] == (1, pytest.approx(1.0 / 0.75 - 1.0))
+
+    def test_window_forgets_old_steps(self):
+        mon = ImbalanceMonitor(nranks=2, window=2)
+        mon.observe(0, [5.0, 0.0])
+        mon.observe(1, [1.0, 1.0])
+        balanced = mon.observe(2, [1.0, 1.0])  # spike rolled out
+        assert balanced == 0.0
+
+    def test_max_rank_tracks_heaviest(self):
+        mon = ImbalanceMonitor(nranks=3)
+        mon.observe(0, [0.1, 0.9, 0.2])
+        assert mon.max_rank == 1
+
+    def test_summary(self):
+        mon = ImbalanceMonitor(nranks=2)
+        mon.observe(0, [1.0, 0.0])
+        mon.observe(1, [1.0, 1.0])
+        s = mon.summary()
+        assert s["nranks"] == 2
+        assert s["steps_observed"] == 2
+        assert s["peak_index"] == pytest.approx(1.0)
+        assert 0.0 < s["mean_index"] < 1.0
+
+    def test_history_bounded(self):
+        mon = ImbalanceMonitor(nranks=1, max_history=3)
+        for step in range(10):
+            mon.observe(step, [1.0])
+        assert len(mon.history) == 3
+        assert mon.history[0][0] == 7
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="nranks"):
+            ImbalanceMonitor(nranks=0)
+        mon = ImbalanceMonitor(nranks=2)
+        with pytest.raises(ValueError, match="expected 2 busy values"):
+            mon.observe(0, [1.0])

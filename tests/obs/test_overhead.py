@@ -1,0 +1,27 @@
+"""Metrics-overhead smoke (tier-1 lax bound).
+
+The CI ``obs`` job runs ``python -m repro.obs.overhead --budget 0.03``
+at real size; here the bound is deliberately loose so the fast suite
+never flakes on a noisy shared box — this test's job is catching a
+pathological regression (an accidental per-voxel observe), not holding
+the 3% line.
+"""
+
+from repro.obs.overhead import measure_overhead
+from repro.obs.registry import get_registry
+
+
+def test_overhead_small_and_result_shape():
+    result = measure_overhead(dim=(48, 48), steps=8, repeats=2)
+    assert result["metrics_off_seconds"] > 0
+    assert result["metrics_on_seconds"] > 0
+    assert result["steps"] == 8 and result["dim"] == [48, 48]
+    # Lax: anything under 50% at this tiny size is "not pathological";
+    # a per-voxel mistake shows up as multiples, not percents.
+    assert result["overhead_fraction"] < 0.5
+
+
+def test_measure_restores_global_registry():
+    before = get_registry()
+    measure_overhead(dim=(32, 32), steps=2, repeats=1)
+    assert get_registry() is before

@@ -1,0 +1,97 @@
+"""Prometheus text-exposition tests: escaping, value formatting, the
+histogram ladder, and byte-for-byte determinism."""
+
+import pytest
+
+from repro.obs.prometheus import (
+    CONTENT_TYPE,
+    escape_label_value,
+    format_value,
+    render,
+)
+from repro.obs.registry import MetricsRegistry
+
+
+class TestEscaping:
+    def test_backslash_quote_newline(self):
+        assert escape_label_value('a\\b"c\nd') == 'a\\\\b\\"c\\nd'
+
+    def test_plain_passthrough(self):
+        assert escape_label_value("small_2d") == "small_2d"
+
+
+class TestFormatValue:
+    @pytest.mark.parametrize("value,text", [
+        (42.0, "42"),
+        (0.0, "0"),
+        (-3.0, "-3"),
+        (0.25, "0.25"),
+        (float("nan"), "NaN"),
+        (float("inf"), "+Inf"),
+        (float("-inf"), "-Inf"),
+    ])
+    def test_cases(self, value, text):
+        assert format_value(value) == text
+
+    def test_huge_integral_keeps_float_repr(self):
+        # Beyond 2^53-ish, int conversion would fabricate precision.
+        assert format_value(1e18) == repr(1e18)
+
+
+class TestRender:
+    def test_counter_and_gauge_lines(self):
+        reg = MetricsRegistry()
+        reg.counter("simcov_steps_total", "Steps executed").inc(5)
+        reg.gauge("simcov_active_voxels", "Active voxels").set(1024)
+        text = render(reg)
+        assert "# HELP simcov_steps_total Steps executed" in text
+        assert "# TYPE simcov_steps_total counter" in text
+        assert "simcov_steps_total 5" in text
+        assert "# TYPE simcov_active_voxels gauge" in text
+        assert "simcov_active_voxels 1024" in text
+        assert text.endswith("\n")
+
+    def test_histogram_cumulative_ladder(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat_seconds", "latency", buckets=(0.1, 1.0),
+                          phase="diffuse")
+        h.observe(0.05)
+        h.observe(0.5)
+        h.observe(50.0)
+        text = render(reg)
+        assert 'lat_seconds_bucket{phase="diffuse",le="0.1"} 1' in text
+        assert 'lat_seconds_bucket{phase="diffuse",le="1"} 2' in text
+        assert 'lat_seconds_bucket{phase="diffuse",le="+Inf"} 3' in text
+        assert 'lat_seconds_sum{phase="diffuse"} 50.55' in text
+        assert 'lat_seconds_count{phase="diffuse"} 3' in text
+
+    def test_empty_histogram_still_renders_full_ladder(self):
+        reg = MetricsRegistry()
+        reg.histogram("h_seconds", buckets=(0.5,))
+        text = render(reg)
+        assert 'h_seconds_bucket{le="0.5"} 0' in text
+        assert 'h_seconds_bucket{le="+Inf"} 0' in text
+        assert "h_seconds_count 0" in text
+
+    def test_deterministic_sort_and_repeatability(self):
+        reg = MetricsRegistry()
+        reg.counter("z_total", rank=1).inc()
+        reg.counter("z_total", rank=0).inc()
+        reg.counter("a_total").inc()
+        text = render(reg)
+        assert text == render(reg)  # same state, same bytes
+        # Families by name, series by label tuple.
+        assert text.index("a_total") < text.index("z_total")
+        assert text.index('rank="0"') < text.index('rank="1"')
+
+    def test_help_defaults_to_name(self):
+        reg = MetricsRegistry()
+        reg.counter("nameless_total").inc()
+        assert "# HELP nameless_total nameless_total" in render(reg)
+
+    def test_empty_registry_renders_empty(self):
+        assert render(MetricsRegistry()) == ""
+
+
+def test_content_type_is_prometheus_0_0_4():
+    assert CONTENT_TYPE == "text/plain; version=0.0.4; charset=utf-8"

@@ -1,0 +1,189 @@
+"""Registry semantics: instrument behavior, label handling, the
+cardinality cap, the disabled (null-instrument) path, and thread safety
+of the locked mutators."""
+
+import threading
+
+import pytest
+
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    NULL_COUNTER,
+    get_registry,
+    set_registry,
+)
+
+
+@pytest.fixture
+def reg():
+    return MetricsRegistry()
+
+
+class TestInstruments:
+    def test_counter_accumulates(self, reg):
+        c = reg.counter("steps_total", "steps")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == pytest.approx(3.5)
+
+    def test_gauge_last_write_wins_and_inc(self, reg):
+        g = reg.gauge("depth")
+        g.set(7)
+        g.set(3)
+        assert g.value == 3.0
+        g.inc(2)
+        assert g.value == 5.0
+
+    def test_same_name_and_labels_is_same_instrument(self, reg):
+        a = reg.counter("hits", "h", path="/jobs")
+        b = reg.counter("hits", "h", path="/jobs")
+        assert a is b
+        c = reg.counter("hits", "h", path="/metrics")
+        assert c is not a
+
+    def test_kind_mismatch_raises(self, reg):
+        reg.counter("x_total")
+        with pytest.raises(ValueError, match="already registered as counter"):
+            reg.gauge("x_total")
+
+
+class TestHistogram:
+    def test_boundary_value_lands_in_that_bucket(self):
+        h = Histogram(bounds=(1.0, 2.0, 4.0))
+        h.observe(2.0)  # exactly on a bound: le="2.0" bucket (inclusive)
+        assert h.counts == [0, 1, 0, 0]
+        assert h.cumulative() == [
+            (1.0, 0), (2.0, 1), (4.0, 1), (float("inf"), 1),
+        ]
+
+    def test_overflow_goes_to_inf_bucket(self):
+        h = Histogram(bounds=(1.0, 2.0))
+        h.observe(1e9)
+        assert h.counts == [0, 0, 1]
+        assert h.cumulative()[-1] == (float("inf"), 1)
+        assert h.sum == pytest.approx(1e9)
+        assert h.count == 1
+
+    def test_empty_histogram_cumulative_is_all_zero(self):
+        h = Histogram(bounds=(0.5, 1.0))
+        assert h.cumulative() == [(0.5, 0), (1.0, 0), (float("inf"), 0)]
+
+    def test_explicit_trailing_inf_is_stripped(self):
+        h = Histogram(bounds=(1.0, float("inf")))
+        assert h.bounds == (1.0,)
+        assert len(h.counts) == 2
+
+    def test_invalid_bounds_raise(self):
+        with pytest.raises(ValueError, match="strictly increase"):
+            Histogram(bounds=(1.0, 1.0))
+        with pytest.raises(ValueError, match="at least one"):
+            Histogram(bounds=())
+
+    def test_exact_sum_and_count(self, reg):
+        h = reg.histogram("lat_seconds", buckets=(0.1, 1.0))
+        for v in (0.05, 0.5, 5.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.sum == pytest.approx(5.55)
+
+
+class TestCardinalityCap:
+    def test_overflow_folds_into_shared_series(self):
+        reg = MetricsRegistry(max_label_sets=2)
+        a = reg.counter("c_total", rank=0)
+        b = reg.counter("c_total", rank=1)
+        over1 = reg.counter("c_total", rank=2)
+        over2 = reg.counter("c_total", rank=3)
+        assert a is not b
+        assert over1 is over2  # both folded into {"overflow": "true"}
+        assert reg.dropped_series == 2
+        fam = reg.families()["c_total"]
+        assert (("overflow", "true"),) in fam.series
+        assert len(fam.series) == 3  # 2 real + 1 overflow
+
+    def test_dropped_series_rendered(self):
+        reg = MetricsRegistry(max_label_sets=1)
+        reg.counter("c_total", k=0)
+        reg.counter("c_total", k=1)
+        text = reg.render_prometheus()
+        assert "simcov_obs_dropped_series_total 1" in text
+
+
+class TestDisabledRegistry:
+    def test_null_instruments_are_shared_noops(self):
+        reg = MetricsRegistry(enabled=False)
+        c = reg.counter("a_total")
+        g = reg.gauge("b")
+        h = reg.histogram("c_seconds")
+        assert c is NULL_COUNTER and g is NULL_COUNTER and h is NULL_COUNTER
+        c.inc()
+        g.set(5)
+        h.observe(1.0)
+        assert c.value == 0.0 and h.count == 0
+        assert reg.snapshot() == {}
+        assert reg.render_prometheus() == ""
+
+
+class TestGlobalRegistry:
+    def test_swap_and_restore(self):
+        fresh = MetricsRegistry()
+        prev = set_registry(fresh)
+        try:
+            assert get_registry() is fresh
+        finally:
+            set_registry(prev)
+        assert get_registry() is prev
+
+    def test_reset_drops_families(self):
+        reg = MetricsRegistry(max_label_sets=1)
+        reg.counter("a_total").inc()
+        reg.counter("a_total", k=1)  # overflow
+        assert reg.dropped_series == 1
+        reg.reset()
+        assert reg.families() == {}
+        assert reg.dropped_series == 0
+
+
+class TestThreadSafety:
+    N_THREADS = 8
+    N_OPS = 2000
+
+    def _hammer(self, fn):
+        barrier = threading.Barrier(self.N_THREADS)
+
+        def work():
+            barrier.wait()
+            for _ in range(self.N_OPS):
+                fn()
+
+        threads = [threading.Thread(target=work) for _ in range(self.N_THREADS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+    def test_counter_inc_loses_no_updates(self, reg):
+        c = reg.counter("hammer_total")
+        self._hammer(c.inc)
+        assert c.value == self.N_THREADS * self.N_OPS
+
+    def test_histogram_observe_exact_under_contention(self, reg):
+        h = reg.histogram("hammer_seconds", buckets=(0.5,))
+        self._hammer(lambda: h.observe(0.25))
+        total = self.N_THREADS * self.N_OPS
+        assert h.count == total
+        assert h.counts == [total, 0]
+        assert h.sum == pytest.approx(0.25 * total)
+
+    def test_concurrent_getters_one_series(self, reg):
+        out = []
+        self._hammer(lambda: out.append(reg.counter("get_total", k="v")))
+        assert len({id(c) for c in out}) == 1
+
+
+def test_default_buckets_cover_slo_range():
+    assert DEFAULT_BUCKETS[0] <= 1e-4
+    assert DEFAULT_BUCKETS[-1] >= 10.0
+    assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)

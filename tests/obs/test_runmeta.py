@@ -1,0 +1,70 @@
+"""Run-metadata stamping and the cross-host comparability rule."""
+
+from repro.obs.runmeta import compatible, format_meta, git_sha, run_metadata
+
+
+class TestRunMetadata:
+    def test_standard_keys(self):
+        meta = run_metadata()
+        assert meta["host"]
+        assert meta["cpu_count"] >= 1
+        assert meta["python"].count(".") == 2
+        assert "recorded_at" in meta
+        assert "config" not in meta
+
+    def test_config_and_extra_ride_along(self):
+        meta = run_metadata(config="small_2d", nranks=4)
+        assert meta["config"] == "small_2d"
+        assert meta["nranks"] == 4
+
+    def test_git_sha_cached_and_stable(self):
+        assert git_sha() == git_sha()
+
+
+class TestCompatible:
+    def test_same_host_same_cores_ok(self):
+        a = {"host": "vm", "cpu_count": 4}
+        assert compatible(a, dict(a)) is None
+
+    def test_host_mismatch_named(self):
+        reason = compatible(
+            {"host": "laptop", "cpu_count": 4},
+            {"host": "ci", "cpu_count": 4},
+        )
+        assert "host differs" in reason
+
+    def test_cpu_count_mismatch_named(self):
+        reason = compatible(
+            {"host": "vm", "cpu_count": 1},
+            {"host": "vm", "cpu_count": 16},
+        )
+        assert "cpu_count differs" in reason
+
+    def test_missing_meta_is_comparable_with_shrug(self):
+        assert compatible(None, {"host": "vm"}) is None
+        assert compatible({}, {}) is None
+        # A missing key on one side never counts as a mismatch.
+        assert compatible({"host": "vm"}, {"cpu_count": 4}) is None
+
+    def test_python_version_does_not_gate(self):
+        # Only host/cpu_count decide comparability.
+        reason = compatible(
+            {"host": "vm", "cpu_count": 1, "python": "3.11.7"},
+            {"host": "vm", "cpu_count": 1, "python": "3.12.1"},
+        )
+        assert reason is None
+
+
+class TestFormatMeta:
+    def test_one_line_rendering(self):
+        text = format_meta({
+            "host": "vm", "cpu_count": 2, "python": "3.11.7",
+            "git_sha": "abc1234", "config": "small_2d",
+        })
+        assert text == (
+            "host=vm cpus=2 py=3.11.7 git=abc1234 config=small_2d"
+        )
+
+    def test_missing_meta(self):
+        assert format_meta(None) == "(no run metadata)"
+        assert format_meta({}) == "(no run metadata)"

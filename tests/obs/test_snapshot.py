@@ -1,0 +1,91 @@
+"""Metrics-snapshot sink: interval cadence, final flush, and coexistence
+with events in one JSONL artifact."""
+
+import json
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.snapshot import MetricsSnapshotSink, read_snapshots
+from repro.telemetry import JsonlSink, Tracer, read_jsonl
+from repro.telemetry.events import SPAN, Event
+
+
+def step_event(step):
+    return Event(SPAN, "step", float(step), dur=0.01, cat="step", step=step)
+
+
+class TestCadence:
+    def test_snapshot_every_interval(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total").inc()
+        records = []
+        sink = MetricsSnapshotSink(records.append, interval=3, registry=reg)
+        for step in range(7):
+            sink.on_event(step_event(step))
+        assert sink.snapshots_written == 2  # after steps 3 and 6
+        assert [r["step"] for r in records] == [2, 5]
+        assert records[0]["kind"] == "metrics"
+        assert records[0]["metrics"]["c_total"]["series"][0]["value"] == 1.0
+
+    def test_non_step_events_ignored(self):
+        records = []
+        sink = MetricsSnapshotSink(records.append, interval=1,
+                                   registry=MetricsRegistry())
+        sink.on_event(Event(SPAN, "diffuse", 0.0, dur=0.1, cat="phase"))
+        assert records == []
+
+    def test_final_flush_for_short_runs(self):
+        records = []
+        sink = MetricsSnapshotSink(records.append, interval=50,
+                                   registry=MetricsRegistry())
+        sink.on_event(step_event(0))
+        sink.close()
+        assert sink.snapshots_written == 1
+
+    def test_no_double_snapshot_when_interval_aligned(self):
+        records = []
+        sink = MetricsSnapshotSink(records.append, interval=2,
+                                   registry=MetricsRegistry())
+        for step in range(4):
+            sink.on_event(step_event(step))
+        sink.close()
+        assert sink.snapshots_written == 2  # steps 2 and 4; close adds none
+
+    def test_empty_run_still_records_vitals(self):
+        records = []
+        sink = MetricsSnapshotSink(records.append, interval=10,
+                                   registry=MetricsRegistry())
+        sink.close()
+        assert sink.snapshots_written == 1
+
+
+class TestFileModes:
+    def test_path_mode_appends_jsonl(self, tmp_path):
+        path = tmp_path / "metrics.jsonl"
+        reg = MetricsRegistry()
+        reg.gauge("g").set(7)
+        sink = MetricsSnapshotSink(path, interval=1, registry=reg)
+        sink.on_event(step_event(0))
+        sink.close()
+        records = [json.loads(ln) for ln in path.read_text().splitlines()]
+        assert [r["kind"] for r in records] == ["metrics"]
+        assert records[0]["metrics"]["g"]["series"][0]["value"] == 7.0
+
+    def test_shares_artifact_with_events(self, tmp_path):
+        """One JSONL file carries the meta header, events, and metrics
+        snapshots; each reader sees only its record kind."""
+        path = tmp_path / "trace.jsonl"
+        reg = MetricsRegistry()
+        reg.counter("simcov_steps_total").inc(4)
+        jsonl = JsonlSink(path)
+        snap = MetricsSnapshotSink(jsonl.write_record, interval=100,
+                                   registry=reg)
+        tracer = Tracer(sinks=[snap, jsonl])
+        tracer.emit_span("step", 0.0, 0.01, cat="step", step=0)
+        tracer.close()
+        events = read_jsonl(path)
+        assert [e.name for e in events] == ["step"]
+        snaps = read_snapshots(path)
+        assert len(snaps) == 1
+        assert snaps[0]["metrics"]["simcov_steps_total"]["series"][0][
+            "value"
+        ] == 4.0

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.telemetry import Event, SPAN, format_report, summarize
+from repro.telemetry import Event, GAUGE, SPAN, format_report, summarize
 
 
 def phase(name, dur, rank=0, step=0, skipped=False):
@@ -83,6 +83,73 @@ class TestSummarize:
         assert s["steps"] == 7
 
 
+def gauge(name, value, rank=0, step=0, cat="obs"):
+    return Event(GAUGE, name, 0.0, value=value, cat=cat, rank=rank,
+                 step=step)
+
+
+class TestDroppedEvents:
+    def test_summarize_keeps_max_per_rank(self):
+        """telemetry_dropped gauges are cumulative; the report keeps the
+        high-water mark per rank and hides zero rows."""
+        s = summarize([
+            gauge("telemetry_dropped", 3, rank=1, cat="telemetry"),
+            gauge("telemetry_dropped", 7, rank=1, cat="telemetry"),
+            gauge("telemetry_dropped", 0, rank=0, cat="telemetry"),
+            phase("diffuse", 0.1),
+        ])
+        assert s["dropped"] == {1: 7}
+
+    def test_loud_warning_in_report(self):
+        text = format_report(summarize([
+            gauge("telemetry_dropped", 42, rank=2, cat="telemetry"),
+            phase("diffuse", 0.1),
+        ]))
+        assert "WARNING: DROPPED 42 events (rank 2)" in text
+        assert "undercount" in text
+        # Dropped-count gauges never leak into the step/phase tables.
+        assert text.index("WARNING") < text.index("trace:")
+
+    def test_no_warning_when_nothing_dropped(self):
+        text = format_report(summarize([phase("diffuse", 0.1)]))
+        assert "DROPPED" not in text
+
+
+class TestImbalancePanel:
+    def test_series_collected_from_gauges(self):
+        s = summarize([
+            gauge("imbalance_index", 0.5, rank=-1, step=0),
+            gauge("imbalance_index", 1.5, rank=-1, step=1),
+            phase("diffuse", 0.1),
+        ])
+        assert s["imbalance_series"] == [(0, 0.5), (1, 1.5)]
+
+    def test_panel_rendered_with_bars_and_peak(self):
+        events = [phase("diffuse", 0.1)] + [
+            gauge("imbalance_index", 0.1 * t, rank=-1, step=t)
+            for t in range(10)
+        ]
+        text = format_report(summarize(events))
+        assert "imbalance over time" in text
+        assert "peak 0.900 over 10 samples" in text
+        assert "|" in text and "#" in text
+
+    def test_long_series_downsampled(self):
+        events = [
+            gauge("imbalance_index", 1.0, rank=-1, step=t)
+            for t in range(500)
+        ]
+        text = format_report(summarize(events))
+        panel_rows = [ln for ln in text.splitlines()
+                      if ln.strip().startswith("step ")]
+        assert 0 < len(panel_rows) <= 24
+        assert "over 500 samples" in text
+
+    def test_no_panel_without_series(self):
+        text = format_report(summarize([phase("diffuse", 0.1)]))
+        assert "imbalance over time" not in text
+
+
 class TestFormatReport:
     def test_renders_all_sections(self):
         text = format_report(summarize([
@@ -95,3 +162,15 @@ class TestFormatReport:
         assert "per-rank" in text
         assert "imbalance" in text
         assert "diffuse" in text
+
+    def test_meta_header_line(self):
+        summary = summarize([phase("diffuse", 0.5)])
+        text = format_report(
+            summary, meta={"host": "vm", "cpu_count": 2, "git_sha": "abc123"}
+        )
+        assert text.splitlines()[0] == "run: host=vm cpus=2 git=abc123"
+        assert "trace:" in text
+
+    def test_no_meta_no_header(self):
+        text = format_report(summarize([phase("diffuse", 0.5)]))
+        assert not text.startswith("run:")

@@ -52,10 +52,14 @@ class TestJsonlRoundTrip:
         assert span.attrs["backend"] == "dist"
         assert counter.kind == COUNTER and counter.value == 8192.0
         assert gauge.kind == GAUGE and gauge.value == 17.0
-        # The JSONL form is one valid JSON object per line.
+        # The JSONL form is one valid JSON object per line: the
+        # run-metadata header, then the three events.
         lines = path.read_text().strip().splitlines()
-        assert len(lines) == 3
+        assert len(lines) == 4
         assert all(isinstance(json.loads(ln), dict) for ln in lines)
+        header = json.loads(lines[0])
+        assert header["kind"] == "meta"
+        assert header["host"] and header["cpu_count"] >= 1
 
 
 class TestChromeTraceSchema:
