@@ -1,0 +1,345 @@
+#!/usr/bin/env python
+"""Chaos suite for the serving layer's fault tolerance (DESIGN.md §4g).
+
+Three phases, each driving a failure mode end to end:
+
+1. **crash-recovery** — a real CLI server process with a journal is
+   SIGKILLed (``os._exit``, no cleanup) mid-job by an injected
+   ``server_kill`` fault; a restarted server on the same journal must
+   finish every journaled job **bitwise identically** to an
+   uninterrupted in-process run.  Measures recovery time (restart to
+   all-jobs-done).
+2. **retry** — an injected ``worker_crash`` must be retried under the
+   bounded-backoff policy and still produce the bitwise-exact result; a
+   recurring crash must exhaust the policy into a typed failure with a
+   full incident log.
+3. **overload** — a submission burst against a bounded queue must answer
+   every refused request with typed 429/503 JSON carrying
+   ``retry_after`` — never a hang or a dropped socket.
+
+Results are merged into ``BENCH_step_engine.json`` at the repo root as
+the ``serving_resilience`` section (read-modify-write; other sections
+untouched).  Exits nonzero if any hard gate fails.
+
+Usage (from the repo root, no install needed)::
+
+    python benchmarks/chaos_serve.py                  # defaults
+    python benchmarks/chaos_serve.py --steps 120      # faster smoke
+"""
+
+import argparse
+import json
+import os
+import pathlib
+import re
+import signal
+import subprocess
+import sys
+import time
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.core.model import SequentialSimCov  # noqa: E402
+from repro.obs.runmeta import run_metadata  # noqa: E402
+from repro.resilience import RestartPolicy  # noqa: E402
+from repro.serve import BackgroundServer, ServeApp, ServeClient  # noqa: E402
+from repro.serve.client import ServeError  # noqa: E402
+from repro.serve.faults import KILL_EXIT_STATUS, ServeFaultSpec  # noqa: E402
+from repro.serve.jobs import JobSpec, stats_rows  # noqa: E402
+
+
+def canonical(payload):
+    return json.dumps(payload, sort_keys=True)
+
+
+def reference_rows(spec_json):
+    spec = JobSpec.from_json(
+        {k: v for k, v in spec_json.items()
+         if k in ("config", "dim", "steps", "seed")}
+    )
+    params, steps = spec.resolve_params()
+    sim = SequentialSimCov(params, seed=spec.seed)
+    sim.run(steps)
+    return stats_rows(sim.series)
+
+
+# -- phase 1: crash recovery --------------------------------------------------
+
+def spawn_server(journal_dir, *extra):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.experiments.cli", "serve",
+            "--port", "0", "--workers", "1",
+            "--journal-dir", str(journal_dir),
+            "--retry-backoff", "0.01",
+            *extra,
+        ],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, env=env,
+    )
+    deadline = time.monotonic() + 60
+    line = ""
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if "serving on http://" in line:
+            break
+        if proc.poll() is not None:
+            raise RuntimeError(f"server died: {proc.stdout.read()}")
+    match = re.search(r"http://[\d.]+:(\d+)", line)
+    if not match:
+        proc.kill()
+        raise RuntimeError(f"no port line, got {line!r}")
+    return proc, int(match.group(1))
+
+
+def run_crash_recovery(workdir, args):
+    """SIGKILL a journaled server mid-flight; restart; verify bitwise."""
+    journal_dir = workdir / "journal"
+    specs = [
+        {"dim": [48, 48], "steps": args.steps, "seed": 100 + i,
+         "backend": "sequential"}
+        for i in range(args.crash_jobs)
+    ]
+    kill_step = args.steps // 2
+    proc, port = spawn_server(
+        journal_dir, "--inject-serve-fault", f"0:{kill_step}:server_kill"
+    )
+    job_ids = []
+    try:
+        client = ServeClient(port=port)
+        for spec in specs:
+            job_ids.append(client.submit(spec)["job"]["id"])
+        exit_status = proc.wait(timeout=600)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+    restart_t0 = time.perf_counter()
+    proc, port = spawn_server(journal_dir)
+    try:
+        client = ServeClient(port=port)
+        finals = [
+            client.wait(jid, timeout=600.0) for jid in job_ids
+        ]
+        recovery_seconds = time.perf_counter() - restart_t0
+        results = [
+            client.result(jid)["result"]["rows"] for jid in job_ids
+        ]
+        metrics = client.metrics()
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        drain_exit = proc.wait(timeout=120)
+    bitwise = all(
+        canonical(rows) == canonical(reference_rows(spec))
+        for rows, spec in zip(results, specs)
+    )
+    return {
+        "jobs": len(specs),
+        "kill_step": kill_step,
+        "kill_exit_status": exit_status,
+        "replayed_jobs": metrics["replayed_jobs"],
+        "recovery_seconds": round(recovery_seconds, 3),
+        "all_done": all(f["state"] == "done" for f in finals),
+        "bitwise_identical": bitwise,
+        "drain_exit_status": drain_exit,
+    }
+
+
+# -- phase 2: retry under backoff ---------------------------------------------
+
+def run_retry_phase(args):
+    spec = {"dim": [48, 48], "steps": args.steps, "seed": 3,
+            "backend": "sequential"}
+    fault = ServeFaultSpec(
+        job=0, step=args.steps // 2, mode="worker_crash"
+    )
+    with BackgroundServer(ServeApp(
+        port=0, max_workers=1, fault=fault,
+        retry_policy=RestartPolicy(max_restarts=3, backoff=0.01),
+    )) as app:
+        client = ServeClient(port=app.port)
+        t0 = time.perf_counter()
+        resp = client.submit(spec)
+        final = client.wait(resp["job"]["id"], timeout=600.0)
+        elapsed = time.perf_counter() - t0
+        rows = (
+            client.result(resp["job"]["id"])["result"]["rows"]
+            if final["state"] == "done" else None
+        )
+        metrics = client.metrics()
+
+    exhaust_fault = ServeFaultSpec(
+        job=0, step=5, mode="worker_crash", repeat=99
+    )
+    with BackgroundServer(ServeApp(
+        port=0, max_workers=1, fault=exhaust_fault,
+        retry_policy=RestartPolicy(max_restarts=2, backoff=0.01),
+    )) as app:
+        client = ServeClient(port=app.port)
+        resp = client.submit(dict(spec, seed=4))
+        exhausted = client.wait(resp["job"]["id"], timeout=600.0)
+
+    return {
+        "crash_step": args.steps // 2,
+        "retries": metrics["retries"],
+        "recovered_state": final["state"],
+        "incidents": len(final["incidents"]),
+        "job_seconds_with_retry": round(elapsed, 3),
+        "bitwise_identical": (
+            rows is not None
+            and canonical(rows) == canonical(reference_rows(spec))
+        ),
+        "exhaustion_state": exhausted["state"],
+        "exhaustion_typed": "RestartsExhaustedError" in (
+            exhausted["error"] or ""
+        ),
+        "exhaustion_incidents": len(exhausted["incidents"]),
+    }
+
+
+# -- phase 3: overload --------------------------------------------------------
+
+def run_overload_phase(args):
+    with BackgroundServer(ServeApp(
+        port=0, max_workers=1, max_queue_depth=2,
+        max_inflight_per_client=None,
+    )) as app:
+        client = ServeClient(port=app.port)
+        outcomes = {"accepted": 0, "rejected_503": 0, "rejected_other": 0}
+        typed = True
+        job_ids = []
+        for i in range(args.burst):
+            spec = {"dim": [48, 48], "steps": args.steps,
+                    "seed": 500 + i, "backend": "sequential"}
+            try:
+                job_ids.append(client.submit(spec)["job"]["id"])
+                outcomes["accepted"] += 1
+            except ServeError as err:
+                if err.status == 503:
+                    outcomes["rejected_503"] += 1
+                else:
+                    outcomes["rejected_other"] += 1
+                if err.retry_after is None or not isinstance(
+                    err.payload, dict
+                ) or "reason" not in err.payload:
+                    typed = False
+        finals = [client.wait(j, timeout=600.0) for j in job_ids]
+        metrics = client.metrics()
+    return {
+        "burst": args.burst,
+        **outcomes,
+        "rejections_typed": typed,
+        "accepted_all_done": all(f["state"] == "done" for f in finals),
+        "server_rejected_counter": metrics["rejected"],
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument(
+        "--steps", type=int, default=300,
+        help="steps per chaos job (48x48 grid)",
+    )
+    parser.add_argument(
+        "--crash-jobs", type=int, default=3,
+        help="jobs in flight/queued when the server is killed",
+    )
+    parser.add_argument(
+        "--burst", type=int, default=8,
+        help="submissions in the overload burst",
+    )
+    parser.add_argument(
+        "--recovery-budget", type=float, default=60.0,
+        help="hard gate: restart-to-all-done seconds",
+    )
+    parser.add_argument(
+        "--workdir", default="/tmp/simcov-chaos-serve",
+        help="scratch directory for the journal",
+    )
+    parser.add_argument(
+        "--out", default=str(REPO / "BENCH_step_engine.json"),
+        help="benchmark JSON to merge the section into",
+    )
+    args = parser.parse_args(argv)
+
+    workdir = pathlib.Path(args.workdir)
+    import shutil
+
+    shutil.rmtree(workdir, ignore_errors=True)
+    workdir.mkdir(parents=True)
+
+    print(f"crash-recovery phase: {args.crash_jobs} jobs, SIGKILL at "
+          f"step {args.steps // 2}")
+    crash = run_crash_recovery(workdir, args)
+    print(f"  recovered {crash['jobs']} jobs in "
+          f"{crash['recovery_seconds']:.2f}s, bitwise: "
+          f"{crash['bitwise_identical']}")
+
+    print("retry phase: injected worker_crash + exhaustion")
+    retry = run_retry_phase(args)
+    print(f"  {retry['retries']} retry, recovered "
+          f"{retry['recovered_state']}, bitwise: "
+          f"{retry['bitwise_identical']}; exhaustion typed: "
+          f"{retry['exhaustion_typed']}")
+
+    print(f"overload phase: burst of {args.burst} on queue depth 2")
+    overload = run_overload_phase(args)
+    print(f"  {overload['accepted']} accepted, "
+          f"{overload['rejected_503']} typed 503s")
+
+    gates = {
+        "kill_was_sigkill_equivalent": (
+            crash["kill_exit_status"] == KILL_EXIT_STATUS
+        ),
+        "recovery_bitwise": (
+            crash["all_done"] and crash["bitwise_identical"]
+        ),
+        "recovery_within_budget": (
+            crash["recovery_seconds"] < args.recovery_budget
+        ),
+        "drain_exits_zero": crash["drain_exit_status"] == 0,
+        "retry_bitwise": (
+            retry["recovered_state"] == "done"
+            and retry["retries"] >= 1
+            and retry["bitwise_identical"]
+        ),
+        "exhaustion_typed_failure": (
+            retry["exhaustion_state"] == "failed"
+            and retry["exhaustion_typed"]
+            and retry["exhaustion_incidents"] == 3
+        ),
+        "overload_rejections_typed": (
+            overload["rejected_503"] >= 1
+            and overload["rejections_typed"]
+            and overload["rejected_other"] == 0
+            and overload["accepted_all_done"]
+        ),
+    }
+    section = {
+        "meta": run_metadata(config="chaos_48x48"),
+        "crash_recovery": crash,
+        "retry": retry,
+        "overload": overload,
+        "gates": gates,
+    }
+    out = pathlib.Path(args.out)
+    payload = json.loads(out.read_text()) if out.exists() else {}
+    payload["serving_resilience"] = section
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"serving_resilience section written to {out}")
+    failed = [name for name, ok in gates.items() if not ok]
+    if failed:
+        print(f"GATE FAILURES: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    print("all gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

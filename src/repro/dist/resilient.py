@@ -33,9 +33,8 @@ coordinator lane: ``restarts`` / ``steps_replayed`` counters and a
 
 from __future__ import annotations
 
-import json
 import time
-from dataclasses import asdict, dataclass
+from dataclasses import dataclass
 from time import perf_counter
 
 import numpy as np
@@ -54,50 +53,29 @@ from repro.io.checkpoint import (
     snapshot_state,
 )
 
+# The bounded-restart vocabulary is shared with the serving tier
+# (repro.serve per-job retries): the policy and incident-log helpers
+# live in repro.resilience and are re-exported here for back-compat.
+from repro.resilience import (  # noqa: F401  (re-exported API)
+    RestartPolicy,
+    format_incident_log,
+    write_incident_log,
+)
+from repro.resilience import RestartsExhaustedError as _SharedRestartsExhausted
+
 #: Failures the supervisor recovers from.  Anything else (model bugs,
 #: checkpoint corruption, KeyboardInterrupt) propagates untouched.
 RECOVERABLE_ERRORS = (WorkerFailedError, BarrierTimeoutError)
 
 
-class RestartsExhaustedError(DistError):
-    """The bounded-restart budget ran out; carries the incident log."""
+class RestartsExhaustedError(_SharedRestartsExhausted, DistError):
+    """The bounded-restart budget ran out; carries the incident log.
 
-    def __init__(self, message: str, incidents: tuple["Incident", ...]):
-        super().__init__(message)
-        self.incidents = incidents
-
-
-@dataclass(frozen=True)
-class RestartPolicy:
-    """Bounded-restart policy applied on every recoverable failure."""
-
-    #: Recovery attempts before giving up with RestartsExhaustedError.
-    max_restarts: int = 3
-    #: Base backoff seconds before respawning (0 = immediate); incident
-    #: ``i`` sleeps ``backoff * backoff_factor ** (i - 1)``.
-    backoff: float = 0.0
-    backoff_factor: float = 2.0
-    #: ``"restart"`` keeps the rank count; ``"shrink"`` re-decomposes
-    #: onto one fewer rank per incident (never below ``min_ranks``).
-    on_failure: str = "restart"
-    min_ranks: int = 1
-
-    def __post_init__(self):
-        if self.on_failure not in ("restart", "shrink"):
-            raise ValueError(
-                f"on_failure must be 'restart' or 'shrink', "
-                f"got {self.on_failure!r}"
-            )
-        if self.max_restarts < 0:
-            raise ValueError("max_restarts must be >= 0")
-        if self.min_ranks < 1:
-            raise ValueError("min_ranks must be >= 1")
-
-    def backoff_seconds(self, incident_index: int) -> float:
-        """Sleep before recovery ``incident_index`` (1-based)."""
-        if self.backoff <= 0:
-            return 0.0
-        return self.backoff * self.backoff_factor ** (incident_index - 1)
+    Subclasses both the shared
+    :class:`repro.resilience.RestartsExhaustedError` (so generic retry
+    layers need one except clause across dist and serve) and
+    :class:`~repro.dist.control.DistError` (dist back-compat).
+    """
 
 
 @dataclass(frozen=True)
@@ -137,20 +115,6 @@ class Incident:
             f"(replaying {self.steps_replayed} steps, "
             f"{self.recovery_seconds:.2f}s recovery): {self.message}"
         )
-
-
-def format_incident_log(incidents) -> str:
-    """Human-readable incident log (one line per incident)."""
-    if not incidents:
-        return "no incidents"
-    return "\n".join(i.describe() for i in incidents)
-
-
-def write_incident_log(path: str, incidents) -> None:
-    """Dump the incident log as JSONL (CI artifact / postmortems)."""
-    with open(path, "w") as fh:
-        for incident in incidents:
-            fh.write(json.dumps(asdict(incident)) + "\n")
 
 
 class ResilientDistSimCov:

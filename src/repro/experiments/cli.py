@@ -539,11 +539,26 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    """``simcov-repro serve`` — run the job server until interrupted."""
+    """``simcov-repro serve`` — run the job server until interrupted.
+
+    SIGTERM triggers a graceful drain (stop admitting, checkpoint-preempt
+    running jobs, flush the journal) and exits 0; SIGINT aborts hard
+    (running jobs preempted, exit 130).
+    """
     import asyncio
+    import signal as _signal
 
+    from repro.resilience import RestartPolicy
     from repro.serve import ServeApp
+    from repro.serve.faults import parse_serve_fault
 
+    fault = None
+    if args.inject_serve_fault:
+        try:
+            fault = parse_serve_fault(args.inject_serve_fault)
+        except ValueError as err:
+            print(str(err), file=sys.stderr)
+            return 2
     app = ServeApp(
         host=args.host,
         port=args.port,
@@ -552,27 +567,63 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         checkpoint_dir=args.checkpoint_dir,
         trace_path=args.trace,
         trace_format=args.trace_format,
+        journal_dir=args.journal_dir,
+        retry_policy=RestartPolicy(
+            max_restarts=args.retries, backoff=args.retry_backoff
+        ),
+        max_queue_depth=args.max_queue_depth,
+        max_inflight_per_client=args.max_inflight,
+        hang_timeout_s=args.hang_timeout,
+        fault=fault,
     )
+
+    drained = False
+
+    def on_sigterm(signum, frame):
+        nonlocal drained
+        drained = True
+        app.drain()
+
+    def on_sigint(signum, frame):
+        app.abort()
+        raise KeyboardInterrupt
 
     async def _main() -> None:
         await app.start()
-        cache = "disk+memory" if args.cache_dir else "memory"
+        cache = "disk+memory" if (args.cache_dir or args.journal_dir) \
+            else "memory"
+        durable = "journaled" if args.journal_dir else "ephemeral"
         print(
             f"serving on http://{app.host}:{app.port} "
-            f"(workers={args.workers}, cache={cache})",
+            f"(workers={args.workers}, cache={cache}, jobs={durable})",
             flush=True,
         )
         await app.serve_forever()
 
+    previous = {}
     try:
-        with abort_on_signals(app):
-            asyncio.run(_main())
+        previous[_signal.SIGTERM] = _signal.signal(
+            _signal.SIGTERM, on_sigterm
+        )
+        previous[_signal.SIGINT] = _signal.signal(_signal.SIGINT, on_sigint)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
+    try:
+        asyncio.run(_main())
     except KeyboardInterrupt:
         print(
             "interrupted: running jobs preempted, server stopped",
             file=sys.stderr,
         )
         return 130
+    finally:
+        for signum, old in previous.items():
+            _signal.signal(signum, old)
+    if drained:
+        print(
+            "drained: running jobs checkpointed, journal flushed",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -616,6 +667,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         "nranks": args.nranks,
         "priority": args.priority,
         "client": args.client,
+        "deadline_s": args.deadline,
     }
     spec = {k: v for k, v in spec.items() if v is not None}
     client = ServeClient(args.host, args.port)
@@ -864,6 +916,47 @@ def main(argv: list[str] | None = None) -> int:
         "--set", action="append", default=None, metavar="KEY=VALUE",
         help="parameter override for submit (repeatable), "
         "e.g. --set virion_production=800",
+    )
+    serve_group.add_argument(
+        "--journal-dir", default=None, metavar="DIR",
+        help="durable job journal under DIR: a restarted server replays "
+        "it and finishes interrupted jobs bitwise-identically (also "
+        "defaults --cache-dir/--checkpoint-dir to subdirectories)",
+    )
+    serve_group.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="wall-clock deadline for submit: the server preempts-then-"
+        "fails the job once exceeded (checkpoint preserved)",
+    )
+    serve_group.add_argument(
+        "--retries", type=int, default=3,
+        help="restarts per job before giving up "
+        "(RestartsExhaustedError, default 3)",
+    )
+    serve_group.add_argument(
+        "--retry-backoff", type=float, default=0.05, metavar="SECONDS",
+        help="base of the per-job exponential retry backoff",
+    )
+    serve_group.add_argument(
+        "--max-queue-depth", type=int, default=None, metavar="N",
+        help="refuse cold submissions (typed 503 + Retry-After) once N "
+        "jobs are queued; unbounded when omitted",
+    )
+    serve_group.add_argument(
+        "--max-inflight", type=int, default=None, metavar="N",
+        help="per-client cap on active cold jobs (typed 429 + "
+        "Retry-After); unbounded when omitted",
+    )
+    serve_group.add_argument(
+        "--hang-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="reclaim a worker with no step heartbeat for this long "
+        "(the job retries under the restart policy)",
+    )
+    serve_group.add_argument(
+        "--inject-serve-fault", default=None, metavar="JOB:STEP:MODE[:N]",
+        help="chaos testing: inject a fault into the JOB-th cold job at "
+        "STEP (modes: worker_crash, worker_hang, worker_slow, "
+        "server_kill, journal_torn; N = firings across retries)",
     )
     args = parser.parse_args(argv)
     if args.list_configs:

@@ -262,6 +262,18 @@ def _load_payload(path: str) -> dict:
         ) from err
 
 
+def load_snapshot(path: str) -> dict:
+    """Read + CRC-verify an on-disk checkpoint into the snapshot-dict
+    shape :func:`restore_state` consumes (plus a ``params`` entry).
+
+    The restore half of :func:`save_checkpoint` for callers that build
+    their own simulation — the serve runner resumes journal-replayed
+    jobs through this.  Raises :class:`CheckpointCorruptError` on any
+    corruption mode.
+    """
+    return _load_payload(path)
+
+
 def load_checkpoint(path: str, make_sim=None):
     """Restore a simulation from a checkpoint.
 
@@ -289,6 +301,22 @@ def load_checkpoint(path: str, make_sim=None):
 def auto_checkpoint_path(directory: str, step_num: int) -> str:
     """Canonical on-disk name for a periodic checkpoint at ``step_num``."""
     return os.path.join(directory, f"ckpt_step{step_num:08d}.npz")
+
+
+def latest_checkpoint(directory: str) -> str | None:
+    """Path of the newest auto-checkpoint in ``directory`` (or None)."""
+    try:
+        entries = os.listdir(directory)
+    except FileNotFoundError:
+        return None
+    found = []
+    for entry in entries:
+        m = AUTO_CHECKPOINT_PATTERN.match(entry)
+        if m:
+            found.append((int(m.group(1)), entry))
+    if not found:
+        return None
+    return os.path.join(directory, max(found)[1])
 
 
 def rotate_checkpoints(directory: str, keep: int) -> list[str]:

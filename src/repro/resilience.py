@@ -1,0 +1,172 @@
+"""Shared bounded-restart vocabulary for every fault-tolerant layer.
+
+PR 5 built the recovery discipline for the distributed runtime
+(:mod:`repro.dist.resilient`): a frozen :class:`RestartPolicy` bounding
+how many times a failed unit of work is re-attempted and how long to
+back off between attempts, an incident record per failure, and a
+:class:`RestartsExhaustedError` carrying the full incident log when the
+budget runs out.  The serving tier needs exactly the same shape for
+per-job retries (DESIGN.md §4g), so the policy and the generic pieces
+live here and both layers import them:
+
+- :class:`RestartPolicy` — the bounded-restart budget + exponential
+  backoff schedule (``on_failure``/``min_ranks`` only apply to the
+  distributed runtime's shrink recovery and are ignored by other users);
+- :class:`JobIncident` — the per-attempt diagnostic record a serving
+  job accumulates (``/jobs/{id}`` surfaces these);
+- :class:`RestartsExhaustedError` — raised (dist) or recorded as the
+  terminal error string (serve) when the budget is exhausted;
+- :func:`classify_exception` — the retryable/permanent split: transient
+  infrastructure failures are worth re-running, deterministic model or
+  spec bugs are not (re-running a ``ValueError`` burns a worker slot to
+  produce the same ``ValueError``);
+- :func:`format_incident_log` / :func:`write_incident_log` — shared
+  human/JSONL renderings of any incident sequence.
+
+:mod:`repro.dist.resilient` re-exports all of these, so existing
+``from repro.dist import RestartPolicy`` imports keep working.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+
+#: Exception classifications.
+RETRYABLE = "retryable"
+PERMANENT = "permanent"
+
+
+class PermanentError(RuntimeError):
+    """Marker base: raising this (or a subclass) from a unit of work
+    tells every retry layer the failure is deterministic — do not
+    re-run, fail immediately with the incident log."""
+
+
+class RestartsExhaustedError(RuntimeError):
+    """The bounded-restart budget ran out; carries the incident log."""
+
+    def __init__(self, message: str, incidents=()):
+        super().__init__(message)
+        self.incidents = tuple(incidents)
+
+
+@dataclass(frozen=True)
+class RestartPolicy:
+    """Bounded-restart policy applied on every recoverable failure."""
+
+    #: Recovery attempts before giving up with RestartsExhaustedError.
+    max_restarts: int = 3
+    #: Base backoff seconds before respawning (0 = immediate); incident
+    #: ``i`` sleeps ``backoff * backoff_factor ** (i - 1)``.
+    backoff: float = 0.0
+    backoff_factor: float = 2.0
+    #: ``"restart"`` keeps the rank count; ``"shrink"`` re-decomposes
+    #: onto one fewer rank per incident (never below ``min_ranks``).
+    #: Only the distributed runtime honors these two fields.
+    on_failure: str = "restart"
+    min_ranks: int = 1
+
+    def __post_init__(self):
+        if self.on_failure not in ("restart", "shrink"):
+            raise ValueError(
+                f"on_failure must be 'restart' or 'shrink', "
+                f"got {self.on_failure!r}"
+            )
+        if self.max_restarts < 0:
+            raise ValueError("max_restarts must be >= 0")
+        if self.min_ranks < 1:
+            raise ValueError("min_ranks must be >= 1")
+
+    def backoff_seconds(self, incident_index: int) -> float:
+        """Sleep before recovery ``incident_index`` (1-based)."""
+        if self.backoff <= 0:
+            return 0.0
+        return self.backoff * self.backoff_factor ** (incident_index - 1)
+
+
+@dataclass(frozen=True)
+class JobIncident:
+    """Diagnostics of one failed attempt of a serving job."""
+
+    #: 1-based incident number for this job.
+    index: int
+    #: ``job.steps_done`` when the failure surfaced.
+    step: int
+    #: Exception class name (InjectedWorkerCrash, WorkerHangError, ...).
+    error_type: str
+    #: First line of the failure diagnostic.
+    message: str
+    #: ``retryable`` or ``permanent`` (see :func:`classify_exception`).
+    classification: str
+    #: Step the retry resumes from (last shadow checkpoint, or 0).
+    restored_step: int
+    #: Steps the retry re-executes to get back to the failure point.
+    steps_replayed: int
+    #: Backoff slept before the retry (0 for permanent failures).
+    backoff_seconds: float
+
+    def describe(self) -> str:
+        action = (
+            f"retrying from step {self.restored_step} "
+            f"(replaying {self.steps_replayed} steps, "
+            f"{self.backoff_seconds:.2f}s backoff)"
+            if self.classification == RETRYABLE
+            else "permanent, not retried"
+        )
+        return (
+            f"incident {self.index}: {self.error_type} at step {self.step} "
+            f"-> {action}: {self.message}"
+        )
+
+    def to_json(self) -> dict:
+        return asdict(self)
+
+
+#: Deterministic failures: the same inputs produce the same exception,
+#: so re-running is pure waste.  Everything else — injected crashes,
+#: OS-level errors, dist worker deaths — defaults to retryable.
+PERMANENT_ERROR_TYPES: tuple[type, ...] = (
+    ValueError,
+    TypeError,
+    KeyError,
+    IndexError,
+    AttributeError,
+    AssertionError,
+    NotImplementedError,
+    ZeroDivisionError,
+)
+
+
+def _permanent_types() -> tuple[type, ...]:
+    # Lazy: keeps this module import-light (no numpy at import time).
+    from repro.io.checkpoint import CheckpointCorruptError
+
+    return (PermanentError, CheckpointCorruptError, *PERMANENT_ERROR_TYPES)
+
+
+def classify_exception(err: BaseException) -> str:
+    """``"retryable"`` or ``"permanent"`` for a failed unit of work.
+
+    Permanent: :class:`PermanentError` subclasses, checkpoint
+    corruption, and the deterministic-bug exception types
+    (:data:`PERMANENT_ERROR_TYPES`).  Everything else is presumed
+    transient and worth a bounded re-run.
+    """
+    if isinstance(err, _permanent_types()):
+        return PERMANENT
+    return RETRYABLE
+
+
+def format_incident_log(incidents) -> str:
+    """Human-readable incident log (one line per incident)."""
+    if not incidents:
+        return "no incidents"
+    return "\n".join(i.describe() for i in incidents)
+
+
+def write_incident_log(path: str, incidents) -> None:
+    """Dump the incident log as JSONL (CI artifact / postmortems)."""
+    with open(path, "w") as fh:
+        for incident in incidents:
+            fh.write(json.dumps(asdict(incident)) + "\n")

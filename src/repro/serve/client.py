@@ -5,13 +5,33 @@ CLI (``simcov-repro submit`` / ``status``), the test suite and the load
 harness's synchronous paths all go through this class; the load harness's
 concurrency path speaks raw asyncio streams instead (open sockets scale
 better than thread-per-connection for thousands of clients).
+
+Transport resilience: requests retry connection-refused/reset errors
+under capped exponential backoff with jitter (a restarting server is
+reachable again within its replay window, and the journal makes the
+retry safe), and :meth:`ServeClient.iter_events` transparently
+reconnects a dropped SSE stream with ``Last-Event-ID`` so the caller
+sees every frame exactly once across server restarts.  HTTP error
+*answers* (4xx/5xx) are never retried here — admission control's 429/503
+carry ``Retry-After`` and the decision belongs to the caller.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import random
 import time
+
+#: Transport errors worth retrying: the server is briefly unreachable
+#: (restarting, listen backlog churn), not answering with an error.
+_RETRYABLE_ERRORS = (
+    ConnectionRefusedError,
+    ConnectionResetError,
+    BrokenPipeError,
+    http.client.RemoteDisconnected,
+    http.client.BadStatusLine,
+)
 
 
 class ServeError(RuntimeError):
@@ -23,53 +43,96 @@ class ServeError(RuntimeError):
         detail = payload.get("error") if isinstance(payload, dict) else payload
         super().__init__(f"HTTP {status}: {detail}")
 
+    @property
+    def retry_after(self) -> float | None:
+        """The server-suggested backoff of a 429/503 admission answer."""
+        if isinstance(self.payload, dict):
+            value = self.payload.get("retry_after")
+            return None if value is None else float(value)
+        return None
+
 
 class ServeClient:
     """Talk to a running :class:`~repro.serve.server.ServeApp`."""
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8642,
-                 timeout: float = 60.0):
+                 timeout: float = 60.0, connect_retries: int = 4,
+                 retry_base_s: float = 0.05, retry_cap_s: float = 1.0):
         self.host = host
         self.port = int(port)
         self.timeout = timeout
+        self.connect_retries = connect_retries
+        self.retry_base_s = retry_base_s
+        self.retry_cap_s = retry_cap_s
 
     # -- plumbing -------------------------------------------------------------
 
+    def _backoff(self, attempt: int) -> float:
+        """Capped exponential backoff with full jitter (attempt >= 1)."""
+        cap = min(self.retry_cap_s, self.retry_base_s * (2 ** (attempt - 1)))
+        return random.uniform(0, cap)
+
+    def _with_retries(self, fn):
+        """Run ``fn()`` retrying transport errors; HTTP answers (including
+        4xx/5xx ServeError) pass straight through."""
+        attempt = 0
+        while True:
+            try:
+                return fn()
+            except _RETRYABLE_ERRORS:
+                attempt += 1
+                if attempt > self.connect_retries:
+                    raise
+                time.sleep(self._backoff(attempt))
+
     def _request(self, method: str, path: str, body: dict | None = None):
-        conn = http.client.HTTPConnection(
-            self.host, self.port, timeout=self.timeout
-        )
-        try:
-            payload = None if body is None else json.dumps(body)
-            headers = {"Content-Type": "application/json"} if payload else {}
-            conn.request(method, path, body=payload, headers=headers)
-            resp = conn.getresponse()
-            data = json.loads(resp.read() or b"{}")
-            if resp.status >= 400:
-                raise ServeError(resp.status, data)
-            return data
-        finally:
-            conn.close()
+        def once():
+            conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+            try:
+                payload = None if body is None else json.dumps(body)
+                headers = (
+                    {"Content-Type": "application/json"} if payload else {}
+                )
+                conn.request(method, path, body=payload, headers=headers)
+                resp = conn.getresponse()
+                data = json.loads(resp.read() or b"{}")
+                if resp.status >= 400:
+                    raise ServeError(resp.status, data)
+                return data
+            finally:
+                conn.close()
+
+        return self._with_retries(once)
 
     def _request_text(self, method: str, path: str) -> str:
         """Fetch a non-JSON body (the Prometheus exposition)."""
-        conn = http.client.HTTPConnection(
-            self.host, self.port, timeout=self.timeout
-        )
-        try:
-            conn.request(method, path)
-            resp = conn.getresponse()
-            data = resp.read().decode("utf-8")
-            if resp.status >= 400:
-                raise ServeError(resp.status, data)
-            return data
-        finally:
-            conn.close()
+        def once():
+            conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+            try:
+                conn.request(method, path)
+                resp = conn.getresponse()
+                data = resp.read().decode("utf-8")
+                if resp.status >= 400:
+                    raise ServeError(resp.status, data)
+                return data
+            finally:
+                conn.close()
+
+        return self._with_retries(once)
 
     # -- API ------------------------------------------------------------------
 
     def healthz(self) -> dict:
         return self._request("GET", "/healthz")
+
+    def readyz(self) -> dict:
+        """Readiness payload; raises :class:`ServeError` on 503
+        (draining / failed journal replay)."""
+        return self._request("GET", "/readyz")
 
     def metrics(self) -> dict:
         """The JSON counters payload (``GET /metrics.json``)."""
@@ -112,41 +175,87 @@ class ServeClient:
                 )
             time.sleep(poll)
 
-    def iter_events(self, job_id: str, timeout: float | None = None):
+    def iter_events(self, job_id: str, timeout: float | None = None,
+                    reconnects: int = 10):
         """Yield ``(event_name, data_dict)`` from the job's SSE stream
-        until the server closes it (the job reached a terminal state)."""
-        conn = http.client.HTTPConnection(
-            self.host, self.port,
-            timeout=self.timeout if timeout is None else timeout,
-        )
-        try:
-            conn.request("GET", f"/jobs/{job_id}/events")
-            resp = conn.getresponse()
-            if resp.status >= 400:
-                raise ServeError(resp.status, json.loads(resp.read() or b"{}"))
-            yield from parse_sse(resp)
-        finally:
-            conn.close()
+        until the server closes it (the job reached a terminal state).
+
+        A dropped connection reconnects up to ``reconnects`` times with
+        a ``Last-Event-ID`` header, so frames resume exactly after the
+        last one delivered — across server restarts, since the restarted
+        server rebuilds each journaled job's event log on replay.
+        """
+        last_id = -1
+        attempts = 0
+        while True:
+            state: dict = {}
+            terminal = False
+            try:
+                conn = http.client.HTTPConnection(
+                    self.host, self.port,
+                    timeout=self.timeout if timeout is None else timeout,
+                )
+                try:
+                    headers = {}
+                    if last_id >= 0:
+                        headers["Last-Event-ID"] = str(last_id)
+                    conn.request(
+                        "GET", f"/jobs/{job_id}/events", headers=headers
+                    )
+                    resp = conn.getresponse()
+                    if resp.status >= 400:
+                        raise ServeError(
+                            resp.status, json.loads(resp.read() or b"{}")
+                        )
+                    for event_name, data in parse_sse(resp, state=state):
+                        if state.get("id") is not None:
+                            last_id = state["id"]
+                        attempts = 0  # progress resets the budget
+                        if event_name in ("done", "error"):
+                            terminal = True
+                        yield event_name, data
+                finally:
+                    conn.close()
+            except _RETRYABLE_ERRORS:
+                attempts += 1
+                if attempts > reconnects:
+                    raise
+                time.sleep(self._backoff(attempts))
+                continue
+            if terminal:
+                return
+            # Clean close without a terminal frame: the server finished
+            # the log (cancel path) or dropped us — reconnect and let the
+            # replayed tail decide.
+            attempts += 1
+            if attempts > reconnects:
+                return
+            time.sleep(self._backoff(attempts))
 
 
-def parse_sse(fh):
+def parse_sse(fh, state: dict | None = None):
     """Parse an SSE byte stream into ``(event_name, data)`` pairs.
 
     ``data`` is JSON-decoded when possible (every frame the server emits
-    is JSON), else the raw string.
+    is JSON), else the raw string.  When ``state`` is given, its
+    ``"id"`` entry tracks the most recent ``id:`` field — the cursor a
+    reconnecting client sends back as ``Last-Event-ID``.
     """
     event_name = "message"
+    event_id: int | None = None
     data_lines: list[str] = []
     for raw in fh:
         line = raw.decode("utf-8").rstrip("\n").rstrip("\r")
         if not line:  # blank line = frame boundary
             if data_lines:
+                if state is not None and event_id is not None:
+                    state["id"] = event_id
                 text = "\n".join(data_lines)
                 try:
                     yield event_name, json.loads(text)
                 except json.JSONDecodeError:
                     yield event_name, text
-            event_name, data_lines = "message", []
+            event_name, event_id, data_lines = "message", None, []
             continue
         if line.startswith(":"):  # comment/keep-alive
             continue
@@ -156,3 +265,8 @@ def parse_sse(fh):
             event_name = value
         elif field == "data":
             data_lines.append(value)
+        elif field == "id":
+            try:
+                event_id = int(value)
+            except ValueError:
+                event_id = None

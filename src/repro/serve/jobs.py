@@ -35,13 +35,14 @@ from repro.io.checkpoint import encode_params
 QUEUED = "queued"
 RUNNING = "running"
 PREEMPTED = "preempted"  # transient: snapshotted, back in the queue
+RETRYING = "retrying"  # transient: failed attempt, parked in backoff
 DONE = "done"
 FAILED = "failed"
 CANCELLED = "cancelled"
 
 #: States from which a job can still produce a result (in-flight dedup
 #: joins attach to jobs in these states).
-ACTIVE_STATES = (QUEUED, RUNNING, PREEMPTED)
+ACTIVE_STATES = (QUEUED, RUNNING, PREEMPTED, RETRYING)
 
 #: Backends a job may request.  ``ensemble`` runs the batched vectorized
 #: backend (``ensemble`` member count in the spec); the rest map to the
@@ -70,6 +71,11 @@ class JobSpec:
     nranks: int = 2
     priority: int = 0
     client: str = "anonymous"
+    #: Wall-seconds budget from submission; the server's watchdog
+    #: preempts-then-fails the job once exceeded (None = no deadline).
+    #: Scheduling metadata like priority/client: NOT part of the cache
+    #: signature — the result of a run does not depend on its deadline.
+    deadline_s: float | None = None
 
     @classmethod
     def from_json(cls, raw: dict) -> "JobSpec":
@@ -95,6 +101,10 @@ class JobSpec:
             nranks=int(raw.get("nranks", 2)),
             priority=int(raw.get("priority", 0)),
             client=str(raw.get("client", "anonymous")),
+            deadline_s=(
+                None if raw.get("deadline_s") is None
+                else float(raw["deadline_s"])
+            ),
         )
         spec.validate()
         return spec
@@ -124,6 +134,10 @@ class JobSpec:
             raise SpecError("backend='ensemble' needs an 'ensemble' count")
         if self.backend in ("cpu", "gpu", "dist") and self.nranks < 1:
             raise SpecError(f"nranks must be >= 1, got {self.nranks}")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise SpecError(
+                f"deadline_s must be > 0, got {self.deadline_s}"
+            )
 
     # -- resolution ----------------------------------------------------------
 
@@ -191,6 +205,7 @@ class JobSpec:
             "nranks": self.nranks,
             "priority": self.priority,
             "client": self.client,
+            "deadline_s": self.deadline_s,
         }
 
 
@@ -291,6 +306,29 @@ class Job:
     #: segment has not installed its hook yet (the runner re-checks this
     #: right after installing, closing the startup race).
     preempt_requested: bool = False
+    #: Per-attempt failure diagnostics (repro.resilience.JobIncident).
+    incidents: list = field(default_factory=list)
+    #: On-disk checkpoint to resume from when no in-memory snapshot
+    #: exists (journal replay after a server restart).
+    resume_checkpoint: str | None = None
+    #: The deadline watchdog preempted this job; the returning segment
+    #: is converted to a deadline failure instead of a requeue.
+    deadline_expired: bool = False
+    #: ``time.monotonic()`` of the segment's last step boundary (the
+    #: hung-worker detector's signal).
+    last_heartbeat: float | None = None
+    #: Bumped whenever the server abandons a segment (hang reclaim);
+    #: stale worker threads compare their captured generation and
+    #: become no-ops instead of corrupting job state.
+    generation: int = 0
+    #: Optional ServeFaultSpec targeted at this job (chaos testing).
+    fault: object = None
+    #: Whether transitions are journaled (cold jobs under --journal-dir).
+    journaled: bool = False
+    #: ``steps_done``/``len(rows)`` at the current segment's start — the
+    #: rollback point when the hang detector abandons the segment.
+    segment_start_steps: int = 0
+    segment_start_rows: int = 0
 
     def summary(self) -> dict:
         """The status JSON served for this job."""
@@ -309,6 +347,12 @@ class Job:
             "started_at": self.started_at,
             "finished_at": self.finished_at,
             "error": self.error,
+            "deadline_s": self.spec.deadline_s,
+            "attempts": len(self.incidents) + 1,
+            "incidents": [
+                i.to_json() if hasattr(i, "to_json") else dict(i)
+                for i in self.incidents
+            ],
             "spec": self.spec.to_json(),
         }
 

@@ -18,17 +18,21 @@ engine's step listeners; telemetry spans stream through an
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.io.checkpoint import (
     auto_checkpoint_path,
+    load_snapshot,
     restore_state,
     rotate_checkpoints,
     save_checkpoint,
     snapshot_state,
 )
+from repro.resilience import RETRYABLE, classify_exception
+from repro.serve.faults import apply_fault
 from repro.serve.jobs import Job, stats_row, stats_rows
 from repro.telemetry.sinks import SseSink, sse_frame
 from repro.telemetry.tracer import Tracer
@@ -44,6 +48,14 @@ class SegmentResult:
     outcome: str
     steps_run: int
     error: str | None = None
+    #: Exception class name of a FAILED segment.
+    error_type: str | None = None
+    #: Retryable/permanent classification of a FAILED segment.
+    classification: str = RETRYABLE
+    #: Step the job rolled back to on failure (retry resumes here).
+    restored_step: int = 0
+    #: On-disk checkpoint written by a PREEMPTED segment (journaling).
+    checkpoint: str | None = None
 
 
 def build_sim(job: Job, tracer=None):
@@ -98,6 +110,7 @@ def run_segment(
     checkpoint_root: str | None = None,
     keep_checkpoints: int = 2,
     sse_categories=SseSink.DEFAULT_CATEGORIES,
+    journal=None,
 ) -> SegmentResult:
     """Execute one segment of ``job`` (thread entry point).
 
@@ -107,19 +120,47 @@ def run_segment(
     cut short.  The job's bookkeeping fields (``steps_done``,
     ``preemptions``, ``snapshot``, ``result``) are updated in place; the
     caller owns the state machine.
+
+    Crash-safety contract (DESIGN.md §4g): the generation captured at
+    entry makes an *abandoned* segment (the hung-worker detector bumped
+    ``job.generation`` and handed the job to a retry) harmless — its
+    step listener and cleanup become no-ops instead of corrupting the
+    replacement attempt's state.  A failed attempt rolls ``steps_done``
+    and ``rows`` back to the segment's start, so the retry replays from
+    the last checkpoint with nothing double-counted — which is what
+    keeps retried results bitwise identical to fault-free runs.
     """
     sse_sink = SseSink(publish, categories=sse_categories)
     tracer = Tracer(backend=job.spec.backend, sinks=[sse_sink])
     sim = None
+    generation = job.generation
+    start_step = job.steps_done
+    start_rows = len(job.rows)
+    fault = job.fault
     try:
         sim = build_sim(job, tracer=tracer)
         if job.snapshot is not None:
             restore_state(sim, job.snapshot)
-        start_step = job.steps_done
+        elif job.resume_checkpoint is not None:
+            # Journal-replayed job: the in-memory snapshot died with the
+            # previous server process; the CRC-verified disk mirror is
+            # the resume point.
+            snapshot = load_snapshot(job.resume_checkpoint)
+            restore_state(sim, snapshot)
+            job.snapshot = snapshot
+        job.last_heartbeat = time.monotonic()
 
         def on_step(stats):
+            if job.generation != generation:
+                # The server abandoned this segment (hang reclaim):
+                # stop quietly at the next boundary, touch nothing.
+                sim.request_preempt()
+                return
             job.steps_done += 1
+            job.last_heartbeat = time.monotonic()
             job.rows.append(stats_row(stats))
+            if fault is not None:
+                apply_fault(fault, job, journal=journal)
             publish(sse_frame("step", _step_payload(job, stats)))
 
         sim.add_step_listener(on_step)
@@ -132,11 +173,14 @@ def run_segment(
         remaining = job.steps - start_step
         if remaining > 0:
             sim.run(remaining)
+        if job.generation != generation:
+            return SegmentResult(PREEMPTED, 0)
         if remaining > 0 and sim.preempted:
             job.preemptions += 1
             job.snapshot = snapshot_state(sim)
+            checkpoint = None
             if checkpoint_root is not None:
-                _mirror_snapshot(
+                checkpoint = _mirror_snapshot(
                     checkpoint_root, job, sim, keep=keep_checkpoints
                 )
             publish(
@@ -149,15 +193,29 @@ def run_segment(
                     },
                 )
             )
-            return SegmentResult(PREEMPTED, job.steps_done - start_step)
+            return SegmentResult(
+                PREEMPTED, job.steps_done - start_step,
+                checkpoint=checkpoint,
+            )
         job.result = _result_payload(job, sim)
         return SegmentResult(COMPLETED, job.steps_done - start_step)
     except Exception as err:  # job failure must never kill the server
+        steps_run = job.steps_done - start_step
+        if job.generation == generation:
+            # Roll back to the segment start so the retry's replay from
+            # the checkpoint does not double-append rows.
+            job.steps_done = start_step
+            del job.rows[start_rows:]
         return SegmentResult(
-            FAILED, 0, error=f"{type(err).__name__}: {err}"
+            FAILED, steps_run,
+            error=f"{type(err).__name__}: {err}",
+            error_type=type(err).__name__,
+            classification=classify_exception(err),
+            restored_step=start_step,
         )
     finally:
-        job.preempt_hook = None
+        if job.generation == generation:
+            job.preempt_hook = None
         if sim is not None and hasattr(sim, "close"):
             sim.close()
         tracer.close()
@@ -203,10 +261,13 @@ def _result_payload(job: Job, sim) -> dict:
     return {"kind": "solo", "seed": job.spec.seed, "rows": list(job.rows)}
 
 
-def _mirror_snapshot(root: str, job: Job, sim, keep: int) -> None:
+def _mirror_snapshot(root: str, job: Job, sim, keep: int) -> str:
     """Persist the preemption snapshot under the job's own subdirectory
     (atomic tmp + ``os.replace`` via :func:`save_checkpoint`), rotated
-    to the newest ``keep``."""
+    to the newest ``keep``.  Returns the checkpoint path — journaled so
+    a restarted server can resume this job from disk."""
     directory = job_checkpoint_dir(root, job)
-    save_checkpoint(auto_checkpoint_path(directory, sim.step_num), sim)
+    path = auto_checkpoint_path(directory, sim.step_num)
+    save_checkpoint(path, sim)
     rotate_checkpoints(directory, keep)
+    return path

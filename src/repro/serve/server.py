@@ -11,33 +11,56 @@ Routes::
     GET  /jobs               list jobs                  -> summaries
     GET  /jobs/{id}          job status                 -> summary
     GET  /jobs/{id}/result   finished stats rows        -> result payload
-    GET  /jobs/{id}/events   live SSE stream (replayed from event 0)
+    GET  /jobs/{id}/events   live SSE stream (id-tagged frames; replays
+                             from event 0, or from ``Last-Event-ID``)
     POST /jobs/{id}/cancel   cancel queued/running job
     GET  /metrics            Prometheus text exposition (scrapers)
     GET  /metrics.json       serving counters + latency percentiles
     GET  /healthz            liveness probe with scheduler/worker status
+    GET  /readyz             readiness probe: 503 while draining or
+                             after a failed journal replay
 
-Execution: simulations are CPU-bound, so segments run in a bounded
-thread pool while the loop thread owns every piece of mutable state
-(jobs table, scheduler, event logs) — worker threads reach it only
-through ``loop.call_soon_threadsafe``.  Preemption is cooperative and
-checkpoint-backed: the scheduler calls the victim's
+Execution: simulations are CPU-bound, so segments run on per-segment
+daemon threads while the loop thread owns every piece of mutable state
+(jobs table, scheduler, event logs, journal) — worker threads reach it
+only through ``loop.call_soon_threadsafe``.  Preemption is cooperative
+and checkpoint-backed: the scheduler calls the victim's
 ``StepEngine.request_preempt``, the engine yields at the next step
 boundary, the runner snapshots, and the job re-enters the queue to be
 resumed bitwise-exactly later.
+
+Fault tolerance (DESIGN.md §4g): with ``journal_dir`` set, every cold
+job's transitions hit a CRC-framed write-ahead log
+(:mod:`repro.serve.journal`) and a restarted server replays it —
+re-enqueueing incomplete jobs, resuming preempted ones from their disk
+checkpoints — with results bitwise identical to an uninterrupted run.
+Worker failures are classified and retried under a bounded-backoff
+:class:`~repro.resilience.RestartPolicy`; a watchdog enforces
+per-job deadlines and reclaims hung workers; admission control bounds
+the queue and per-client in-flight work with typed 429/503 answers;
+``SIGTERM`` triggers a graceful drain (stop admitting,
+checkpoint-preempt running jobs, flush the journal, exit 0).
 """
 
 from __future__ import annotations
 
 import asyncio
-import functools
 import json
+import os
 import threading
 import time
 import uuid
+import warnings
 
 from repro.obs.prometheus import CONTENT_TYPE as _PROM_CONTENT_TYPE
 from repro.obs.registry import get_registry
+from repro.resilience import (
+    PERMANENT,
+    RETRYABLE,
+    JobIncident,
+    RestartPolicy,
+    format_incident_log,
+)
 from repro.serve import runner as runner_mod
 from repro.serve.cache import ResultCache
 from repro.serve.jobs import (
@@ -46,18 +69,38 @@ from repro.serve.jobs import (
     DONE,
     FAILED,
     QUEUED,
+    RETRYING,
     RUNNING,
     Job,
     JobSpec,
     SpecError,
     result_cache_key,
 )
+from repro.serve.journal import JobJournal, JournalCorruptError, fold_records
 from repro.serve.scheduler import Scheduler, job_cost
 from repro.telemetry.sinks import SseSink, sse_frame
 from repro.telemetry.tracer import NULL_TRACER, Tracer
 
 #: Sentinel closing a job's event log (SSE streams drain then stop).
 _END = None
+
+
+class AdmissionError(Exception):
+    """A submission was refused by admission control (HTTP 429/503)."""
+
+    def __init__(self, status: int, reason: str, message: str,
+                 retry_after: float = 1.0):
+        super().__init__(message)
+        self.status = status
+        self.reason = reason
+        self.retry_after = retry_after
+
+    def payload(self) -> dict:
+        return {
+            "error": str(self),
+            "reason": self.reason,
+            "retry_after": self.retry_after,
+        }
 
 
 class ServeApp:
@@ -95,13 +138,55 @@ class ServeApp:
         trace_path: str | None = None,
         trace_format: str = "jsonl",
         sse_categories=SseSink.DEFAULT_CATEGORIES,
+        journal_dir: str | None = None,
+        retry_policy: RestartPolicy | None = None,
+        max_queue_depth: int | None = None,
+        max_inflight_per_client: int | None = None,
+        hang_timeout_s: float | None = 30.0,
+        watchdog_interval_s: float = 0.05,
+        fault=None,
     ):
         self.host = host
         self.port = port
         self.scheduler = Scheduler(max_workers)
+        # Journaling implies durable results and durable checkpoints:
+        # replay needs the disk cache to resolve "complete" records and
+        # the checkpoint mirrors to resume preempted jobs, so both
+        # default to subdirectories of the journal.
+        self.journal_dir = journal_dir
+        if journal_dir is not None and cache_dir is None:
+            cache_dir = os.path.join(journal_dir, "cache")
+        if journal_dir is not None and checkpoint_dir is None:
+            checkpoint_dir = os.path.join(journal_dir, "checkpoints")
         self.cache = ResultCache(cache_dir)
         self.checkpoint_dir = checkpoint_dir
         self.sse_categories = sse_categories
+        self.retry_policy = (
+            retry_policy if retry_policy is not None
+            else RestartPolicy(max_restarts=3, backoff=0.05)
+        )
+        self.max_queue_depth = max_queue_depth
+        self.max_inflight_per_client = max_inflight_per_client
+        self.hang_timeout_s = hang_timeout_s
+        self.watchdog_interval_s = watchdog_interval_s
+        #: Optional ServeFaultSpec (chaos testing): targets the Nth cold
+        #: job submitted after startup.
+        self.fault = fault
+        self.journal: JobJournal | None = (
+            JobJournal(journal_dir) if journal_dir is not None else None
+        )
+        #: Set once drain() runs: stop admitting, finish running work.
+        self._draining = False
+        self._drain_done = False
+        #: Journal replay failed at startup (readiness goes 503).
+        self._replay_error: str | None = None
+        #: Active (queued/running/preempted/retrying) cold jobs per
+        #: client — the per-client admission cap's denominator.
+        self._client_active: dict[str, int] = {}
+        #: Cold submissions so far (fault targeting index).
+        self._miss_seq = 0
+        self._segment_threads: set[threading.Thread] = set()
+        self._watchdog_task: asyncio.Task | None = None
         self.jobs: dict[str, Job] = {}
         #: cache_key -> active job id (in-flight request coalescing).
         self._inflight: dict[str, str] = {}
@@ -120,6 +205,11 @@ class ServeApp:
             "cancelled": 0,
             "preemptions": 0,
             "resumes": 0,
+            "retries": 0,
+            "rejected": 0,
+            "deadline_expired": 0,
+            "hung_workers": 0,
+            "replayed_jobs": 0,
         }
         #: Submit-to-first-dispatch seconds (queue wait), per cold job.
         self.wait_seconds: list[float] = []
@@ -142,8 +232,17 @@ class ServeApp:
                 ("resumes", "Preempted jobs resumed from checkpoint"),
                 ("sse_frames", "Event frames appended to job streams"),
                 ("sse_streams", "GET /jobs/{id}/events streams opened"),
+                ("retries", "Failed job attempts re-run under the policy"),
+                ("rejected", "Submissions refused by admission control"),
+                ("deadline_expired", "Jobs failed by the deadline watchdog"),
+                ("hung_workers", "Worker threads reclaimed by the "
+                                 "hang detector"),
+                ("replayed_jobs", "Jobs re-enqueued from the journal "
+                                  "at startup"),
             )
         }
+        #: Per-reason rejection counters (labels on one metric name).
+        self._rejected_reason_counters: dict[str, object] = {}
         self._obs_wait = reg.histogram(
             "simcov_serve_submit_to_first_event_seconds",
             "Submit-to-first-dispatch latency (cache hits observe ~0)",
@@ -184,7 +283,6 @@ class ServeApp:
             self.tracer = NULL_TRACER
         self._loop: asyncio.AbstractEventLoop | None = None
         self._server: asyncio.base_events.Server | None = None
-        self._executor = None
         self._wake: asyncio.Event | None = None
         self._stopped: asyncio.Event | None = None
         self._dispatch_task: asyncio.Task | None = None
@@ -196,20 +294,167 @@ class ServeApp:
             self.metrics[name] += amount
         self._obs_counters[name].inc(amount)
 
+    # -- journal ---------------------------------------------------------------
+
+    def _journal_append(self, job: Job, record: dict) -> None:
+        """Append one transition for a journaled job (loop thread)."""
+        if self.journal is None or not job.journaled:
+            return
+        self.journal.append(record)
+
+    def _journal_snapshot_records(self) -> list[dict]:
+        """The folded current state — what compaction rewrites the log
+        to: one submit + the latest facts per journaled job."""
+        records: list[dict] = []
+        for job in sorted(self.jobs.values(), key=lambda j: j.seq):
+            if not job.journaled:
+                continue
+            records.append({
+                "type": "submit", "job": job.id, "seq": job.seq,
+                "spec": job.spec.to_json(),
+            })
+            for incident in job.incidents:
+                records.append({
+                    "type": "retry", "job": job.id,
+                    "incident": (
+                        incident.to_json()
+                        if hasattr(incident, "to_json") else dict(incident)
+                    ),
+                })
+            if job.state == DONE:
+                records.append({"type": "complete", "job": job.id})
+            elif job.state == FAILED:
+                records.append(
+                    {"type": "fail", "job": job.id, "error": job.error}
+                )
+            elif job.state == CANCELLED:
+                records.append({"type": "cancel", "job": job.id})
+            elif job.steps_done > 0 and job.resume_checkpoint is not None:
+                records.append({
+                    "type": "preempt", "job": job.id,
+                    "steps_done": job.steps_done,
+                    "preemptions": job.preemptions,
+                    "rows": list(job.rows),
+                    "checkpoint": job.resume_checkpoint,
+                })
+        return records
+
+    def _maybe_compact(self) -> None:
+        if self.journal is not None and self.journal.should_compact:
+            self.journal.compact(self._journal_snapshot_records())
+
+    def _restore_from_journal(self) -> None:
+        """Rebuild the jobs table from the journal (startup, pre-bind).
+
+        Incomplete jobs re-enter the queue with their original ids,
+        accumulated rows and disk-checkpoint resume points; completed
+        jobs resolve through the disk result cache (re-enqueued if the
+        cache entry is missing — at-least-once, made harmless by
+        bitwise determinism).
+        """
+        try:
+            records = self.journal.replay()
+        except JournalCorruptError as err:
+            # Serve (liveness) but flunk readiness: a load balancer
+            # stops routing while an operator inspects the journal.
+            self._replay_error = str(err)
+            warnings.warn(
+                f"journal replay failed — starting with an empty jobs "
+                f"table, readiness probe will report it: {err}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return
+        folded = fold_records(records)
+        entries = sorted(folded.items(), key=lambda kv: kv[1]["seq"])
+        for job_id, entry in entries:
+            if entry["spec"] is None:  # no submit record survived
+                continue
+            try:
+                spec = JobSpec.from_json(
+                    {k: v for k, v in entry["spec"].items() if v is not None}
+                )
+                params, steps = spec.resolve_params()
+            except SpecError as err:  # pragma: no cover - wrote it, read it
+                warnings.warn(
+                    f"journal: dropping job {job_id}: {err}", RuntimeWarning
+                )
+                continue
+            key = result_cache_key(params, spec.seeds(), steps)
+            job = Job(
+                id=job_id, spec=spec, params=params, steps=steps,
+                cache_key=key,
+            )
+            job.journaled = True
+            job.incidents = [
+                self._incident_from_json(i) for i in entry["incidents"]
+            ]
+            self.jobs[job.id] = job
+            self._events[job.id] = []
+            self._conds[job.id] = asyncio.Condition()
+            last = entry["last"]
+            if last == "complete":
+                cached = self.cache.get(key)
+                if cached is not None:
+                    job.state = DONE
+                    job.result = cached
+                    job.steps_done = steps
+                    job.finished_at = time.time()
+                    self._publish(job, sse_frame("done", job.summary()))
+                    self._finish_events(job)
+                    continue
+                last = "submit"  # result lost with the process: re-run
+            if last == "fail":
+                job.state = FAILED
+                job.error = entry["error"]
+                job.finished_at = time.time()
+                self._publish(job, sse_frame("error", job.summary()))
+                self._finish_events(job)
+                continue
+            if last == "cancel":
+                job.state = CANCELLED
+                job.finished_at = time.time()
+                self._publish(job, sse_frame("done", job.summary()))
+                self._finish_events(job)
+                continue
+            # submit / start / preempt / retry: back into the queue.
+            job.steps_done = entry["steps_done"]
+            job.rows = list(entry["rows"])
+            job.preemptions = entry["preemptions"]
+            job.resume_checkpoint = entry["checkpoint"]
+            job.state = QUEUED
+            self._inflight[key] = job.id
+            self._client_active[spec.client] = (
+                self._client_active.get(spec.client, 0) + 1
+            )
+            self._attach_fault(job)
+            self.scheduler.submit(job)
+            self._count("replayed_jobs")
+            self._publish(job, sse_frame("state", job.summary()))
+
+    @staticmethod
+    def _incident_from_json(raw: dict):
+        try:
+            return JobIncident(**raw)
+        except TypeError:  # forward-compat: unknown fields stay a dict
+            return raw
+
     # -- lifecycle ------------------------------------------------------------
 
     async def start(self) -> None:
-        """Bind and start serving (returns once listening)."""
-        from concurrent.futures import ThreadPoolExecutor
+        """Bind and start serving (returns once listening).
 
+        With a journal configured, replay happens *before* the socket
+        binds: by the time a client can reach the server, every
+        incomplete journaled job is back in the queue.
+        """
         self._loop = asyncio.get_running_loop()
         self._started_wall = time.time()
         self._wake = asyncio.Event()
         self._stopped = asyncio.Event()
-        self._executor = ThreadPoolExecutor(
-            max_workers=self.scheduler.max_workers,
-            thread_name_prefix="simcov-serve",
-        )
+        if self.journal is not None:
+            self._restore_from_journal()
+            self.journal.open_for_append()
         # A deep backlog matters under load-test-scale bursts: with the
         # default (100) the kernel drops SYNs and clients stall a full
         # TCP retransmit timeout (~1s) — exactly the latency gate.
@@ -218,6 +463,9 @@ class ServeApp:
         )
         self.port = self._server.sockets[0].getsockname()[1]
         self._dispatch_task = asyncio.ensure_future(self._dispatch_loop())
+        self._watchdog_task = asyncio.ensure_future(self._watchdog_loop())
+        if self._wake is not None and len(self.scheduler.queue):
+            self._wake.set()
 
     async def serve_forever(self) -> None:
         """:meth:`start` + block until :meth:`abort`/:meth:`stop`."""
@@ -258,26 +506,94 @@ class ServeApp:
             await self._server.wait_closed()
         if self._dispatch_task is not None:
             self._dispatch_task.cancel()
+        if self._watchdog_task is not None:
+            self._watchdog_task.cancel()
         for job in list(self.scheduler.running.values()):
             hook = job.preempt_hook
             if hook is not None:
                 hook()
-        if self._executor is not None:
+        threads = [t for t in self._segment_threads if t.is_alive()]
+        if threads:
             # Wait for in-flight segments: their ``finally`` blocks close
-            # sims (dist workers, /dev/shm) — the no-leak guarantee.
-            await asyncio.get_running_loop().run_in_executor(
-                None, functools.partial(self._executor.shutdown, wait=True)
-            )
+            # sims (dist workers, /dev/shm) — the no-leak guarantee.  A
+            # genuinely hung worker gets a bounded join; it is a daemon
+            # thread and dies with the process.
+            def join_all():
+                for t in threads:
+                    t.join(timeout=10)
+
+            await asyncio.get_running_loop().run_in_executor(None, join_all)
+        if self.journal is not None:
+            self.journal.close()
         self.tracer.close()
 
     # -- submission / scheduling ----------------------------------------------
 
+    def _reject(self, status: int, reason: str, message: str,
+                retry_after: float = 1.0):
+        self._count("rejected")
+        counter = self._rejected_reason_counters.get(reason)
+        if counter is None:
+            counter = self.registry.counter(
+                "simcov_serve_rejected_reason_total",
+                "Submissions refused by admission control, by reason",
+                reason=reason,
+            )
+            self._rejected_reason_counters[reason] = counter
+        counter.inc()
+        if self.tracer:
+            self.tracer.counter(
+                "serve:rejected", 1, cat="serving", reason=reason
+            )
+        raise AdmissionError(status, reason, message, retry_after)
+
+    def _admit_cold(self, spec: JobSpec) -> None:
+        """Admission control for work that would occupy queue/workers.
+
+        Cache hits and joins are always admitted (they cost nothing);
+        only a cold job can overload the server, so the bounds apply
+        here — and the answer is a typed 429/503 with ``Retry-After``,
+        never a hang or a dropped socket.
+        """
+        if (
+            self.max_queue_depth is not None
+            and len(self.scheduler.queue) >= self.max_queue_depth
+        ):
+            self._reject(
+                503, "queue_full",
+                f"queue depth {len(self.scheduler.queue)} at the "
+                f"--max-queue-depth bound {self.max_queue_depth}; "
+                f"retry shortly",
+            )
+        cap = self.max_inflight_per_client
+        if cap is not None:
+            active = self._client_active.get(spec.client, 0)
+            if active >= cap:
+                self._reject(
+                    429, "client_limit",
+                    f"client {spec.client!r} has {active} jobs in flight "
+                    f"at the --max-inflight bound {cap}; retry shortly",
+                )
+
+    def _attach_fault(self, job: Job) -> None:
+        """Chaos testing: pin the configured fault to the Nth cold job."""
+        if self.fault is not None and self.fault.job == self._miss_seq:
+            job.fault = self.fault
+        self._miss_seq += 1
+
     def submit(self, spec: JobSpec) -> tuple[Job, str]:
         """Create (or reuse) a job for ``spec``; returns ``(job, how)``
         with ``how`` one of ``"hit"`` / ``"join"`` / ``"miss"``.
+        Raises :class:`AdmissionError` when refused (draining/overload).
 
         Loop-thread only (HTTP handlers run here).
         """
+        if self._draining:
+            self._reject(
+                503, "draining",
+                "server is draining: not admitting new jobs",
+                retry_after=5.0,
+            )
         self._count("submitted")
         signature = spec.cache_signature()
         memo = self._resolve_memo.get(signature)
@@ -314,8 +630,18 @@ class ServeApp:
             self._publish(job, sse_frame("done", job.summary()))
             self._finish_events(job)
             return job, "hit"
+        self._admit_cold(spec)
         job = self._make_job(spec, params, steps, key)
+        job.journaled = self.journal is not None
+        self._attach_fault(job)
         self._inflight[key] = job.id
+        self._client_active[spec.client] = (
+            self._client_active.get(spec.client, 0) + 1
+        )
+        self._journal_append(job, {
+            "type": "submit", "job": job.id, "seq": job.seq,
+            "spec": spec.to_json(),
+        })
         self.scheduler.submit(job)
         self._count("cache_misses")
         if self.tracer:
@@ -366,7 +692,7 @@ class ServeApp:
         while True:
             await self._wake.wait()
             self._wake.clear()
-            while True:
+            while not self._draining:
                 job = self.scheduler.next_dispatch()
                 if job is None:
                     break
@@ -376,7 +702,9 @@ class ServeApp:
                 self._start_segment(job)
 
     def _start_segment(self, job: Job) -> None:
-        resumed = job.snapshot is not None
+        resumed = (
+            job.snapshot is not None or job.resume_checkpoint is not None
+        )
         if job.started_at is None:
             job.started_at = time.time()
             self.wait_seconds.append(job.started_at - job.submitted_at)
@@ -389,49 +717,79 @@ class ServeApp:
         if resumed:
             self._count("resumes")
         job.state = RUNNING
+        job.segment_start_steps = job.steps_done
+        job.segment_start_rows = len(job.rows)
+        job.last_heartbeat = time.monotonic()
+        self._journal_append(job, {
+            "type": "start", "job": job.id,
+            "attempt": len(job.incidents) + 1,
+            "from_step": job.steps_done,
+        })
         loop = self._loop
+        generation = job.generation
 
         def publish(frame, _job=job):
             loop.call_soon_threadsafe(self._publish, _job, frame)
 
-        future = loop.run_in_executor(
-            self._executor,
-            functools.partial(
-                runner_mod.run_segment,
-                job,
-                publish,
-                checkpoint_root=self.checkpoint_dir,
-                sse_categories=self.sse_categories,
-            ),
-        )
-        future.add_done_callback(
-            lambda fut, _job=job: loop.call_soon_threadsafe(
-                self._segment_done, _job, fut
-            )
-        )
+        def segment(_job=job, _gen=generation):
+            # One daemon thread per segment (not a pool): a hung worker
+            # must not poison a pool slot — the hang detector abandons
+            # the thread and the scheduler slot frees immediately.
+            try:
+                result = runner_mod.run_segment(
+                    _job,
+                    publish,
+                    checkpoint_root=self.checkpoint_dir,
+                    sse_categories=self.sse_categories,
+                    journal=self.journal,
+                )
+            except Exception as err:  # pragma: no cover - runner catches
+                result = runner_mod.SegmentResult(
+                    runner_mod.FAILED, 0,
+                    error=f"{type(err).__name__}: {err}",
+                    error_type=type(err).__name__,
+                )
+            if not loop.is_closed():
+                try:
+                    loop.call_soon_threadsafe(
+                        self._segment_done, _job, _gen, result
+                    )
+                except RuntimeError:  # loop shut down under us
+                    pass
 
-    def _segment_done(self, job: Job, future) -> None:
-        try:
-            result = future.result()
-        except Exception as err:  # pragma: no cover - runner catches its own
-            result = runner_mod.SegmentResult(
-                runner_mod.FAILED, 0, error=f"{type(err).__name__}: {err}"
-            )
+        thread = threading.Thread(
+            target=segment, name=f"simcov-serve-{job.id}", daemon=True
+        )
+        self._segment_threads.add(thread)
+        self._segment_threads = {
+            t for t in self._segment_threads if t.is_alive() or t is thread
+        }
+        thread.start()
+
+    def _segment_done(self, job: Job, generation: int, result) -> None:
+        if generation != job.generation:
+            # An abandoned (hung, later revived) segment reporting back:
+            # the server already rolled the job back and moved on.
+            return
         self.scheduler.charge(
             job.spec.client, job_cost(job, steps=result.steps_run)
         )
         if job.state == CANCELLED:
             self.scheduler.release(job)
-            self._inflight.pop(job.cache_key, None)
+            self._job_terminal(job)
             self._publish(job, sse_frame("done", job.summary()))
             self._finish_events(job)
         elif result.outcome == runner_mod.COMPLETED:
             job.state = DONE
             job.finished_at = time.time()
             self._count("completed")
+            # Durable result before the journal's "complete" record: a
+            # crash between the two replays the job (at-least-once),
+            # never declares a result it cannot serve.
             self.cache.put(job.cache_key, job.result)
+            self._journal_append(job, {"type": "complete", "job": job.id})
             self.scheduler.release(job)
-            self._inflight.pop(job.cache_key, None)
+            self._job_terminal(job)
             if self.tracer:
                 self.tracer.emit_span(
                     "job", job.started_at,
@@ -442,35 +800,282 @@ class ServeApp:
             self._publish(job, sse_frame("done", job.summary()))
             self._finish_events(job)
         elif result.outcome == runner_mod.PREEMPTED:
-            job.state = QUEUED
-            self.scheduler.release(job, requeue=True)
-            if self.tracer:
-                self.tracer.gauge(
-                    "serve:queue_depth", len(self.scheduler.queue),
-                    cat="serving",
+            if result.checkpoint is not None:
+                job.resume_checkpoint = result.checkpoint
+            self._journal_append(job, {
+                "type": "preempt", "job": job.id,
+                "steps_done": job.steps_done,
+                "preemptions": job.preemptions,
+                "rows": list(job.rows),
+                "checkpoint": job.resume_checkpoint,
+            })
+            if job.deadline_expired:
+                # The watchdog preempted it to fail it cleanly: the
+                # checkpoint above is preserved for a manual resume.
+                self.scheduler.release(job)
+                self._fail_job(
+                    job,
+                    f"DeadlineExceededError: deadline_s="
+                    f"{job.spec.deadline_s} exceeded after "
+                    f"{job.steps_done}/{job.steps} steps "
+                    f"(checkpoint preserved)",
+                    reason="deadline",
                 )
+            else:
+                job.state = QUEUED
+                self.scheduler.release(job, requeue=True)
+                if self.tracer:
+                    self.tracer.gauge(
+                        "serve:queue_depth", len(self.scheduler.queue),
+                        cat="serving",
+                    )
         else:
-            job.state = FAILED
-            job.error = result.error
-            job.finished_at = time.time()
-            self._count("failed")
             self.scheduler.release(job)
-            self._inflight.pop(job.cache_key, None)
-            self._publish(job, sse_frame("error", job.summary()))
-            self._finish_events(job)
+            self._handle_failure(job, result)
         self._wake.set()
+        self._maybe_compact()
+        self._maybe_finish_drain()
+
+    def _job_terminal(self, job: Job) -> None:
+        """Bookkeeping shared by every terminal transition."""
+        self._inflight.pop(job.cache_key, None)
+        client = job.spec.client
+        if client in self._client_active:
+            remaining = self._client_active[client] - 1
+            if remaining <= 0:
+                self._client_active.pop(client, None)
+            else:
+                self._client_active[client] = remaining
+
+    def _fail_job(self, job: Job, error: str, *, reason: str = "error",
+                  journal: bool = True) -> None:
+        """Terminal failure: state, counters, journal, events (loop
+        thread).  The job must already be off queue and running set."""
+        job.state = FAILED
+        job.error = error
+        job.finished_at = time.time()
+        self._count("failed")
+        if reason == "deadline":
+            self._count("deadline_expired")
+        if journal:
+            self._journal_append(job, {
+                "type": "fail", "job": job.id, "error": error,
+                "incidents": [
+                    i.to_json() if hasattr(i, "to_json") else dict(i)
+                    for i in job.incidents
+                ],
+            })
+        self._job_terminal(job)
+        self._publish(job, sse_frame("error", job.summary()))
+        self._finish_events(job)
+
+    def _handle_failure(self, job: Job, result) -> None:
+        """A segment failed: classify, record the incident, and either
+        park the job for a backed-off retry or fail it for good."""
+        policy = self.retry_policy
+        index = len(job.incidents) + 1
+        retryable = (
+            result.classification == RETRYABLE
+            and index <= policy.max_restarts
+        )
+        backoff = policy.backoff_seconds(index) if retryable else 0.0
+        message = (result.error or "unknown error").splitlines()[0]
+        incident = JobIncident(
+            index=index,
+            step=result.restored_step + result.steps_run,
+            error_type=result.error_type or "Exception",
+            message=message,
+            classification=result.classification,
+            restored_step=result.restored_step,
+            steps_replayed=result.steps_run,
+            backoff_seconds=backoff,
+        )
+        job.incidents.append(incident)
+        self._journal_append(job, {
+            "type": "retry", "job": job.id, "incident": incident.to_json(),
+        })
+        if self.tracer:
+            # The same cat="resilience" shape the dist supervisor emits,
+            # so `trace report` renders serve incidents in its table.
+            self.tracer.counter(
+                "restarts", 1, cat="resilience", step=incident.step
+            )
+            self.tracer.counter(
+                "steps_replayed", incident.steps_replayed,
+                cat="resilience", step=incident.step,
+            )
+            self.tracer.emit_span(
+                "recovery", time.time(), backoff, cat="resilience",
+                step=incident.step, error=incident.error_type,
+                job=job.id, restored_step=incident.restored_step,
+                steps_replayed=incident.steps_replayed,
+            )
+        if not retryable:
+            if result.classification == PERMANENT:
+                error = (
+                    f"{result.error} (permanent failure, not retried)\n"
+                    f"incident log:\n{format_incident_log(job.incidents)}"
+                )
+            else:
+                error = (
+                    f"RestartsExhaustedError: giving up after "
+                    f"{policy.max_restarts} restart"
+                    f"{'s' if policy.max_restarts != 1 else ''}: "
+                    f"{message}\n"
+                    f"incident log:\n{format_incident_log(job.incidents)}"
+                )
+            self._fail_job(job, error)
+            return
+        self._count("retries")
+        job.state = RETRYING
+        self._publish(job, sse_frame("retrying", {
+            "job": job.id,
+            "attempt": index + 1,
+            "backoff_seconds": backoff,
+            "incident": incident.to_json(),
+        }))
+        if backoff > 0:
+            self._loop.call_later(backoff, self._requeue_retry, job)
+        else:
+            self._requeue_retry(job)
+
+    def _requeue_retry(self, job: Job) -> None:
+        """Backoff elapsed: put the job back in the queue (unless it was
+        cancelled or deadline-failed while parked)."""
+        if job.state != RETRYING:
+            return
+        job.state = QUEUED
+        self.scheduler.submit(job)
+        self._publish(job, sse_frame("state", job.summary()))
+        if self._wake is not None:
+            self._wake.set()
+
+    # -- watchdog --------------------------------------------------------------
+
+    async def _watchdog_loop(self) -> None:
+        """Deadline + hung-worker enforcement, one scan per interval."""
+        while True:
+            await asyncio.sleep(self.watchdog_interval_s)
+            try:
+                self._scan_deadlines()
+                self._scan_hangs()
+            except Exception:  # pragma: no cover - watchdog must survive
+                import traceback
+
+                traceback.print_exc()
+
+    def _scan_deadlines(self) -> None:
+        now = time.time()
+        for job in list(self.jobs.values()):
+            deadline = job.spec.deadline_s
+            if deadline is None or job.state not in ACTIVE_STATES:
+                continue
+            if now - job.submitted_at <= deadline:
+                continue
+            if job.state == RUNNING:
+                if not job.deadline_expired:
+                    # Preempt-then-fail: the segment checkpoints at the
+                    # next step boundary and _segment_done converts the
+                    # requeue into a clean deadline failure.
+                    job.deadline_expired = True
+                    job.preempt_requested = True
+                    hook = job.preempt_hook
+                    if hook is not None:
+                        job.preempt_requested = False
+                        hook()
+                continue
+            # Queued / parked-in-backoff: fail immediately.
+            if job.id in self.scheduler.queue:
+                self.scheduler.queue.remove(job.id)
+            self._fail_job(
+                job,
+                f"DeadlineExceededError: deadline_s={deadline} exceeded "
+                f"while {job.state} after {job.steps_done}/{job.steps} "
+                f"steps",
+                reason="deadline",
+            )
+
+    def _scan_hangs(self) -> None:
+        if self.hang_timeout_s is None:
+            return
+        now = time.monotonic()
+        for job in list(self.scheduler.running.values()):
+            beat = job.last_heartbeat
+            if beat is None or now - beat <= self.hang_timeout_s:
+                continue
+            # Abandon the segment: bump the generation (the stale thread
+            # becomes a no-op), roll back to the segment start, free the
+            # slot, and run the failure through the normal retry path.
+            self._count("hung_workers")
+            job.generation += 1
+            job.preempt_hook = None
+            stalled_at = job.steps_done
+            job.steps_done = job.segment_start_steps
+            del job.rows[job.segment_start_rows:]
+            self.scheduler.release(job)
+            self._handle_failure(job, runner_mod.SegmentResult(
+                runner_mod.FAILED,
+                stalled_at - job.segment_start_steps,
+                error=(
+                    f"WorkerHangError: no step heartbeat for "
+                    f"{self.hang_timeout_s:.1f}s at step {stalled_at}"
+                ),
+                error_type="WorkerHangError",
+                classification=RETRYABLE,
+                restored_step=job.segment_start_steps,
+            ))
+            self._wake.set()
+
+    # -- graceful drain --------------------------------------------------------
+
+    def drain(self) -> None:
+        """Thread/signal-safe graceful-drain trigger (the SIGTERM hook):
+        stop admitting, checkpoint-preempt running jobs, flush the
+        journal, then stop the server cleanly."""
+        self._draining = True
+        loop = self._loop
+        if loop is not None and not loop.is_closed():
+            try:
+                loop.call_soon_threadsafe(self._drain_step)
+            except RuntimeError:  # pragma: no cover - loop closing
+                pass
+
+    def _drain_step(self) -> None:
+        for job in list(self.scheduler.running.values()):
+            if not job.preemptible:
+                continue  # ensembles run to completion
+            job.preempt_requested = True
+            hook = job.preempt_hook
+            if hook is not None:
+                job.preempt_requested = False
+                hook()
+        self._maybe_finish_drain()
+
+    def _maybe_finish_drain(self) -> None:
+        if not self._draining or self._drain_done:
+            return
+        if self.scheduler.running:
+            return
+        self._drain_done = True
+        if self.journal is not None:
+            self.journal.sync()
+        self.stop()
 
     def cancel(self, job: Job) -> bool:
-        """Cancel a queued or running job (loop thread)."""
+        """Cancel a queued, retrying or running job (loop thread)."""
         if job.state not in ACTIVE_STATES:
             return False
-        was_queued = job.id in self.scheduler.queue
+        was_running = job.id in self.scheduler.running
         job.state = CANCELLED
         job.finished_at = time.time()
         self._count("cancelled")
-        self._inflight.pop(job.cache_key, None)
-        if was_queued:
-            self.scheduler.queue.remove(job.id)
+        self._journal_append(job, {"type": "cancel", "job": job.id})
+        if not was_running:
+            # Queued or parked in retry backoff (not in the queue — the
+            # call_later requeue will see CANCELLED and do nothing).
+            if job.id in self.scheduler.queue:
+                self.scheduler.queue.remove(job.id)
+            self._job_terminal(job)
             self._publish(job, sse_frame("done", job.summary()))
             self._finish_events(job)
         else:
@@ -488,7 +1093,9 @@ class ServeApp:
         log = self._events.get(job.id)
         if log is None or (log and log[-1] is _END):
             return
-        log.append(frame)
+        # Stamp the frame with its log index so a reconnecting client
+        # can resume exactly where its last stream broke (Last-Event-ID).
+        log.append(f"id: {len(log)}\n{frame}")
         self._obs_counters["sse_frames"].inc()
         cond = self._conds.get(job.id)
         if cond is not None:
@@ -524,11 +1131,15 @@ class ServeApp:
         return self.registry.render_prometheus()
 
     def health_payload(self) -> dict:
+        """Liveness: always 200 while the loop answers requests — a
+        draining server is alive (don't restart it mid-drain)."""
         states: dict[str, int] = {}
         for job in self.jobs.values():
             states[job.state] = states.get(job.state, 0) + 1
         return {
             "ok": True,
+            "status": "draining" if self._draining else "serving",
+            "draining": self._draining,
             "scheduler": {
                 "queue_depth": len(self.scheduler.queue),
                 "busy_workers": len(self.scheduler.running),
@@ -540,6 +1151,19 @@ class ServeApp:
                 if self._started_wall is not None else 0.0
             ),
         }
+
+    def readiness_payload(self) -> tuple[int, dict]:
+        """Readiness: 503 while draining or after a failed journal
+        replay — a load balancer stops routing, liveness stays green."""
+        if self._replay_error is not None:
+            return 503, {
+                "ready": False,
+                "reason": "journal_replay_failed",
+                "detail": self._replay_error,
+            }
+        if self._draining:
+            return 503, {"ready": False, "reason": "draining"}
+        return 200, {"ready": True}
 
     def metrics_payload(self) -> dict:
         self._refresh_gauges()
@@ -571,8 +1195,8 @@ class ServeApp:
             request = await _read_request(reader)
             if request is None:
                 return
-            method, path, body = request
-            await self._route(method, path, body, writer)
+            method, path, headers, body = request
+            await self._route(method, path, headers, body, writer)
         except (ConnectionResetError, BrokenPipeError, asyncio.TimeoutError):
             pass
         finally:
@@ -582,10 +1206,13 @@ class ServeApp:
             except (ConnectionResetError, BrokenPipeError):
                 pass
 
-    async def _route(self, method, path, body, writer) -> None:
+    async def _route(self, method, path, headers, body, writer) -> None:
         parts = [p for p in path.split("?")[0].split("/") if p]
         if method == "GET" and parts == ["healthz"]:
             return await _respond(writer, 200, self.health_payload())
+        if method == "GET" and parts == ["readyz"]:
+            status, payload = self.readiness_payload()
+            return await _respond(writer, status, payload)
         if method == "GET" and parts == ["metrics"]:
             return await _respond_text(
                 writer, 200, self.metrics_text(), _PROM_CONTENT_TYPE
@@ -598,6 +1225,11 @@ class ServeApp:
                 job, how = self.submit(spec)
             except (SpecError, json.JSONDecodeError) as err:
                 return await _respond(writer, 400, {"error": str(err)})
+            except AdmissionError as err:
+                return await _respond(
+                    writer, err.status, err.payload(),
+                    headers={"Retry-After": f"{err.retry_after:g}"},
+                )
             status = 200 if how in ("hit", "join") else 201
             return await _respond(
                 writer, status, {"cache": how, "job": job.summary()}
@@ -626,7 +1258,14 @@ class ServeApp:
                     writer, 200, {"job": job.summary(), "result": job.result}
                 )
             if method == "GET" and tail == ["events"]:
-                return await self._stream_events(job, writer)
+                start = 0
+                last_id = headers.get("last-event-id")
+                if last_id is not None:
+                    try:
+                        start = int(last_id) + 1
+                    except ValueError:
+                        start = 0
+                return await self._stream_events(job, writer, start=start)
             if method == "POST" and tail == ["cancel"]:
                 ok = self.cancel(job)
                 return await _respond(
@@ -636,7 +1275,7 @@ class ServeApp:
             writer, 404, {"error": f"no route {method} {path}"}
         )
 
-    async def _stream_events(self, job: Job, writer) -> None:
+    async def _stream_events(self, job: Job, writer, start: int = 0) -> None:
         writer.write(
             b"HTTP/1.1 200 OK\r\n"
             b"Content-Type: text/event-stream\r\n"
@@ -647,7 +1286,11 @@ class ServeApp:
         self._obs_counters["sse_streams"].inc()
         log = self._events[job.id]
         cond = self._conds[job.id]
-        sent = 0
+        # Last-Event-ID resume: skip frames the client already has (the
+        # _END sentinel never gets an id, so start can at most land on it).
+        sent = max(0, min(start, len(log)))
+        if sent and log[sent - 1:sent] == [_END]:
+            sent -= 1
         while not writer.is_closing():
             while sent < len(log):
                 frame = log[sent]
@@ -665,7 +1308,8 @@ class ServeApp:
 # -- HTTP plumbing -------------------------------------------------------------
 
 async def _read_request(reader):
-    """Parse one HTTP/1.1 request; returns (method, path, body) or None."""
+    """Parse one HTTP/1.1 request; returns
+    ``(method, path, headers, body)`` (header names lower-cased) or None."""
     line = await reader.readline()
     if not line:
         return None
@@ -673,31 +1317,37 @@ async def _read_request(reader):
         method, path, _version = line.decode("latin1").split()
     except ValueError:
         return None
-    content_length = 0
+    headers: dict[str, str] = {}
     while True:
         header = await reader.readline()
         if header in (b"\r\n", b"\n", b""):
             break
         name, _, value = header.decode("latin1").partition(":")
-        if name.strip().lower() == "content-length":
-            content_length = int(value.strip())
+        headers[name.strip().lower()] = value.strip()
+    content_length = int(headers.get("content-length", 0))
     body = await reader.readexactly(content_length) if content_length else b""
-    return method.upper(), path, body
+    return method.upper(), path, headers, body
 
 
 _STATUS_TEXT = {
     200: "OK", 201: "Created", 400: "Bad Request", 404: "Not Found",
-    409: "Conflict", 500: "Internal Server Error",
+    409: "Conflict", 429: "Too Many Requests",
+    500: "Internal Server Error", 503: "Service Unavailable",
 }
 
 
-async def _respond(writer, status: int, payload: dict) -> None:
+async def _respond(writer, status: int, payload: dict,
+                   headers: dict | None = None) -> None:
     body = json.dumps(payload).encode()
+    extra = "".join(
+        f"{name}: {value}\r\n" for name, value in (headers or {}).items()
+    )
     writer.write(
         (
             f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'OK')}\r\n"
             f"Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{extra}"
             f"Connection: close\r\n\r\n"
         ).encode()
     )

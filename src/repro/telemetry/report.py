@@ -125,6 +125,8 @@ def summarize(events: list[Event]) -> dict:
                         "nranks_before": e.attrs.get("nranks_before"),
                         "nranks_after": e.attrs.get("nranks_after"),
                         "steps_replayed": e.attrs.get("steps_replayed"),
+                        # Serve-tier incidents carry a job id, not ranks.
+                        "job": e.attrs.get("job"),
                     }
                 )
             continue
@@ -286,14 +288,21 @@ def format_report(summary: dict, meta: dict | None = None) -> str:
             f"({res['checkpoints']} shadow checkpoints)",
         ]
         for i, inc in enumerate(res["incidents"], 1):
-            ranks_note = (
-                f"{inc['nranks_before']} -> {inc['nranks_after']} ranks"
-                if inc["nranks_before"] != inc["nranks_after"]
-                else f"{inc['nranks_after']} ranks"
-            )
+            if inc.get("nranks_after") is not None:
+                # Dist-tier incident: rank count before/after recovery.
+                origin_note = (
+                    f"{inc['nranks_before']} -> {inc['nranks_after']} ranks"
+                    if inc["nranks_before"] != inc["nranks_after"]
+                    else f"{inc['nranks_after']} ranks"
+                )
+            elif inc.get("job") is not None:
+                # Serve-tier incident: which job's attempt failed.
+                origin_note = f"job {inc['job']}"
+            else:
+                origin_note = "origin unknown"
             lines.append(
                 f"  incident {i}: {inc['error']} at step {inc['step']} "
-                f"({ranks_note}, replayed {inc['steps_replayed']} steps, "
+                f"({origin_note}, replayed {inc['steps_replayed']} steps, "
                 f"{inc['seconds']:.3f}s)"
             )
     return "\n".join(lines)

@@ -1,0 +1,169 @@
+"""Retry-with-backoff behavior of the serve tier.
+
+The load-bearing claims: an injected worker crash is retried under the
+bounded-backoff policy and the retried result is **bitwise identical**
+to a fault-free run; a crash that keeps recurring exhausts the policy
+and fails with a full incident log in ``/jobs/{id}``; permanent errors
+fail immediately without burning retries.
+"""
+
+import json
+
+import pytest
+
+from repro.core.model import SequentialSimCov
+from repro.resilience import (
+    PERMANENT,
+    RETRYABLE,
+    JobIncident,
+    PermanentError,
+    RestartPolicy,
+    classify_exception,
+)
+from repro.serve import BackgroundServer, ServeApp, ServeClient
+from repro.serve.faults import InjectedWorkerCrash, ServeFaultSpec
+from repro.serve.jobs import JobSpec, stats_rows
+
+SPEC = {"config": "small_2d", "steps": 25, "seed": 4, "backend": "sequential"}
+
+
+def canonical(payload) -> str:
+    return json.dumps(payload, sort_keys=True)
+
+
+def reference_rows(spec_json):
+    spec = JobSpec.from_json(
+        {k: v for k, v in spec_json.items() if k != "backend"}
+    )
+    params, steps = spec.resolve_params()
+    sim = SequentialSimCov(params, seed=spec.seed)
+    sim.run(steps)
+    return stats_rows(sim.series)
+
+
+def serve(**kwargs):
+    kwargs.setdefault("port", 0)
+    kwargs.setdefault("max_workers", 2)
+    kwargs.setdefault(
+        "retry_policy", RestartPolicy(max_restarts=3, backoff=0.01)
+    )
+    return BackgroundServer(ServeApp(**kwargs))
+
+
+class TestClassification:
+    def test_runtime_errors_are_retryable(self):
+        assert classify_exception(RuntimeError("transient")) == RETRYABLE
+        assert classify_exception(OSError("io")) == RETRYABLE
+        assert classify_exception(InjectedWorkerCrash("chaos")) == RETRYABLE
+
+    def test_programming_errors_are_permanent(self):
+        for err in (
+            ValueError("bad"), TypeError("bad"), KeyError("k"),
+            ZeroDivisionError(), AssertionError(), NotImplementedError(),
+        ):
+            assert classify_exception(err) == PERMANENT
+
+    def test_permanent_marker_wins_over_runtime_base(self):
+        class Fatal(PermanentError):
+            pass
+
+        assert issubclass(Fatal, RuntimeError)
+        assert classify_exception(Fatal("no point retrying")) == PERMANENT
+
+    def test_checkpoint_corruption_is_permanent(self):
+        from repro.io.checkpoint import CheckpointCorruptError
+
+        assert classify_exception(CheckpointCorruptError("crc")) == PERMANENT
+
+    def test_backoff_schedule_is_bounded_exponential(self):
+        policy = RestartPolicy(max_restarts=5, backoff=0.1,
+                               backoff_factor=2.0)
+        assert policy.backoff_seconds(1) == pytest.approx(0.1)
+        assert policy.backoff_seconds(2) == pytest.approx(0.2)
+        assert policy.backoff_seconds(3) == pytest.approx(0.4)
+
+
+class TestRetrySuccess:
+    def test_injected_crash_retried_bitwise_identical(self):
+        fault = ServeFaultSpec(job=0, step=10, mode="worker_crash")
+        with serve(fault=fault) as app:
+            client = ServeClient(port=app.port)
+            resp = client.submit(SPEC)
+            final = client.wait(resp["job"]["id"])
+            assert final["state"] == "done"
+            # Exactly one incident: the crash, retried once, then clean.
+            assert final["attempts"] == 2
+            assert len(final["incidents"]) == 1
+            incident = final["incidents"][0]
+            assert incident["error_type"] == "InjectedWorkerCrash"
+            assert incident["classification"] == RETRYABLE
+            rows = client.result(resp["job"]["id"])["result"]["rows"]
+            metrics = client.metrics()
+        assert fault.fired == 1
+        assert metrics["retries"] == 1
+        assert metrics["failed"] == 0
+        assert canonical(rows) == canonical(reference_rows(SPEC))
+
+    def test_retrying_state_visible_in_stream(self):
+        fault = ServeFaultSpec(job=0, step=5, mode="worker_crash")
+        with serve(
+            fault=fault,
+            retry_policy=RestartPolicy(max_restarts=3, backoff=0.2),
+        ) as app:
+            client = ServeClient(port=app.port)
+            resp = client.submit(SPEC)
+            names = [n for n, _ in client.iter_events(resp["job"]["id"])]
+        assert "retrying" in names
+        assert names[-1] == "done"
+
+
+class TestRetryExhaustion:
+    def test_recurring_crash_exhausts_policy(self):
+        fault = ServeFaultSpec(job=0, step=5, mode="worker_crash",
+                               repeat=99)
+        with serve(
+            fault=fault,
+            retry_policy=RestartPolicy(max_restarts=2, backoff=0.01),
+        ) as app:
+            client = ServeClient(port=app.port)
+            resp = client.submit(SPEC)
+            final = client.wait(resp["job"]["id"])
+            metrics = client.metrics()
+        assert final["state"] == "failed"
+        assert "RestartsExhaustedError" in final["error"]
+        assert "incident log:" in final["error"]
+        # 3 attempts = 1 initial + 2 restarts, each leaving an incident.
+        assert len(final["incidents"]) == 3
+        assert [i["index"] for i in final["incidents"]] == [1, 2, 3]
+        assert metrics["retries"] == 2
+        assert metrics["failed"] == 1
+
+    def test_permanent_error_fails_without_retries(self, monkeypatch):
+        import repro.serve.runner as runner_mod
+
+        def bad_build(job, tracer=None):
+            raise ValueError("injected permanent misconfiguration")
+
+        with serve() as app:
+            monkeypatch.setattr(runner_mod, "build_sim", bad_build)
+            client = ServeClient(port=app.port)
+            resp = client.submit(SPEC)
+            final = client.wait(resp["job"]["id"])
+            metrics = client.metrics()
+        assert final["state"] == "failed"
+        assert "permanent failure, not retried" in final["error"]
+        assert len(final["incidents"]) == 1
+        assert final["incidents"][0]["classification"] == PERMANENT
+        assert metrics["retries"] == 0
+
+
+class TestIncidentModel:
+    def test_incident_round_trips_through_json(self):
+        incident = JobIncident(
+            index=1, step=12, error_type="InjectedWorkerCrash",
+            message="chaos", classification=RETRYABLE,
+            restored_step=8, steps_replayed=4, backoff_seconds=0.05,
+        )
+        raw = incident.to_json()
+        assert JobIncident(**raw) == incident
+        assert "step 12" in incident.describe()
